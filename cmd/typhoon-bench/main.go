@@ -1,0 +1,69 @@
+// Command typhoon-bench regenerates the paper's evaluation tables and
+// figures (§6) on the emulated cluster and prints each result's rows or
+// series.
+//
+// Usage:
+//
+//	typhoon-bench -list
+//	typhoon-bench -run fig8a,fig9
+//	typhoon-bench -run all -warmup 2s -measure 5s
+//
+// Longer windows give smoother numbers; the defaults keep a full sweep
+// under a few minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"typhoon/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		run     = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		warmup  = flag.Duration("warmup", time.Second, "discarded warmup before each measurement")
+		measure = flag.Duration("measure", 2*time.Second, "measurement window")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+	params := experiments.Params{Warmup: *warmup, Measure: *measure}
+
+	var entries []experiments.Entry
+	if *run == "all" {
+		entries = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			e := experiments.ByID(id)
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			entries = append(entries, *e)
+		}
+	}
+	failed := false
+	for _, e := range entries {
+		start := time.Now()
+		res := e.Run(params)
+		res.Print(os.Stdout)
+		fmt.Printf("  (%.1fs)\n\n", time.Since(start).Seconds())
+		if res.Err != nil {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,92 @@
+// Command typhoon-cluster starts an emulated Typhoon cluster, optionally
+// submits a demo word-count topology, and serves the central coordinator
+// over TCP so typhoon-ctl can inspect and reconfigure it from another
+// process.
+//
+//	typhoon-cluster -hosts 3 -listen 127.0.0.1:7000 -demo
+//	typhoon-ctl -coordinator 127.0.0.1:7000 list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"typhoon"
+	"typhoon/internal/coordinator"
+	"typhoon/internal/workload"
+)
+
+func main() {
+	var (
+		hosts  = flag.Int("hosts", 3, "number of emulated compute hosts")
+		listen = flag.String("listen", "127.0.0.1:7000", "coordinator TCP listen address")
+		mode   = flag.String("mode", "typhoon", "data plane: typhoon or storm")
+		demo   = flag.Bool("demo", false, "submit a demo word-count topology")
+	)
+	flag.Parse()
+
+	names := make([]string, *hosts)
+	for i := range names {
+		names[i] = fmt.Sprintf("h%d", i+1)
+	}
+	m := typhoon.ModeTyphoon
+	if *mode == "storm" {
+		m = typhoon.ModeStorm
+	}
+	cluster, err := typhoon.NewCluster(typhoon.Config{Mode: m, Hosts: names})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	srv, err := coordinator.Serve(*listen, cluster.Store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("cluster up: %d hosts (%s mode), coordinator at %s\n", *hosts, *mode, srv.Addr())
+
+	stats := workload.NewStats(time.Second)
+	cluster.Env.Set(workload.EnvStats, stats)
+	cluster.Env.Set(workload.EnvConfig, workload.NewConfig())
+
+	if *demo {
+		b := typhoon.NewTopology("wordcount", 1)
+		b.Source("input", workload.LogicSentenceSource, 1)
+		b.Node("split", workload.LogicSplitter, 2).ShuffleFrom("input")
+		b.Node("count", workload.LogicCounter, 2).FieldsFrom("split", 0).Stateful()
+		topo, err := b.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cluster.Submit(topo, 15*time.Second); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("demo topology 'wordcount' running")
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(5 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sig:
+			fmt.Println("shutting down")
+			return
+		case <-ticker.C:
+			if *demo {
+				var n uint64
+				for _, w := range cluster.WorkersOf("wordcount", "count") {
+					n += w.StatsSnapshot().Processed
+				}
+				fmt.Printf("wordcount: %d words counted\n", n)
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Command typhoon-ctl inspects and reconfigures a running cluster through
+// its coordinator's TCP endpoint — the dynamic topology manager operations
+// of §3.2 from another process.
+//
+//	typhoon-ctl -coordinator 127.0.0.1:7000 list
+//	typhoon-ctl -coordinator 127.0.0.1:7000 describe wordcount
+//	typhoon-ctl -coordinator 127.0.0.1:7000 scale wordcount split 4
+//	typhoon-ctl -coordinator 127.0.0.1:7000 swap wordcount split workload/splitter
+//	typhoon-ctl -coordinator 127.0.0.1:7000 kill wordcount
+//
+// Reconfigurations work because the streaming manager's logic runs against
+// the coordinator API: this binary embeds a manager speaking to the remote
+// store, and the cluster's controller and agents converge on the updated
+// global state exactly as for in-process requests.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"typhoon/internal/coordinator"
+	"typhoon/internal/manager"
+	"typhoon/internal/paths"
+)
+
+func main() {
+	addr := flag.String("coordinator", "127.0.0.1:7000", "coordinator TCP address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	cli, err := coordinator.Dial(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer cli.Close()
+	mgr := manager.New(cli, manager.Options{})
+	defer mgr.Stop()
+
+	switch args[0] {
+	case "list":
+		names, err := cli.Children(paths.Topologies)
+		if err != nil {
+			fatal(err)
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+	case "describe":
+		need(args, 2)
+		l, p, err := mgr.Describe(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("topology %s (app %d, generation %d)\n", l.Name, l.App, l.Generation)
+		for _, n := range l.Nodes {
+			fmt.Printf("  node %-16s logic=%s parallelism=%d", n.Name, n.Logic, n.Parallelism)
+			if n.Source {
+				fmt.Print(" [source]")
+			}
+			if n.Stateful {
+				fmt.Print(" [stateful]")
+			}
+			fmt.Println()
+		}
+		for _, e := range l.Edges {
+			fmt.Printf("  edge %s -> %s (%s)\n", e.From, e.To, e.Policy)
+		}
+		for _, a := range p.Workers {
+			fmt.Printf("  worker %-4d %-16s host=%s port=%d\n", a.Worker, a.Node, a.Host, a.Port)
+		}
+	case "scale":
+		need(args, 4)
+		n, err := strconv.Atoi(args[3])
+		if err != nil {
+			fatal(err)
+		}
+		if err := mgr.SetParallelism(args[1], args[2], n); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("node %s of %s scaled to %d\n", args[2], args[1], n)
+	case "swap":
+		need(args, 4)
+		if err := mgr.SwapLogic(args[1], args[2], args[3]); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("node %s of %s now runs %s\n", args[2], args[1], args[3])
+	case "kill":
+		need(args, 2)
+		if err := mgr.Kill(args[1]); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("topology %s killed\n", args[1])
+	default:
+		usage()
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: typhoon-ctl -coordinator addr {list | describe T | scale T NODE N | swap T NODE LOGIC | kill T}")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "typhoon-ctl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,133 @@
+// Quickstart: the word-count topology of the paper's Fig 2 running on a
+// two-host Typhoon cluster, written against the public API only.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"typhoon"
+)
+
+var words = strings.Fields("the quick brown fox jumps over the lazy dog typhoon routes tuples through switches")
+
+// sentences is a spout emitting random sentences.
+type sentences struct{ rng *rand.Rand }
+
+func (s *sentences) Open(ctx *typhoon.Context) error {
+	s.rng = rand.New(rand.NewSource(int64(ctx.WorkerID())))
+	return nil
+}
+func (s *sentences) Close(*typhoon.Context) error { return nil }
+func (s *sentences) Next(ctx *typhoon.Context) (bool, error) {
+	n := 3 + s.rng.Intn(5)
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = words[s.rng.Intn(len(words))]
+	}
+	ctx.Emit(typhoon.String(strings.Join(parts, " ")))
+	return true, nil
+}
+
+// splitter splits sentences into words.
+type splitter struct{}
+
+func (splitter) Open(*typhoon.Context) error  { return nil }
+func (splitter) Close(*typhoon.Context) error { return nil }
+func (splitter) Execute(ctx *typhoon.Context, in typhoon.Tuple) error {
+	for _, w := range strings.Fields(in.Field(0).AsString()) {
+		ctx.Emit(typhoon.String(w))
+	}
+	return nil
+}
+
+// counter counts words; key-based routing guarantees each word always
+// lands on the same instance.
+type counter struct {
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+var counters struct {
+	mu  sync.Mutex
+	all []*counter
+}
+
+func (c *counter) Open(*typhoon.Context) error {
+	c.counts = make(map[string]int)
+	counters.mu.Lock()
+	counters.all = append(counters.all, c)
+	counters.mu.Unlock()
+	return nil
+}
+func (c *counter) Close(*typhoon.Context) error { return nil }
+func (c *counter) Execute(_ *typhoon.Context, in typhoon.Tuple) error {
+	if in.Stream != 0 {
+		return nil // ignore framework signals
+	}
+	c.mu.Lock()
+	c.counts[in.Field(0).AsString()]++
+	c.mu.Unlock()
+	return nil
+}
+
+func main() {
+	typhoon.RegisterSpout("quickstart/sentences", func() typhoon.Spout { return &sentences{} })
+	typhoon.RegisterBolt("quickstart/split", func() typhoon.Bolt { return splitter{} })
+	typhoon.RegisterBolt("quickstart/count", func() typhoon.Bolt { return &counter{} })
+
+	cluster, err := typhoon.NewCluster(typhoon.Config{Hosts: []string{"h1", "h2"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	b := typhoon.NewTopology("wordcount", 1)
+	b.Source("input", "quickstart/sentences", 1)
+	b.Node("split", "quickstart/split", 2).ShuffleFrom("input")
+	b.Node("count", "quickstart/count", 2).FieldsFrom("split", 0).Stateful()
+	topo, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.Submit(topo, 10*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wordcount running on 2 hosts (1 source, 2 splitters, 2 counters)...")
+	time.Sleep(3 * time.Second)
+
+	// Merge the counters and print the ranking.
+	total := map[string]int{}
+	counters.mu.Lock()
+	for _, c := range counters.all {
+		c.mu.Lock()
+		for w, n := range c.counts {
+			total[w] += n
+		}
+		c.mu.Unlock()
+	}
+	counters.mu.Unlock()
+	type wc struct {
+		w string
+		n int
+	}
+	var ranked []wc
+	for w, n := range total {
+		ranked = append(ranked, wc{w, n})
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].n > ranked[j].n })
+	fmt.Println("top words after 3 seconds:")
+	for i, r := range ranked {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %-10s %d\n", r.w, r.n)
+	}
+}

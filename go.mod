@@ -1,0 +1,3 @@
+module typhoon
+
+go 1.22

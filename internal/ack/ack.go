@@ -1,0 +1,102 @@
+// Package ack implements Storm-style guaranteed processing (§6.1 "tuple
+// forwarding with reliability guarantee"): special acker workers track each
+// source tuple's processing tree by XOR-ing edge IDs, and notify the
+// originating source worker when the XOR reaches zero, i.e. every tuple in
+// the tree was processed at least once. Sources replay trees that do not
+// complete in time.
+//
+// Typhoon supports the same mechanism by installing SDN flow rules for the
+// acker workers; the worker framework layer emits the INIT/ACK tuples in
+// both systems.
+package ack
+
+import (
+	"time"
+
+	"typhoon/internal/topology"
+	"typhoon/internal/tuple"
+	"typhoon/internal/worker"
+)
+
+// LogicName is the registered computation-logic name of the acker;
+// the streaming manager wires an acker node into topologies that request
+// guaranteed processing.
+const LogicName = "typhoon/acker"
+
+// NodeName is the reserved logical node name for ackers.
+const NodeName = "__acker"
+
+func init() {
+	worker.RegisterLogic(LogicName, func() worker.Component { return NewAcker() })
+}
+
+// Acker tracks tuple trees. Ack tuples have the layout
+// [kind, root, xor, src]: kind 0 initialises a tree from a source worker,
+// kind 1 folds a processing step into it.
+type Acker struct {
+	pending map[uint64]*entry
+	// MaxAge bounds how long an incomplete tree is tracked; sources
+	// replay well before this.
+	MaxAge time.Duration
+
+	executed uint64
+}
+
+type entry struct {
+	xor     uint64
+	src     topology.WorkerID
+	started time.Time
+	init    bool
+}
+
+// NewAcker builds an empty acker.
+func NewAcker() *Acker {
+	return &Acker{pending: make(map[uint64]*entry), MaxAge: 60 * time.Second}
+}
+
+// Open implements worker.Component.
+func (a *Acker) Open(*worker.Context) error { return nil }
+
+// Close implements worker.Component.
+func (a *Acker) Close(*worker.Context) error { return nil }
+
+// Pending reports the number of incomplete trees (for tests).
+func (a *Acker) Pending() int { return len(a.pending) }
+
+// Execute implements worker.Bolt.
+func (a *Acker) Execute(ctx *worker.Context, in tuple.Tuple) error {
+	if in.Stream != tuple.AckStream || in.Len() < 4 {
+		return nil
+	}
+	kind := in.Field(0).AsInt()
+	root := uint64(in.Field(1).AsInt())
+	xor := uint64(in.Field(2).AsInt())
+	e := a.pending[root]
+	if e == nil {
+		e = &entry{started: time.Now()}
+		a.pending[root] = e
+	}
+	e.xor ^= xor
+	if kind == 0 {
+		e.init = true
+		e.src = topology.WorkerID(in.Field(3).AsInt())
+	}
+	if e.init && e.xor == 0 {
+		delete(a.pending, root)
+		// Direct-route the completion to the exact source worker.
+		ctx.EmitOn(tuple.CompleteStream, tuple.Int(int64(e.src)), tuple.Int(int64(root)))
+	}
+	a.executed++
+	if a.executed%16384 == 0 {
+		a.sweep(time.Now())
+	}
+	return nil
+}
+
+func (a *Acker) sweep(now time.Time) {
+	for root, e := range a.pending {
+		if now.Sub(e.started) > a.MaxAge {
+			delete(a.pending, root)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package ack_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"typhoon/internal/ack"
+	"typhoon/internal/tuple"
+	"typhoon/internal/worker"
+)
+
+// capture records emissions from the acker.
+type capture struct {
+	mu   sync.Mutex
+	out  []tuple.Tuple
+	last tuple.StreamID
+}
+
+func (c *capture) Emit(values ...tuple.Value) { c.EmitOn(tuple.DefaultStream, values...) }
+func (c *capture) EmitOn(s tuple.StreamID, values ...tuple.Value) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.out = append(c.out, tuple.OnStream(s, values...))
+	c.last = s
+}
+
+func (c *capture) completions() []tuple.Tuple {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]tuple.Tuple(nil), c.out...)
+}
+
+func ackTuple(kind, root, xor, src int64) tuple.Tuple {
+	return tuple.OnStream(tuple.AckStream,
+		tuple.Int(kind), tuple.Int(root), tuple.Int(xor), tuple.Int(src))
+}
+
+func TestAckerCompletesLinearChain(t *testing.T) {
+	a := ack.NewAcker()
+	cap := &capture{}
+	ctx := worker.NewContext(cap, 9, ack.NodeName, 0, nil)
+
+	const root, e1, e2 = 100, 200, 300
+	// Spout INIT: xor = root.
+	a.Execute(ctx, ackTuple(0, root, root, 5))
+	// Bolt1 consumed root-edge, emitted e1: ack root^e1.
+	a.Execute(ctx, ackTuple(1, root, root^e1, 0))
+	// Bolt2 consumed e1, emitted e2: ack e1^e2.
+	a.Execute(ctx, ackTuple(1, root, e1^e2, 0))
+	if got := cap.completions(); len(got) != 0 {
+		t.Fatalf("premature completion: %v", got)
+	}
+	// Sink consumed e2, emitted nothing: ack e2 → tree complete.
+	a.Execute(ctx, ackTuple(1, root, e2, 0))
+	got := cap.completions()
+	if len(got) != 1 {
+		t.Fatalf("completions = %d", len(got))
+	}
+	if got[0].Stream != tuple.CompleteStream {
+		t.Fatal("completion not on CompleteStream")
+	}
+	if got[0].Field(0).AsInt() != 5 || got[0].Field(1).AsInt() != root {
+		t.Fatalf("completion = %v", got[0])
+	}
+	if a.Pending() != 0 {
+		t.Fatal("pending not cleared")
+	}
+}
+
+func TestAckerHandlesReordering(t *testing.T) {
+	a := ack.NewAcker()
+	cap := &capture{}
+	ctx := worker.NewContext(cap, 9, ack.NodeName, 0, nil)
+	const root, e1 = 111, 222
+	// ACKs arrive before INIT.
+	a.Execute(ctx, ackTuple(1, root, root^e1, 0))
+	a.Execute(ctx, ackTuple(1, root, e1, 0))
+	if len(cap.completions()) != 0 {
+		t.Fatal("completed without INIT")
+	}
+	a.Execute(ctx, ackTuple(0, root, root, 7))
+	if len(cap.completions()) != 1 {
+		t.Fatal("did not complete after INIT")
+	}
+}
+
+func TestAckerFanOutTree(t *testing.T) {
+	a := ack.NewAcker()
+	cap := &capture{}
+	ctx := worker.NewContext(cap, 9, ack.NodeName, 0, nil)
+	const root = 42
+	children := []int64{1000, 2000, 3000}
+	xor := int64(root)
+	for _, c := range children {
+		xor ^= c
+	}
+	a.Execute(ctx, ackTuple(0, root, root, 3))
+	a.Execute(ctx, ackTuple(1, root, xor, 0)) // splitter: consumed root, emitted 3 children
+	for i, c := range children {
+		if len(cap.completions()) != 0 {
+			t.Fatalf("completed before child %d acked", i)
+		}
+		a.Execute(ctx, ackTuple(1, root, c, 0)) // each sink consumes one child
+	}
+	if len(cap.completions()) != 1 {
+		t.Fatalf("completions = %d", len(cap.completions()))
+	}
+}
+
+func TestAckerIndependentTrees(t *testing.T) {
+	a := ack.NewAcker()
+	cap := &capture{}
+	ctx := worker.NewContext(cap, 9, ack.NodeName, 0, nil)
+	a.Execute(ctx, ackTuple(0, 1, 1, 5))
+	a.Execute(ctx, ackTuple(0, 2, 2, 5))
+	a.Execute(ctx, ackTuple(1, 1, 1, 0)) // tree 1 completes
+	got := cap.completions()
+	if len(got) != 1 || got[0].Field(1).AsInt() != 1 {
+		t.Fatalf("completions = %v", got)
+	}
+	if a.Pending() != 1 {
+		t.Fatalf("pending = %d", a.Pending())
+	}
+}
+
+func TestAckerIgnoresNonAckTuples(t *testing.T) {
+	a := ack.NewAcker()
+	cap := &capture{}
+	ctx := worker.NewContext(cap, 9, ack.NodeName, 0, nil)
+	a.Execute(ctx, tuple.New(tuple.Int(1)))
+	a.Execute(ctx, tuple.OnStream(tuple.AckStream, tuple.Int(1))) // too short
+	if a.Pending() != 0 || len(cap.completions()) != 0 {
+		t.Fatal("non-ack tuples should be ignored")
+	}
+}
+
+func TestAckerSweepDropsStaleTrees(t *testing.T) {
+	a := ack.NewAcker()
+	a.MaxAge = time.Millisecond
+	cap := &capture{}
+	ctx := worker.NewContext(cap, 9, ack.NodeName, 0, nil)
+	a.Execute(ctx, ackTuple(0, 77, 77, 5))
+	time.Sleep(5 * time.Millisecond)
+	// Sweeps run every 16384 executions; force them with no-op acks on
+	// another root.
+	for i := 0; i < 16384; i++ {
+		a.Execute(ctx, ackTuple(1, 88, 0, 0))
+	}
+	if a.Pending() > 1 {
+		t.Fatalf("stale tree not swept: pending=%d", a.Pending())
+	}
+}
+
+func TestAckerRegisteredLogic(t *testing.T) {
+	c, err := worker.NewLogic(ack.LogicName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.(worker.Bolt); !ok {
+		t.Fatal("acker logic is not a bolt")
+	}
+}

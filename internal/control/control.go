@@ -1,0 +1,127 @@
+// Package control defines the control tuples of Table 2: the vocabulary the
+// Typhoon SDN controller uses to reconfigure running workers through the
+// data plane (PacketOut → switch → worker framework layer) and the replies
+// workers send back (PacketIn).
+//
+// A control tuple is an ordinary tuple on tuple.ControlStream whose first
+// field is the command kind and whose second field is a JSON payload, so it
+// travels through exactly the same packetization and switching machinery as
+// application data.
+package control
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"typhoon/internal/topology"
+	"typhoon/internal/tuple"
+)
+
+// Kind names a control tuple type (Table 2).
+type Kind string
+
+// Control tuple kinds.
+const (
+	// KindRouting updates a worker's routing state (§3.3.2).
+	KindRouting Kind = "ROUTING"
+	// KindSignal makes stateful workers flush their in-memory cache (§3.5).
+	KindSignal Kind = "SIGNAL"
+	// KindMetricReq requests a worker's internal statistics.
+	KindMetricReq Kind = "METRIC_REQ"
+	// KindMetricResp carries a worker's statistics to the controller.
+	KindMetricResp Kind = "METRIC_RESP"
+	// KindInputRate throttles a worker's input processing rate.
+	KindInputRate Kind = "INPUT_RATE"
+	// KindActivate unthrottles the first workers of a topology.
+	KindActivate Kind = "ACTIVATE"
+	// KindDeactivate throttles the first workers of a topology.
+	KindDeactivate Kind = "DEACTIVATE"
+	// KindBatchSize adjusts the I/O layer batch size.
+	KindBatchSize Kind = "BATCH_SIZE"
+)
+
+// ErrNotControl is returned when decoding a non-control tuple.
+var ErrNotControl = errors.New("control: not a control tuple")
+
+// Routing is the payload of KindRouting: the complete new routing table for
+// the worker (policy-independent and policy-specific state of Listing 1).
+type Routing struct {
+	Routes []topology.Route `json:"routes"`
+}
+
+// InputRate is the payload of KindInputRate; zero or negative means
+// unlimited.
+type InputRate struct {
+	TuplesPerSec float64 `json:"tuplesPerSec"`
+}
+
+// BatchSize is the payload of KindBatchSize.
+type BatchSize struct {
+	Size int `json:"size"`
+}
+
+// MetricReq is the payload of KindMetricReq.
+type MetricReq struct {
+	// Token correlates the reply.
+	Token uint64 `json:"token"`
+}
+
+// MetricResp is the payload of KindMetricResp: the worker statistics rows
+// the auto-scaler consumes (queue status, emitted tuples, Table 2).
+type MetricResp struct {
+	Token     uint64            `json:"token"`
+	Worker    topology.WorkerID `json:"worker"`
+	Node      string            `json:"node"`
+	QueueLen  int               `json:"queueLen"`
+	Processed uint64            `json:"processed"`
+	Emitted   uint64            `json:"emitted"`
+	Dropped   uint64            `json:"dropped"`
+	// ProcNanos is cumulative execute time in nanoseconds.
+	ProcNanos uint64 `json:"procNanos"`
+}
+
+// Encode builds the control tuple for a command. The payload may be nil for
+// kinds without parameters (SIGNAL, ACTIVATE, DEACTIVATE).
+func Encode(kind Kind, payload any) tuple.Tuple {
+	var body []byte
+	if payload != nil {
+		b, err := json.Marshal(payload)
+		if err != nil {
+			panic("control: unmarshalable payload: " + err.Error())
+		}
+		body = b
+	}
+	return tuple.OnStream(tuple.ControlStream, tuple.String(string(kind)), tuple.Bytes(body))
+}
+
+// DecodeKind extracts the command kind of a control tuple.
+func DecodeKind(t tuple.Tuple) (Kind, error) {
+	if !t.Stream.IsControl() || t.Len() < 1 {
+		return "", ErrNotControl
+	}
+	return Kind(t.Field(0).AsString()), nil
+}
+
+// DecodePayload unmarshals a control tuple's payload into out.
+func DecodePayload(t tuple.Tuple, out any) error {
+	if !t.Stream.IsControl() || t.Len() < 2 {
+		return ErrNotControl
+	}
+	body := t.Field(1).AsBytes()
+	if len(body) == 0 {
+		return fmt.Errorf("control: empty payload")
+	}
+	return json.Unmarshal(body, out)
+}
+
+// NewSignal builds the flush-signal tuple stateful workers consume
+// (Listing 2's isSignalTuple pattern). It travels on tuple.SignalStream so
+// it reaches the application layer rather than being consumed by the
+// framework layer.
+func NewSignal() tuple.Tuple {
+	return tuple.OnStream(tuple.SignalStream)
+}
+
+// IsSignal reports whether t is a flush signal.
+func IsSignal(t tuple.Tuple) bool { return t.Stream.IsSignal() }

@@ -1,0 +1,111 @@
+package control
+
+import (
+	"testing"
+
+	"typhoon/internal/topology"
+	"typhoon/internal/tuple"
+)
+
+func TestEncodeDecodeRouting(t *testing.T) {
+	in := Routing{Routes: []topology.Route{{
+		Edge:     topology.EdgeSpec{From: "a", To: "b", Policy: topology.Fields, HashFields: []int{0, 2}},
+		NextHops: []topology.WorkerID{3, 4, 5},
+	}}}
+	ct := Encode(KindRouting, in)
+	kind, err := DecodeKind(ct)
+	if err != nil || kind != KindRouting {
+		t.Fatalf("kind=%q err=%v", kind, err)
+	}
+	var out Routing
+	if err := DecodePayload(ct, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Routes) != 1 || out.Routes[0].Edge.To != "b" || len(out.Routes[0].NextHops) != 3 {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestEncodeDecodeAllKinds(t *testing.T) {
+	cases := []struct {
+		kind    Kind
+		payload any
+	}{
+		{KindRouting, Routing{}},
+		{KindSignal, nil},
+		{KindMetricReq, MetricReq{Token: 9}},
+		{KindMetricResp, MetricResp{Worker: 3, QueueLen: 7, Processed: 100}},
+		{KindInputRate, InputRate{TuplesPerSec: 1000}},
+		{KindActivate, nil},
+		{KindDeactivate, nil},
+		{KindBatchSize, BatchSize{Size: 250}},
+	}
+	for _, c := range cases {
+		ct := Encode(c.kind, c.payload)
+		if !ct.Stream.IsControl() {
+			t.Fatalf("%s: not on control stream", c.kind)
+		}
+		kind, err := DecodeKind(ct)
+		if err != nil || kind != c.kind {
+			t.Fatalf("%s: kind=%q err=%v", c.kind, kind, err)
+		}
+	}
+}
+
+func TestMetricRespRoundTrip(t *testing.T) {
+	in := MetricResp{Token: 1, Worker: 2, Node: "split", QueueLen: 3, Processed: 4, Emitted: 5, Dropped: 6, ProcNanos: 7}
+	ct := Encode(KindMetricResp, in)
+	var out MetricResp
+	if err := DecodePayload(ct, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeKind(tuple.New(tuple.Int(1))); err != ErrNotControl {
+		t.Fatalf("data tuple: %v", err)
+	}
+	var out Routing
+	if err := DecodePayload(tuple.New(), &out); err != ErrNotControl {
+		t.Fatalf("empty tuple: %v", err)
+	}
+	// Control tuple without payload.
+	ct := Encode(KindSignal, nil)
+	if err := DecodePayload(ct, &out); err == nil {
+		t.Fatal("empty payload should error")
+	}
+	// Corrupt JSON payload.
+	bad := tuple.OnStream(tuple.ControlStream, tuple.String(string(KindRouting)), tuple.Bytes([]byte("{")))
+	if err := DecodePayload(bad, &out); err == nil {
+		t.Fatal("corrupt payload should error")
+	}
+}
+
+func TestSignalHelpers(t *testing.T) {
+	s := NewSignal()
+	if !IsSignal(s) {
+		t.Fatal("NewSignal not a signal")
+	}
+	if IsSignal(tuple.New(tuple.Int(1))) {
+		t.Fatal("data tuple classified as signal")
+	}
+	if s.Stream.IsControl() {
+		t.Fatal("signal must reach the application layer, not the framework layer")
+	}
+}
+
+func TestControlTupleSurvivesSerialization(t *testing.T) {
+	ct := Encode(KindBatchSize, BatchSize{Size: 100})
+	enc := tuple.Encode(ct)
+	dec, _, err := tuple.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out BatchSize
+	if err := DecodePayload(dec, &out); err != nil || out.Size != 100 {
+		t.Fatalf("out=%+v err=%v", out, err)
+	}
+}

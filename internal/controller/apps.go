@@ -1,0 +1,250 @@
+package controller
+
+import (
+	"sync"
+	"time"
+
+	"typhoon/internal/control"
+	"typhoon/internal/openflow"
+	"typhoon/internal/packet"
+	"typhoon/internal/topology"
+	"typhoon/internal/tuple"
+)
+
+// FaultDetector is the §4 fault-detector app: instead of waiting for
+// heartbeat timeouts, it reacts to unexpected switch port removals by
+// immediately rerouting traffic away from the dead worker (Fig 10b).
+type FaultDetector struct {
+	BaseApp
+
+	mu sync.Mutex
+	// dead tracks workers redirected away from, per topology, until a
+	// newer physical generation resurrects or removes them.
+	dead map[string]map[topology.WorkerID]bool
+	// Detected counts reacted-to failures (experiments read it).
+	detected int
+}
+
+// NewFaultDetector builds the app.
+func NewFaultDetector() *FaultDetector {
+	return &FaultDetector{dead: make(map[string]map[topology.WorkerID]bool)}
+}
+
+// Name implements App.
+func (f *FaultDetector) Name() string { return "fault-detector" }
+
+// Detected reports how many failures the app reacted to.
+func (f *FaultDetector) Detected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.detected
+}
+
+// OnPortStatus implements App.
+func (f *FaultDetector) OnPortStatus(c *Controller, host string, ev openflow.PortStatus) {
+	if ev.Reason != openflow.PortDeleted {
+		return
+	}
+	var zero packet.Addr
+	if ev.Addr == zero {
+		return
+	}
+	// Identify the victim from its data-plane address.
+	c.mu.Lock()
+	var topoName string
+	var ts *topoState
+	for name, cand := range c.topos {
+		if cand.logical != nil && cand.logical.App == ev.Addr.App() {
+			topoName, ts = name, cand
+			break
+		}
+	}
+	c.mu.Unlock()
+	if ts == nil {
+		return
+	}
+	victim := topology.WorkerID(ev.Addr.Worker())
+	l, p := ts.logical, ts.physical
+	as := p.Worker(victim)
+	if as == nil {
+		return // expected removal: worker no longer assigned
+	}
+	f.mu.Lock()
+	if f.dead[topoName] == nil {
+		f.dead[topoName] = make(map[topology.WorkerID]bool)
+	}
+	alreadyDead := f.dead[topoName][victim]
+	f.dead[topoName][victim] = true
+	if !alreadyDead {
+		f.detected++
+	}
+	f.mu.Unlock()
+
+	// Proactively steer predecessors to the surviving instances, well
+	// before any heartbeat timeout fires.
+	for _, pred := range topology.Predecessors(l, p, as.Node) {
+		routes := topology.RoutesFor(l, p, pred.Node)
+		for i := range routes {
+			routes[i].NextHops = without(routes[i].NextHops, victim)
+		}
+		_ = c.SendControlTuple(topoName, pred.Worker,
+			control.Encode(control.KindRouting, control.Routing{Routes: routes}))
+	}
+}
+
+func without(hops []topology.WorkerID, id topology.WorkerID) []topology.WorkerID {
+	out := hops[:0:0]
+	for _, h := range hops {
+		if h != id {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// AutoScalePolicy configures the auto-scaler for one node.
+type AutoScalePolicy struct {
+	Topo string
+	Node string
+	// ScaleUpQueue triggers a scale-up when a worker's queue exceeds it.
+	ScaleUpQueue int
+	// ScaleDownQueue triggers a scale-down when every worker's queue is
+	// below it (and parallelism > Min).
+	ScaleDownQueue int
+	Min, Max       int
+	// Cooldown spaces scaling actions.
+	Cooldown time.Duration
+}
+
+// AutoScaler is the §4 auto-scaler app: it polls worker statistics with
+// METRIC_REQ control tuples and initiates scale up/down through the
+// streaming manager when queue levels cross thresholds (Fig 11).
+type AutoScaler struct {
+	BaseApp
+
+	mu       sync.Mutex
+	policies []AutoScalePolicy
+	latest   map[string]map[topology.WorkerID]control.MetricResp
+	lastAct  map[string]time.Time
+	token    uint64
+	scaleUps int
+}
+
+// NewAutoScaler builds the app.
+func NewAutoScaler() *AutoScaler {
+	return &AutoScaler{
+		latest:  make(map[string]map[topology.WorkerID]control.MetricResp),
+		lastAct: make(map[string]time.Time),
+	}
+}
+
+// Name implements App.
+func (a *AutoScaler) Name() string { return "auto-scaler" }
+
+// AddPolicy registers an auto-scaling policy.
+func (a *AutoScaler) AddPolicy(p AutoScalePolicy) {
+	if p.Cooldown <= 0 {
+		p.Cooldown = 2 * time.Second
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.policies = append(a.policies, p)
+}
+
+// ScaleUps reports how many scale-up actions were initiated.
+func (a *AutoScaler) ScaleUps() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.scaleUps
+}
+
+// OnTick implements App: request metrics and evaluate policies.
+func (a *AutoScaler) OnTick(c *Controller) {
+	a.mu.Lock()
+	policies := append([]AutoScalePolicy(nil), a.policies...)
+	a.token++
+	token := a.token
+	a.mu.Unlock()
+
+	for _, pol := range policies {
+		l, p := c.Topology(pol.Topo)
+		if l == nil {
+			continue
+		}
+		for _, as := range p.Instances(pol.Node) {
+			_ = c.SendControlTuple(pol.Topo, as.Worker,
+				control.Encode(control.KindMetricReq, control.MetricReq{Token: token}))
+		}
+		a.evaluate(c, pol, l, p)
+	}
+}
+
+// OnControlTuple implements App: collect METRIC_RESP statistics.
+func (a *AutoScaler) OnControlTuple(c *Controller, host string, src packet.Addr, t tuple.Tuple) {
+	kind, err := control.DecodeKind(t)
+	if err != nil || kind != control.KindMetricResp {
+		return
+	}
+	var mr control.MetricResp
+	if control.DecodePayload(t, &mr) != nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	key := nodeKey(mr.Node)
+	if a.latest[key] == nil {
+		a.latest[key] = make(map[topology.WorkerID]control.MetricResp)
+	}
+	a.latest[key][mr.Worker] = mr
+}
+
+func nodeKey(node string) string { return node }
+
+func (a *AutoScaler) evaluate(c *Controller, pol AutoScalePolicy, l *topology.Logical, p *topology.Physical) {
+	mgr := c.Manager()
+	if mgr == nil {
+		return
+	}
+	node := l.Node(pol.Node)
+	if node == nil {
+		return
+	}
+	a.mu.Lock()
+	stats := a.latest[nodeKey(pol.Node)]
+	last := a.lastAct[pol.Topo+"/"+pol.Node]
+	var maxQ, minQ, seen int
+	minQ = 1 << 30
+	for _, as := range p.Instances(pol.Node) {
+		mr, ok := stats[as.Worker]
+		if !ok {
+			continue
+		}
+		seen++
+		if mr.QueueLen > maxQ {
+			maxQ = mr.QueueLen
+		}
+		if mr.QueueLen < minQ {
+			minQ = mr.QueueLen
+		}
+	}
+	a.mu.Unlock()
+	if seen == 0 || time.Since(last) < pol.Cooldown {
+		return
+	}
+	par := node.Parallelism
+	switch {
+	case maxQ > pol.ScaleUpQueue && (pol.Max <= 0 || par < pol.Max):
+		if err := mgr.SetParallelism(pol.Topo, pol.Node, par+1); err == nil {
+			a.mu.Lock()
+			a.scaleUps++
+			a.lastAct[pol.Topo+"/"+pol.Node] = time.Now()
+			a.mu.Unlock()
+		}
+	case seen == par && maxQ < pol.ScaleDownQueue && par > pol.Min && pol.Min > 0:
+		if err := mgr.SetParallelism(pol.Topo, pol.Node, par-1); err == nil {
+			a.mu.Lock()
+			a.lastAct[pol.Topo+"/"+pol.Node] = time.Now()
+			a.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,554 @@
+// Package controller implements the Typhoon SDN controller (§3.4): the
+// unified management layer that programs the data plane with flow rules
+// derived from the coordinator's global state, reconfigures workers through
+// control tuples carried in PACKET_OUT messages, and hosts SDN control
+// plane applications (§4) that consume cross-layer information.
+//
+// Following the paper, the controller is stateless with respect to stream
+// applications: everything it installs is recomputed from the coordinator.
+package controller
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"typhoon/internal/coordinator"
+	"typhoon/internal/openflow"
+	"typhoon/internal/packet"
+	"typhoon/internal/paths"
+	"typhoon/internal/topology"
+	"typhoon/internal/tuple"
+)
+
+// ManagerAPI is the slice of streaming-manager functionality exposed to
+// control plane applications (the auto-scaler initiates scale-ups, the
+// live debugger deploys debug workers).
+type ManagerAPI interface {
+	// SetParallelism changes a node's parallelism at runtime.
+	SetParallelism(topo, node string, parallelism int) error
+	// AddDetachedNode adds a node with no edges (e.g. a debug worker)
+	// pinned to a host, returning once it is part of the topology.
+	AddDetachedNode(topo string, spec topology.NodeSpec, host string) error
+	// RemoveNode removes a node added with AddDetachedNode.
+	RemoveNode(topo, node string) error
+}
+
+// App is an SDN control plane application.
+type App interface {
+	// Name identifies the app.
+	Name() string
+	// OnPortStatus observes switch port lifecycle events.
+	OnPortStatus(c *Controller, host string, ev openflow.PortStatus)
+	// OnPacketIn observes worker-to-controller traffic (decoded control
+	// tuples arrive via OnControlTuple instead when parseable).
+	OnPacketIn(c *Controller, host string, ev openflow.PacketIn)
+	// OnControlTuple observes decoded worker control tuples
+	// (METRIC_RESP).
+	OnControlTuple(c *Controller, host string, src packet.Addr, t tuple.Tuple)
+	// OnTick runs periodically.
+	OnTick(c *Controller)
+}
+
+// BaseApp provides no-op App methods for embedding.
+type BaseApp struct{}
+
+// OnPortStatus implements App.
+func (BaseApp) OnPortStatus(*Controller, string, openflow.PortStatus) {}
+
+// OnPacketIn implements App.
+func (BaseApp) OnPacketIn(*Controller, string, openflow.PacketIn) {}
+
+// OnControlTuple implements App.
+func (BaseApp) OnControlTuple(*Controller, string, packet.Addr, tuple.Tuple) {}
+
+// OnTick implements App.
+func (BaseApp) OnTick(*Controller) {}
+
+// Options tunes the controller.
+type Options struct {
+	// Addr is the listen address; empty selects 127.0.0.1:0.
+	Addr string
+	// TickInterval drives periodic reconciliation and app ticks.
+	TickInterval time.Duration
+	// RuleIdleTimeout, when non-zero, installs data rules with an idle
+	// timeout instead of relying on explicit deletion (the paper's §3.5
+	// garbage collection; also an ablation knob).
+	RuleIdleTimeout time.Duration
+	// StatefulFlushDelay separates SIGNAL flushes from the routing
+	// updates that follow during stable stateful reconfiguration.
+	StatefulFlushDelay time.Duration
+}
+
+// Datapath is one connected switch.
+type Datapath struct {
+	host  string
+	dpid  uint64
+	conn  *openflow.Conn
+	ports []openflow.PortInfo
+
+	mu      sync.Mutex
+	pending map[uint32]chan openflow.StatsReply
+}
+
+// Host returns the datapath's host name.
+func (d *Datapath) Host() string { return d.host }
+
+type topoState struct {
+	logical  *topology.Logical
+	physical *topology.Physical
+	// installed maps rule keys to the installed FlowMod per host.
+	installed map[ruleKey]openflow.FlowMod
+	// groups maps a source worker to its select-group ID.
+	groups map[topology.WorkerID]uint32
+	// ctlGen is the last generation control tuples were issued for.
+	ctlGen int64
+	// ready marks that rules for the current generation are installed.
+	ready bool
+	// mirrors maps tapped source workers to the debug port receiving
+	// copies of their egress frames (live debugger, §4). Applied on every
+	// rule compilation so reconciliation preserves taps.
+	mirrors map[topology.WorkerID]uint32
+	// lbWeights holds per-destination select-group weights set by the
+	// SDN load balancer; like mirrors, they are controller state so
+	// reconciliation re-applies rather than clobbers them.
+	lbWeights map[topology.WorkerID]uint16
+}
+
+// SetGroupWeights sets select-group bucket weights for destination workers
+// of SDN-balanced edges (the load balancer's knob). Weights persist across
+// reconciliation; a zero/absent weight means 1.
+func (c *Controller) SetGroupWeights(topoName string, weights map[topology.WorkerID]uint16) error {
+	c.mu.Lock()
+	ts := c.topos[topoName]
+	if ts == nil {
+		c.mu.Unlock()
+		return fmt.Errorf("controller: unknown topology %q", topoName)
+	}
+	if ts.lbWeights == nil {
+		ts.lbWeights = make(map[topology.WorkerID]uint16)
+	}
+	for w, wt := range weights {
+		ts.lbWeights[w] = wt
+	}
+	c.mu.Unlock()
+	c.SyncTopology(topoName)
+	return nil
+}
+
+// AddMirror registers a packet-mirroring tap: every egress rule of the
+// tapped worker gains an extra output toward debugPort on the next sync.
+func (c *Controller) AddMirror(topoName string, src topology.WorkerID, debugPort uint32) error {
+	c.mu.Lock()
+	ts := c.topos[topoName]
+	if ts == nil {
+		c.mu.Unlock()
+		return fmt.Errorf("controller: unknown topology %q", topoName)
+	}
+	if ts.mirrors == nil {
+		ts.mirrors = make(map[topology.WorkerID]uint32)
+	}
+	ts.mirrors[src] = debugPort
+	c.mu.Unlock()
+	c.SyncTopology(topoName)
+	return nil
+}
+
+// RemoveMirror removes a tap installed with AddMirror.
+func (c *Controller) RemoveMirror(topoName string, src topology.WorkerID) {
+	c.mu.Lock()
+	if ts := c.topos[topoName]; ts != nil {
+		delete(ts.mirrors, src)
+	}
+	c.mu.Unlock()
+	c.SyncTopology(topoName)
+}
+
+// Controller is the Typhoon SDN controller.
+type Controller struct {
+	kv   coordinator.KV
+	opts Options
+	ln   net.Listener
+
+	// syncMu serializes SyncTopology runs (watch and tick goroutines).
+	syncMu sync.Mutex
+
+	mu     sync.Mutex
+	dps    map[string]*Datapath
+	conns  map[net.Conn]struct{}
+	topos  map[string]*topoState
+	apps   []App
+	mgr    ManagerAPI
+	nextGp uint32
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New builds a controller listening for switch connections.
+func New(kv coordinator.KV, opts Options) (*Controller, error) {
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:0"
+	}
+	if opts.TickInterval <= 0 {
+		opts.TickInterval = 200 * time.Millisecond
+	}
+	if opts.StatefulFlushDelay <= 0 {
+		opts.StatefulFlushDelay = 50 * time.Millisecond
+	}
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{
+		kv:     kv,
+		opts:   opts,
+		ln:     ln,
+		dps:    make(map[string]*Datapath),
+		conns:  make(map[net.Conn]struct{}),
+		topos:  make(map[string]*topoState),
+		stopCh: make(chan struct{}),
+		nextGp: 1,
+	}, nil
+}
+
+// Addr returns the controller's listen address for switches.
+func (c *Controller) Addr() string { return c.ln.Addr().String() }
+
+// Manager returns the attached streaming-manager API (may be nil).
+func (c *Controller) Manager() ManagerAPI {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mgr
+}
+
+// SetManager attaches the streaming-manager API for apps.
+func (c *Controller) SetManager(m ManagerAPI) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mgr = m
+}
+
+// AddApp deploys a control plane application.
+func (c *Controller) AddApp(app App) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.apps = append(c.apps, app)
+}
+
+func (c *Controller) appsSnapshot() []App {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]App(nil), c.apps...)
+}
+
+// Start launches the accept loop, the coordinator watch, and the ticker.
+func (c *Controller) Start() error {
+	events, cancel, err := c.kv.Watch(paths.Topologies)
+	if err != nil {
+		return err
+	}
+	c.wg.Add(3)
+	go c.acceptLoop()
+	go c.watchLoop(events, cancel)
+	go c.tickLoop()
+	return nil
+}
+
+// Stop halts the controller and drops switch connections.
+func (c *Controller) Stop() {
+	c.stopOnce.Do(func() { close(c.stopCh) })
+	_ = c.ln.Close()
+	c.mu.Lock()
+	for nc := range c.conns {
+		_ = nc.Close()
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// Datapaths lists connected switch hosts.
+func (c *Controller) Datapaths() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.dps))
+	for h := range c.dps {
+		out = append(out, h)
+	}
+	return out
+}
+
+func (c *Controller) datapath(host string) *Datapath {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dps[host]
+}
+
+// Topology returns the controller's cached view of a topology (fault
+// detector and tests).
+func (c *Controller) Topology(name string) (*topology.Logical, *topology.Physical) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ts := c.topos[name]
+	if ts == nil {
+		return nil, nil
+	}
+	return ts.logical, ts.physical
+}
+
+func (c *Controller) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		nc, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.mu.Lock()
+		select {
+		case <-c.stopCh:
+			c.mu.Unlock()
+			_ = nc.Close()
+			return
+		default:
+		}
+		c.conns[nc] = struct{}{}
+		c.mu.Unlock()
+		c.wg.Add(1)
+		go c.serveDatapath(nc)
+	}
+}
+
+func (c *Controller) serveDatapath(nc net.Conn) {
+	defer c.wg.Done()
+	conn := openflow.NewConn(nc)
+	defer func() {
+		c.mu.Lock()
+		delete(c.conns, nc)
+		c.mu.Unlock()
+		_ = conn.Close()
+	}()
+	if _, err := conn.Send(openflow.Hello{}); err != nil {
+		return
+	}
+	xid, err := conn.Send(openflow.FeaturesRequest{})
+	if err != nil {
+		return
+	}
+	_ = xid
+	var dp *Datapath
+	for {
+		rxid, msg, err := conn.Receive()
+		if err != nil {
+			if dp != nil {
+				c.mu.Lock()
+				if c.dps[dp.host] == dp {
+					delete(c.dps, dp.host)
+				}
+				c.mu.Unlock()
+			}
+			return
+		}
+		switch m := msg.(type) {
+		case openflow.Hello:
+		case openflow.EchoRequest:
+			_ = conn.SendXID(rxid, openflow.EchoReply{Payload: m.Payload})
+		case openflow.FeaturesReply:
+			dp = &Datapath{
+				host:    m.Host,
+				dpid:    m.DatapathID,
+				conn:    conn,
+				ports:   m.Ports,
+				pending: make(map[uint32]chan openflow.StatsReply),
+			}
+			c.mu.Lock()
+			c.dps[m.Host] = dp
+			c.mu.Unlock()
+			// A new datapath may unblock pending topology syncs.
+			c.syncAll()
+		case openflow.StatsReply:
+			if dp != nil {
+				dp.mu.Lock()
+				ch := dp.pending[rxid]
+				delete(dp.pending, rxid)
+				dp.mu.Unlock()
+				if ch != nil {
+					ch <- m
+				}
+			}
+		case openflow.PacketIn:
+			c.handlePacketIn(dp, m)
+		case openflow.PortStatus:
+			if dp != nil {
+				for _, app := range c.appsSnapshot() {
+					app.OnPortStatus(c, dp.host, m)
+				}
+			}
+		case openflow.FlowRemoved:
+			// Rules GC'd by idle timeout; reconciliation state follows on
+			// the next sync.
+		case openflow.Error:
+			// Switch rejected something; reconciliation retries on tick.
+		}
+	}
+}
+
+func (c *Controller) handlePacketIn(dp *Datapath, m openflow.PacketIn) {
+	if dp == nil {
+		return
+	}
+	host := dp.host
+	apps := c.appsSnapshot()
+	// Try to decode a control tuple from the frame.
+	if f, err := packet.Decode(m.Data); err == nil && len(f.Tuples) > 0 {
+		for _, raw := range f.Tuples {
+			if tp, _, err := tuple.Decode(raw); err == nil && tp.Stream.IsControl() {
+				for _, app := range apps {
+					app.OnControlTuple(c, host, f.Src, tp)
+				}
+			}
+		}
+	}
+	for _, app := range apps {
+		app.OnPacketIn(c, host, m)
+	}
+}
+
+func (c *Controller) watchLoop(events <-chan coordinator.Event, cancel func()) {
+	defer c.wg.Done()
+	defer cancel()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case ev, ok := <-events:
+			if !ok {
+				return
+			}
+			if name := topoNameFromPath(ev.Path); name != "" {
+				c.SyncTopology(name)
+			}
+		}
+	}
+}
+
+func topoNameFromPath(p string) string {
+	rest, ok := strings.CutPrefix(p, paths.Topologies+"/")
+	if !ok {
+		return ""
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		return rest[:i]
+	}
+	return rest
+}
+
+func (c *Controller) tickLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.opts.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-ticker.C:
+			c.syncAll()
+			for _, app := range c.appsSnapshot() {
+				app.OnTick(c)
+			}
+		}
+	}
+}
+
+func (c *Controller) syncAll() {
+	names, err := c.kv.Children(paths.Topologies)
+	if err != nil {
+		return
+	}
+	for _, n := range names {
+		c.SyncTopology(n)
+	}
+}
+
+// SendControlTuple delivers a control tuple to a worker through the data
+// plane (PACKET_OUT → switch → worker port), per §3.3.2.
+func (c *Controller) SendControlTuple(topoName string, id topology.WorkerID, ct tuple.Tuple) error {
+	c.mu.Lock()
+	ts := c.topos[topoName]
+	c.mu.Unlock()
+	if ts == nil {
+		return fmt.Errorf("controller: unknown topology %q", topoName)
+	}
+	as := ts.physical.Worker(id)
+	if as == nil {
+		return fmt.Errorf("controller: unknown worker %d", id)
+	}
+	if as.Port == 0 {
+		return fmt.Errorf("controller: worker %d has no port yet", id)
+	}
+	dp := c.datapath(as.Host)
+	if dp == nil {
+		return fmt.Errorf("controller: no datapath for host %s", as.Host)
+	}
+	dst := packet.WorkerAddr(ts.logical.App, uint32(id))
+	frame := packet.EncodeTuples(dst, packet.ControllerAddr, [][]byte{tuple.Encode(ct)})
+	_, err := dp.conn.Send(openflow.PacketOut{
+		InPort:  openflow.PortController,
+		Actions: []openflow.Action{openflow.Output(as.Port)},
+		Data:    frame,
+	})
+	return err
+}
+
+// PortStats polls one switch's port counters (the cross-layer network
+// statistics of §4).
+func (c *Controller) PortStats(host string, timeout time.Duration) ([]openflow.PortStats, error) {
+	reply, err := c.stats(host, openflow.StatsRequest{Kind: openflow.StatsPort, Port: openflow.PortAny}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return reply.Ports, nil
+}
+
+// FlowStats polls one switch's flow counters.
+func (c *Controller) FlowStats(host string, timeout time.Duration) ([]openflow.FlowStats, error) {
+	reply, err := c.stats(host, openflow.StatsRequest{Kind: openflow.StatsFlow}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return reply.Flows, nil
+}
+
+func (c *Controller) stats(host string, req openflow.StatsRequest, timeout time.Duration) (openflow.StatsReply, error) {
+	dp := c.datapath(host)
+	if dp == nil {
+		return openflow.StatsReply{}, fmt.Errorf("controller: no datapath for host %s", host)
+	}
+	ch := make(chan openflow.StatsReply, 1)
+	xid := dp.conn.XID()
+	dp.mu.Lock()
+	dp.pending[xid] = ch
+	dp.mu.Unlock()
+	if err := dp.conn.SendXID(xid, req); err != nil {
+		dp.mu.Lock()
+		delete(dp.pending, xid)
+		dp.mu.Unlock()
+		return openflow.StatsReply{}, err
+	}
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	select {
+	case r := <-ch:
+		return r, nil
+	case <-time.After(timeout):
+		dp.mu.Lock()
+		delete(dp.pending, xid)
+		dp.mu.Unlock()
+		return openflow.StatsReply{}, fmt.Errorf("controller: stats timeout for %s", host)
+	case <-c.stopCh:
+		return openflow.StatsReply{}, fmt.Errorf("controller: stopped")
+	}
+}

@@ -1,0 +1,151 @@
+package controller
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"typhoon/internal/control"
+	"typhoon/internal/packet"
+	"typhoon/internal/topology"
+	"typhoon/internal/tuple"
+)
+
+// sleepTick is a short coordination pause used by apps awaiting
+// asynchronous state convergence.
+func sleepTick() { time.Sleep(20 * time.Millisecond) }
+
+// LoadBalancer is the §4 SDN load-balancer app. Edges declared with the
+// SDNBalanced policy are compiled into switch select groups; this app
+// adjusts bucket weights — manually via SetWeights, or automatically from
+// worker queue statistics so slow or straggling workers receive fewer
+// tuples than round robin would give them.
+type LoadBalancer struct {
+	BaseApp
+
+	mu      sync.Mutex
+	latest  map[topology.WorkerID]control.MetricResp
+	auto    []AutoBalancePolicy
+	token   uint64
+	applied int
+}
+
+// AutoBalancePolicy enables automatic rebalancing for one edge.
+type AutoBalancePolicy struct {
+	Topo string
+	// Node is the downstream node whose instances are balanced.
+	Node string
+	// MaxWeight caps a bucket's weight.
+	MaxWeight uint16
+}
+
+// NewLoadBalancer builds the app.
+func NewLoadBalancer() *LoadBalancer {
+	return &LoadBalancer{latest: make(map[topology.WorkerID]control.MetricResp)}
+}
+
+// Name implements App.
+func (lb *LoadBalancer) Name() string { return "sdn-load-balancer" }
+
+// AddPolicy enables automatic weight adjustment for a node.
+func (lb *LoadBalancer) AddPolicy(p AutoBalancePolicy) {
+	if p.MaxWeight == 0 {
+		p.MaxWeight = 8
+	}
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	lb.auto = append(lb.auto, p)
+}
+
+// Applied reports how many weight updates were pushed (tests).
+func (lb *LoadBalancer) Applied() int {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	return lb.applied
+}
+
+// SetWeights reweights the select groups feeding node via SDNBalanced
+// edges. Weights become controller state (Controller.SetGroupWeights), so
+// rule reconciliation re-applies rather than resets them.
+func (lb *LoadBalancer) SetWeights(c *Controller, topoName, node string, weights map[topology.WorkerID]uint16) error {
+	l, _ := c.Topology(topoName)
+	if l == nil {
+		return fmt.Errorf("loadbalancer: unknown topology %q", topoName)
+	}
+	balanced := false
+	for _, e := range l.InEdges(node) {
+		if e.Policy == topology.SDNBalanced {
+			balanced = true
+		}
+	}
+	if !balanced {
+		return fmt.Errorf("loadbalancer: no SDN-balanced edges into node %q", node)
+	}
+	if err := c.SetGroupWeights(topoName, weights); err != nil {
+		return err
+	}
+	lb.mu.Lock()
+	lb.applied++
+	lb.mu.Unlock()
+	return nil
+}
+
+// OnControlTuple implements App: collect queue statistics.
+func (lb *LoadBalancer) OnControlTuple(c *Controller, host string, src packet.Addr, t tuple.Tuple) {
+	kind, err := control.DecodeKind(t)
+	if err != nil || kind != control.KindMetricResp {
+		return
+	}
+	var mr control.MetricResp
+	if control.DecodePayload(t, &mr) != nil {
+		return
+	}
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	lb.latest[mr.Worker] = mr
+}
+
+// OnTick implements App: poll metrics and rebalance per policy.
+func (lb *LoadBalancer) OnTick(c *Controller) {
+	lb.mu.Lock()
+	policies := append([]AutoBalancePolicy(nil), lb.auto...)
+	lb.token++
+	token := lb.token
+	lb.mu.Unlock()
+	for _, pol := range policies {
+		l, p := c.Topology(pol.Topo)
+		if l == nil {
+			continue
+		}
+		instances := p.Instances(pol.Node)
+		for _, as := range instances {
+			_ = c.SendControlTuple(pol.Topo, as.Worker,
+				control.Encode(control.KindMetricReq, control.MetricReq{Token: token}))
+		}
+		// Weight inversely to queue depth: drained workers get more.
+		lb.mu.Lock()
+		maxQ := 0
+		for _, as := range instances {
+			if mr, ok := lb.latest[as.Worker]; ok && mr.QueueLen > maxQ {
+				maxQ = mr.QueueLen
+			}
+		}
+		weights := make(map[topology.WorkerID]uint16, len(instances))
+		for _, as := range instances {
+			mr, ok := lb.latest[as.Worker]
+			if !ok {
+				weights[as.Worker] = 1
+				continue
+			}
+			w := uint16(1)
+			if maxQ > 0 {
+				w = uint16(1 + (int(pol.MaxWeight)-1)*(maxQ-mr.QueueLen)/maxQ)
+			}
+			weights[as.Worker] = w
+		}
+		lb.mu.Unlock()
+		if maxQ > 0 {
+			_ = lb.SetWeights(c, pol.Topo, pol.Node, weights)
+		}
+	}
+}

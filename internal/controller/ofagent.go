@@ -1,0 +1,101 @@
+package controller
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"typhoon/internal/openflow"
+	"typhoon/internal/switchfabric"
+)
+
+// OFAgent is the switch-side protocol endpoint: it connects a software SDN
+// switch to the controller over TCP, answers FEATURES/ECHO, applies
+// FLOW_MOD/GROUP_MOD/PACKET_OUT/STATS_REQUEST to the switch, and forwards
+// the switch's asynchronous events (PACKET_IN, PORT_STATUS, FLOW_REMOVED)
+// upstream. It is the part of the prototype that lives inside DPDK-OVS.
+type OFAgent struct {
+	sw   *switchfabric.Switch
+	conn *openflow.Conn
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// ConnectSwitch dials the controller and runs the handshake; the agent then
+// serves the connection until Close. It registers itself as the switch's
+// controller sink.
+func ConnectSwitch(addr string, sw *switchfabric.Switch) (*OFAgent, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("controller: dial: %w", err)
+	}
+	a := &OFAgent{sw: sw, conn: openflow.NewConn(nc), done: make(chan struct{})}
+	if _, err := a.conn.Send(openflow.Hello{}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	sw.SetController(a)
+	go a.serve()
+	return a, nil
+}
+
+// Close tears down the connection.
+func (a *OFAgent) Close() {
+	a.closeOnce.Do(func() {
+		_ = a.conn.Close()
+	})
+	<-a.done
+}
+
+// PacketIn implements switchfabric.ControllerSink.
+func (a *OFAgent) PacketIn(m openflow.PacketIn) { _, _ = a.conn.Send(m) }
+
+// PortStatus implements switchfabric.ControllerSink.
+func (a *OFAgent) PortStatus(m openflow.PortStatus) { _, _ = a.conn.Send(m) }
+
+// FlowRemoved implements switchfabric.ControllerSink.
+func (a *OFAgent) FlowRemoved(m openflow.FlowRemoved) { _, _ = a.conn.Send(m) }
+
+func (a *OFAgent) serve() {
+	defer close(a.done)
+	for {
+		xid, msg, err := a.conn.Receive()
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case openflow.Hello:
+			// Peer greeting; nothing to do.
+		case openflow.EchoRequest:
+			_ = a.conn.SendXID(xid, openflow.EchoReply{Payload: m.Payload})
+		case openflow.FeaturesRequest:
+			_ = a.conn.SendXID(xid, openflow.FeaturesReply{
+				DatapathID: a.sw.DatapathID(),
+				Host:       a.sw.Name(),
+				Ports:      a.sw.Ports(),
+			})
+		case openflow.FlowMod:
+			if err := a.sw.ApplyFlowMod(m); err != nil {
+				_ = a.conn.SendXID(xid, openflow.Error{Code: openflow.ErrCodeBadRequest, Msg: err.Error()})
+			}
+		case openflow.GroupMod:
+			if err := a.sw.ApplyGroupMod(m); err != nil {
+				_ = a.conn.SendXID(xid, openflow.Error{Code: openflow.ErrCodeUnknownGroup, Msg: err.Error()})
+			}
+		case openflow.PacketOut:
+			if err := a.sw.Inject(m); err != nil {
+				_ = a.conn.SendXID(xid, openflow.Error{Code: openflow.ErrCodeBadRequest, Msg: err.Error()})
+			}
+		case openflow.StatsRequest:
+			reply := openflow.StatsReply{Kind: m.Kind}
+			switch m.Kind {
+			case openflow.StatsPort:
+				reply.Ports = a.sw.PortStatsSnapshot()
+			case openflow.StatsFlow:
+				reply.Flows = a.sw.FlowStatsSnapshot()
+			}
+			_ = a.conn.SendXID(xid, reply)
+		}
+	}
+}

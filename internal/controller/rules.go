@@ -1,0 +1,499 @@
+package controller
+
+import (
+	"reflect"
+	"strconv"
+	"strings"
+	"time"
+
+	"typhoon/internal/control"
+	"typhoon/internal/openflow"
+	"typhoon/internal/packet"
+	"typhoon/internal/paths"
+	"typhoon/internal/topology"
+)
+
+// Rule priorities, mirroring Table 3's rule classes.
+const (
+	prioControl uint16 = 200 // worker → controller
+	prioData    uint16 = 100 // unicast worker → worker
+	prioBcast   uint16 = 90  // one-to-many / SDN-balanced ingress
+)
+
+type ruleKey struct {
+	host     string
+	match    string
+	priority uint16
+}
+
+// SyncTopology reconciles the data plane with the coordinator state for one
+// topology: missing rules are installed, stale rules deleted, and — when
+// the topology generation advanced — the stable-update control tuples of
+// §3.5 are injected (SIGNAL flushes for stateful nodes, ROUTING updates,
+// ACTIVATE for sources).
+func (c *Controller) SyncTopology(name string) {
+	c.syncMu.Lock()
+	defer c.syncMu.Unlock()
+	lraw, _, lerr := c.kv.Get(paths.Logical(name))
+	praw, _, perr := c.kv.Get(paths.Physical(name))
+	if lerr != nil || perr != nil {
+		c.teardownTopology(name)
+		return
+	}
+	l, err1 := topology.DecodeLogical(lraw)
+	p, err2 := topology.DecodePhysical(praw)
+	if err1 != nil || err2 != nil {
+		return
+	}
+	// The manager writes the logical topology before the physical one; a
+	// sync that catches the gap would act on a stale assignment. Wait for
+	// the matching physical generation.
+	if p.Generation != l.Generation {
+		return
+	}
+	// Deployment readiness: every worker must be attached to a port and
+	// every host's datapath connected.
+	for _, as := range p.Workers {
+		if as.Port == 0 {
+			return
+		}
+	}
+	tun := make(map[string]uint32)
+	for _, host := range p.Hosts() {
+		dp := c.datapath(host)
+		if dp == nil {
+			return
+		}
+		tp, ok := tunnelPort(dp)
+		if !ok && len(p.Hosts()) > 1 {
+			return
+		}
+		tun[host] = tp
+	}
+
+	c.mu.Lock()
+	ts := c.topos[name]
+	if ts == nil {
+		ts = &topoState{
+			installed: make(map[ruleKey]openflow.FlowMod),
+			groups:    make(map[topology.WorkerID]uint32),
+			ctlGen:    -1,
+		}
+		c.topos[name] = ts
+	}
+	prevPhysical := ts.physical
+	prevLogical := ts.logical
+	prevInstalled := ts.installed
+	ctlGen := ts.ctlGen
+	// Allocate stable group IDs for SDN-balanced source workers.
+	groupOf := func(w topology.WorkerID) uint32 {
+		if id, ok := ts.groups[w]; ok {
+			return id
+		}
+		id := c.nextGp
+		c.nextGp++
+		ts.groups[w] = id
+		return id
+	}
+	weightsSnap := make(map[topology.WorkerID]uint16, len(ts.lbWeights))
+	for w, wt := range ts.lbWeights {
+		weightsSnap[w] = wt
+	}
+	c.mu.Unlock()
+	weightOf := func(w topology.WorkerID) uint16 {
+		if wt, ok := weightsSnap[w]; ok && wt > 0 {
+			return wt
+		}
+		return 1
+	}
+
+	idle := uint32(0)
+	if c.opts.RuleIdleTimeout > 0 {
+		idle = uint32(c.opts.RuleIdleTimeout / time.Millisecond)
+	}
+	desired, groups := compileRules(l, p, tun, groupOf, weightOf, idle)
+
+	// Apply live-debugger taps: mirror the tapped workers' egress rules
+	// to their debug ports. Doing it here keeps taps stable across
+	// reconciliation syncs.
+	c.mu.Lock()
+	mirrors := make(map[topology.WorkerID]uint32, len(ts.mirrors))
+	for w, port := range ts.mirrors {
+		mirrors[w] = port
+	}
+	c.mu.Unlock()
+	for src, debugPort := range mirrors {
+		as := p.Worker(src)
+		if as == nil {
+			continue
+		}
+		srcAddr := packet.WorkerAddr(l.App, uint32(src))
+		for key, fm := range desired {
+			if key.host != as.Host || fm.Priority == prioControl {
+				continue
+			}
+			bySrc := fm.Match.Fields.Has(openflow.FieldDlSrc) && fm.Match.DlSrc == srcAddr
+			byPort := fm.Match.Fields.Has(openflow.FieldInPort) && fm.Match.InPort == as.Port
+			if !bySrc && !byPort {
+				continue
+			}
+			fm.Actions = append(append([]openflow.Action(nil), fm.Actions...), openflow.Output(debugPort))
+			desired[key] = fm
+		}
+	}
+
+	// Program groups first so rules never reference a missing group.
+	for _, g := range groups {
+		if dp := c.datapath(g.host); dp != nil {
+			_, _ = dp.conn.Send(g.gm)
+		}
+	}
+	adds := 0
+	for key, fm := range desired {
+		if prev, ok := prevInstalled[key]; ok && reflect.DeepEqual(prev, fm) {
+			continue
+		}
+		if dp := c.datapath(key.host); dp != nil {
+			_, _ = dp.conn.Send(fm)
+			adds++
+		}
+	}
+	for key, fm := range prevInstalled {
+		if _, ok := desired[key]; ok {
+			continue
+		}
+		if dp := c.datapath(key.host); dp != nil {
+			// §3.5: rules of removed workers are not deleted abruptly —
+			// in-flight tuples may still match them while predecessors'
+			// routing updates propagate. Re-install the rule with an idle
+			// timeout so it expires once traffic ceases.
+			expiring := fm
+			expiring.Command = openflow.FlowAdd
+			expiring.IdleTimeoutMs = staleRuleIdleMs(c.opts.RuleIdleTimeout)
+			_, _ = dp.conn.Send(expiring)
+		}
+	}
+
+	c.mu.Lock()
+	ts.logical = l
+	ts.physical = p
+	ts.installed = desired
+	ts.ready = true
+	c.mu.Unlock()
+
+	if ctlGen < l.Generation {
+		// Stable update (§3.5): flush stateful nodes whose instance sets
+		// changed, then refresh routing state everywhere, then activate.
+		if prevPhysical != nil && prevLogical != nil {
+			flushed := false
+			for _, node := range l.Nodes {
+				if !node.Stateful {
+					continue
+				}
+				if instancesEqual(prevPhysical.Instances(node.Name), p.Instances(node.Name)) {
+					continue
+				}
+				for _, as := range prevPhysical.Instances(node.Name) {
+					if p.Worker(as.Worker) != nil {
+						_ = c.SendControlTuple(name, as.Worker, control.Encode(control.KindSignal, nil))
+						flushed = true
+					}
+				}
+			}
+			if flushed {
+				time.Sleep(c.opts.StatefulFlushDelay)
+			}
+		}
+		for _, as := range p.Workers {
+			routes := topology.RoutesFor(l, p, as.Node)
+			_ = c.SendControlTuple(name, as.Worker,
+				control.Encode(control.KindRouting, control.Routing{Routes: routes}))
+		}
+		c.activateSources(name, l, p)
+		c.mu.Lock()
+		ts.ctlGen = l.Generation
+		c.mu.Unlock()
+		_, _ = c.kv.Put(paths.NetReady(name), []byte(strconv.FormatInt(l.Generation, 10)))
+	} else if adds > 0 {
+		// Port churn without a generation change (e.g. a crashed worker
+		// locally restarted on a fresh port): re-arm its routing and
+		// re-activate sources that restarted throttled.
+		if prevPhysical != nil {
+			for _, as := range p.Workers {
+				prev := prevPhysical.Worker(as.Worker)
+				if prev == nil || prev.Port != as.Port || prev.Host != as.Host {
+					routes := topology.RoutesFor(l, p, as.Node)
+					_ = c.SendControlTuple(name, as.Worker,
+						control.Encode(control.KindRouting, control.Routing{Routes: routes}))
+				}
+			}
+		}
+		c.activateSources(name, l, p)
+	}
+}
+
+func (c *Controller) activateSources(name string, l *topology.Logical, p *topology.Physical) {
+	for _, node := range l.Nodes {
+		if !node.Source {
+			continue
+		}
+		for _, as := range p.Instances(node.Name) {
+			_ = c.SendControlTuple(name, as.Worker, control.Encode(control.KindActivate, nil))
+		}
+	}
+}
+
+func (c *Controller) teardownTopology(name string) {
+	c.mu.Lock()
+	ts := c.topos[name]
+	delete(c.topos, name)
+	c.mu.Unlock()
+	if ts == nil {
+		return
+	}
+	for key, fm := range ts.installed {
+		if dp := c.datapath(key.host); dp != nil {
+			_, _ = dp.conn.Send(openflow.FlowMod{
+				Command:  openflow.FlowDeleteStrict,
+				Priority: fm.Priority,
+				Match:    fm.Match,
+			})
+		}
+	}
+}
+
+func instancesEqual(a, b []topology.Assignment) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Worker != b[i].Worker {
+			return false
+		}
+	}
+	return true
+}
+
+// staleRuleIdleMs picks the idle timeout for rules being phased out.
+func staleRuleIdleMs(configured time.Duration) uint32 {
+	if configured > 0 {
+		return uint32(configured / time.Millisecond)
+	}
+	return 2000
+}
+
+// tunnelPort finds the datapath's tunnel port by its conventional name.
+func tunnelPort(dp *Datapath) (uint32, bool) {
+	for _, p := range dp.ports {
+		if strings.HasPrefix(p.Name, "tun") {
+			return p.No, true
+		}
+	}
+	return 0, false
+}
+
+// compileRules translates a scheduled topology into the Table 3 rule set.
+func compileRules(l *topology.Logical, p *topology.Physical, tun map[string]uint32,
+	groupOf func(topology.WorkerID) uint32, weightOf func(topology.WorkerID) uint16,
+	idleMs uint32) (map[ruleKey]openflow.FlowMod, []hostGroupMod) {
+
+	rules := make(map[ruleKey]openflow.FlowMod)
+	var groups []hostGroupMod
+	addr := func(id topology.WorkerID) packet.Addr {
+		return packet.WorkerAddr(l.App, uint32(id))
+	}
+	add := func(host string, fm openflow.FlowMod) {
+		fm.IdleTimeoutMs = idleMs
+		rules[ruleKey{host: host, match: fm.Match.String(), priority: fm.Priority}] = fm
+	}
+
+	// Worker → controller rules (METRIC_RESP and other PacketIn traffic).
+	for _, as := range p.Workers {
+		add(as.Host, openflow.FlowMod{
+			Command:  openflow.FlowAdd,
+			Priority: prioControl,
+			Match: openflow.Match{
+				Fields: openflow.FieldInPort | openflow.FieldDlDst | openflow.FieldEtherType,
+				InPort: as.Port, DlDst: packet.ControllerAddr, EtherType: packet.EtherType,
+			},
+			Actions: []openflow.Action{openflow.Output(openflow.PortController)},
+		})
+	}
+
+	// Broadcast targets per source worker, merged across All edges.
+	bcastTargets := make(map[topology.WorkerID][]topology.Assignment)
+	// SDN-balanced targets per source worker.
+	lbTargets := make(map[topology.WorkerID][]topology.Assignment)
+
+	for _, e := range l.Edges {
+		srcs := p.Instances(e.From)
+		dsts := p.Instances(e.To)
+		switch e.Policy {
+		case topology.All:
+			for _, s := range srcs {
+				bcastTargets[s.Worker] = append(bcastTargets[s.Worker], dsts...)
+			}
+		case topology.SDNBalanced:
+			for _, s := range srcs {
+				lbTargets[s.Worker] = append(lbTargets[s.Worker], dsts...)
+			}
+			// Remote receivers still need unicast landing rules after the
+			// group rewrites the destination.
+			for _, s := range srcs {
+				for _, d := range dsts {
+					if d.Host != s.Host {
+						addRemoteReceiver(add, tun, addr, s, d)
+					}
+				}
+			}
+		default:
+			// Unicast fabric: Shuffle, Fields, Global, Direct.
+			for _, s := range srcs {
+				for _, d := range dsts {
+					if s.Host == d.Host {
+						add(s.Host, openflow.FlowMod{
+							Command:  openflow.FlowAdd,
+							Priority: prioData,
+							Match:    unicastMatch(s.Port, addr(s.Worker), addr(d.Worker)),
+							Actions:  []openflow.Action{openflow.Output(d.Port)},
+						})
+					} else {
+						add(s.Host, openflow.FlowMod{
+							Command:  openflow.FlowAdd,
+							Priority: prioData,
+							Match:    unicastMatch(s.Port, addr(s.Worker), addr(d.Worker)),
+							Actions: []openflow.Action{
+								openflow.SetTunnelDst(d.Host),
+								openflow.Output(tun[s.Host]),
+							},
+						})
+						addRemoteReceiver(add, tun, addr, s, d)
+					}
+				}
+			}
+		}
+	}
+
+	// One-to-many transfer: a single ingress rule per source worker whose
+	// action list covers local ports and each remote host's tunnel once.
+	for _, e := range l.Edges {
+		if e.Policy != topology.All {
+			continue
+		}
+		for _, s := range p.Instances(e.From) {
+			dsts := bcastTargets[s.Worker]
+			if dsts == nil {
+				continue
+			}
+			var acts []openflow.Action
+			remoteHosts := map[string]bool{}
+			remoteDsts := map[string][]topology.Assignment{}
+			for _, d := range dsts {
+				if d.Host == s.Host {
+					acts = append(acts, openflow.Output(d.Port))
+				} else {
+					remoteHosts[d.Host] = true
+					remoteDsts[d.Host] = append(remoteDsts[d.Host], d)
+				}
+			}
+			for h := range remoteHosts {
+				acts = append(acts, openflow.SetTunnelDst(h), openflow.Output(tun[s.Host]))
+			}
+			add(s.Host, openflow.FlowMod{
+				Command:  openflow.FlowAdd,
+				Priority: prioBcast,
+				Match: openflow.Match{
+					Fields: openflow.FieldInPort | openflow.FieldDlDst | openflow.FieldEtherType,
+					InPort: s.Port, DlDst: packet.Broadcast, EtherType: packet.EtherType,
+				},
+				Actions: acts,
+			})
+			// Remote landing rules replicate to that host's targets.
+			for h, ds := range remoteDsts {
+				var outs []openflow.Action
+				for _, d := range ds {
+					outs = append(outs, openflow.Output(d.Port))
+				}
+				add(h, openflow.FlowMod{
+					Command:  openflow.FlowAdd,
+					Priority: prioBcast,
+					Match: openflow.Match{
+						Fields: openflow.FieldInPort | openflow.FieldDlSrc | openflow.FieldDlDst | openflow.FieldEtherType,
+						InPort: tun[h], DlSrc: addr(s.Worker), DlDst: packet.Broadcast, EtherType: packet.EtherType,
+					},
+					Actions: outs,
+				})
+			}
+			bcastTargets[s.Worker] = nil
+		}
+	}
+
+	// SDN load balancing: a select group per source worker rewrites the
+	// broadcast destination in weighted round robin (§4).
+	for w, dsts := range lbTargets {
+		if len(dsts) == 0 {
+			continue
+		}
+		s := p.Worker(w)
+		if s == nil {
+			continue
+		}
+		gid := groupOf(w)
+		var buckets []openflow.Bucket
+		for _, d := range dsts {
+			var acts []openflow.Action
+			acts = append(acts, openflow.SetDlDst(addr(d.Worker)))
+			if d.Host == s.Host {
+				acts = append(acts, openflow.Output(d.Port))
+			} else {
+				acts = append(acts, openflow.SetTunnelDst(d.Host), openflow.Output(tun[s.Host]))
+			}
+			buckets = append(buckets, openflow.Bucket{Weight: weightOf(d.Worker), Actions: acts})
+		}
+		groups = append(groups, hostGroupMod{
+			host: s.Host,
+			gm: openflow.GroupMod{
+				Command: openflow.GroupAdd,
+				GroupID: gid,
+				Type:    openflow.GroupSelect,
+				Buckets: buckets,
+			},
+		})
+		add(s.Host, openflow.FlowMod{
+			Command:  openflow.FlowAdd,
+			Priority: prioBcast,
+			Match: openflow.Match{
+				Fields: openflow.FieldInPort | openflow.FieldDlDst | openflow.FieldEtherType,
+				InPort: s.Port, DlDst: packet.Broadcast, EtherType: packet.EtherType,
+			},
+			Actions: []openflow.Action{openflow.ToGroup(gid)},
+		})
+	}
+
+	return rules, groups
+}
+
+type hostGroupMod struct {
+	host string
+	gm   openflow.GroupMod
+}
+
+func unicastMatch(inPort uint32, src, dst packet.Addr) openflow.Match {
+	return openflow.Match{
+		Fields: openflow.FieldInPort | openflow.FieldDlSrc | openflow.FieldDlDst | openflow.FieldEtherType,
+		InPort: inPort, DlSrc: src, DlDst: dst, EtherType: packet.EtherType,
+	}
+}
+
+func addRemoteReceiver(add func(string, openflow.FlowMod), tun map[string]uint32,
+	addr func(topology.WorkerID) packet.Addr, s, d topology.Assignment) {
+	add(d.Host, openflow.FlowMod{
+		Command:  openflow.FlowAdd,
+		Priority: prioData,
+		Match: openflow.Match{
+			Fields: openflow.FieldInPort | openflow.FieldDlSrc | openflow.FieldDlDst | openflow.FieldEtherType,
+			InPort: tun[d.Host], DlSrc: addr(s.Worker), DlDst: addr(d.Worker), EtherType: packet.EtherType,
+		},
+		Actions: []openflow.Action{openflow.Output(d.Port)},
+	})
+}

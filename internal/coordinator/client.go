@@ -1,0 +1,204 @@
+package coordinator
+
+import (
+	"encoding/gob"
+	"net"
+	"sync"
+)
+
+// Client is a TCP client for a coordinator Server, implementing KV.
+type Client struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	wmu  sync.Mutex
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan wireResponse
+	watches map[int64]*clientWatch
+	closed  bool
+
+	readDone chan struct{}
+}
+
+type clientWatch struct {
+	ch     chan Event
+	closed bool
+}
+
+// Dial connects to a coordinator server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:     conn,
+		enc:      gob.NewEncoder(conn),
+		pending:  make(map[uint64]chan wireResponse),
+		watches:  make(map[int64]*clientWatch),
+		readDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close drops the connection; outstanding calls fail with ErrClosed.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.readDone
+	return err
+}
+
+func (c *Client) readLoop() {
+	defer close(c.readDone)
+	dec := gob.NewDecoder(c.conn)
+	for {
+		var resp wireResponse
+		if err := dec.Decode(&resp); err != nil {
+			c.failAll()
+			return
+		}
+		if resp.Event != nil {
+			c.mu.Lock()
+			w := c.watches[resp.WatchID]
+			c.mu.Unlock()
+			if w != nil {
+				select {
+				case w.ch <- *resp.Event:
+				default:
+					// Drop-oldest mirrors the server-side policy.
+					select {
+					case <-w.ch:
+					default:
+					}
+					select {
+					case w.ch <- *resp.Event:
+					default:
+					}
+				}
+			}
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+func (c *Client) failAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- wireResponse{Err: ErrClosed.Error()}
+	}
+	for id, w := range c.watches {
+		delete(c.watches, id)
+		if !w.closed {
+			w.closed = true
+			close(w.ch)
+		}
+	}
+}
+
+func (c *Client) call(req wireRequest) (wireResponse, error) {
+	ch := make(chan wireResponse, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return wireResponse{}, ErrClosed
+	}
+	c.nextID++
+	req.ID = c.nextID
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := c.enc.Encode(req)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return wireResponse{}, err
+	}
+	resp := <-ch
+	return resp, errFromString(resp.Err)
+}
+
+// Create implements KV.
+func (c *Client) Create(path string, data []byte) error {
+	_, err := c.call(wireRequest{Op: opCreate, Path: path, Data: data})
+	return err
+}
+
+// Put implements KV.
+func (c *Client) Put(path string, data []byte) (int64, error) {
+	resp, err := c.call(wireRequest{Op: opPut, Path: path, Data: data})
+	return resp.Version, err
+}
+
+// CompareAndSet implements KV.
+func (c *Client) CompareAndSet(path string, data []byte, version int64) (int64, error) {
+	resp, err := c.call(wireRequest{Op: opCAS, Path: path, Data: data, Version: version})
+	return resp.Version, err
+}
+
+// Get implements KV.
+func (c *Client) Get(path string) ([]byte, int64, error) {
+	resp, err := c.call(wireRequest{Op: opGet, Path: path})
+	return resp.Data, resp.Version, err
+}
+
+// Delete implements KV.
+func (c *Client) Delete(path string) error {
+	_, err := c.call(wireRequest{Op: opDelete, Path: path})
+	return err
+}
+
+// Children implements KV.
+func (c *Client) Children(path string) ([]string, error) {
+	resp, err := c.call(wireRequest{Op: opChildren, Path: path})
+	return resp.Children, err
+}
+
+// Watch implements KV.
+func (c *Client) Watch(prefix string) (<-chan Event, func(), error) {
+	resp, err := c.call(wireRequest{Op: opWatch, Path: prefix})
+	if err != nil {
+		return nil, nil, err
+	}
+	w := &clientWatch{ch: make(chan Event, 256)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, nil, ErrClosed
+	}
+	c.watches[resp.WatchID] = w
+	c.mu.Unlock()
+	cancel := func() {
+		c.mu.Lock()
+		if ww, ok := c.watches[resp.WatchID]; ok {
+			delete(c.watches, resp.WatchID)
+			if !ww.closed {
+				ww.closed = true
+				close(ww.ch)
+			}
+		}
+		closed := c.closed
+		c.mu.Unlock()
+		if !closed {
+			_, _ = c.call(wireRequest{Op: opUnwatch, WatchID: resp.WatchID})
+		}
+	}
+	return w.ch, cancel, nil
+}
+
+var _ KV = (*Client)(nil)
+var _ KV = (*Store)(nil)

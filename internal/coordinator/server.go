@@ -1,0 +1,218 @@
+package coordinator
+
+import (
+	"encoding/gob"
+	"net"
+	"sync"
+)
+
+// Wire protocol: gob-encoded request/response pairs over TCP, with
+// server-initiated pushes for watch events (ID == 0, Event != nil). This
+// plays the role ZooKeeper's client protocol plays in the prototype.
+
+type opCode uint8
+
+const (
+	opCreate opCode = iota + 1
+	opPut
+	opCAS
+	opGet
+	opDelete
+	opChildren
+	opWatch
+	opUnwatch
+)
+
+type wireRequest struct {
+	ID      uint64
+	Op      opCode
+	Path    string
+	Data    []byte
+	Version int64
+	WatchID int64
+}
+
+type wireResponse struct {
+	ID       uint64
+	Err      string
+	Data     []byte
+	Version  int64
+	Children []string
+	WatchID  int64
+	Event    *Event
+}
+
+// Server exposes a Store over TCP.
+type Server struct {
+	store *Store
+	ln    net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  bool
+	wg    sync.WaitGroup
+}
+
+// Serve starts a server on addr (e.g. "127.0.0.1:0") backed by store.
+func Serve(addr string, store *Store) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{store: store, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and drops all client connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.done = true
+	_ = s.ln.Close()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.done {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var wmu sync.Mutex
+	send := func(r wireResponse) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return enc.Encode(r)
+	}
+
+	type activeWatch struct {
+		cancel func()
+		done   chan struct{}
+	}
+	watches := make(map[int64]*activeWatch)
+	var nextWatch int64
+	defer func() {
+		for _, w := range watches {
+			w.cancel()
+			<-w.done
+		}
+	}()
+
+	for {
+		var req wireRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := wireResponse{ID: req.ID}
+		switch req.Op {
+		case opCreate:
+			resp.Err = errString(s.store.Create(req.Path, req.Data))
+		case opPut:
+			v, err := s.store.Put(req.Path, req.Data)
+			resp.Version, resp.Err = v, errString(err)
+		case opCAS:
+			v, err := s.store.CompareAndSet(req.Path, req.Data, req.Version)
+			resp.Version, resp.Err = v, errString(err)
+		case opGet:
+			data, v, err := s.store.Get(req.Path)
+			resp.Data, resp.Version, resp.Err = data, v, errString(err)
+		case opDelete:
+			resp.Err = errString(s.store.Delete(req.Path))
+		case opChildren:
+			kids, err := s.store.Children(req.Path)
+			resp.Children, resp.Err = kids, errString(err)
+		case opWatch:
+			ch, cancel, err := s.store.Watch(req.Path)
+			if err != nil {
+				resp.Err = errString(err)
+				break
+			}
+			nextWatch++
+			wid := nextWatch
+			resp.WatchID = wid
+			aw := &activeWatch{cancel: cancel, done: make(chan struct{})}
+			watches[wid] = aw
+			go func() {
+				defer close(aw.done)
+				for ev := range ch {
+					e := ev
+					if send(wireResponse{WatchID: wid, Event: &e}) != nil {
+						return
+					}
+				}
+			}()
+		case opUnwatch:
+			if aw, ok := watches[req.WatchID]; ok {
+				delete(watches, req.WatchID)
+				aw.cancel()
+			}
+		default:
+			resp.Err = "coordinator: unknown op"
+		}
+		if err := send(resp); err != nil {
+			return
+		}
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+func errFromString(s string) error {
+	switch s {
+	case "":
+		return nil
+	case ErrNotFound.Error():
+		return ErrNotFound
+	case ErrExists.Error():
+		return ErrExists
+	case ErrBadVersion.Error():
+		return ErrBadVersion
+	case ErrBadPath.Error():
+		return ErrBadPath
+	case ErrClosed.Error():
+		return ErrClosed
+	default:
+		return &remoteError{s}
+	}
+}
+
+type remoteError struct{ msg string }
+
+func (e *remoteError) Error() string { return e.msg }

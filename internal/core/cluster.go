@@ -1,0 +1,295 @@
+// Package core assembles complete Typhoon deployments in one process — the
+// paper's primary contribution wired end to end: per-host software SDN
+// switches connected by host-level TCP tunnels, a stateless SDN controller
+// speaking the OpenFlow-style protocol, the central coordinator, the
+// streaming manager, and per-host worker agents.
+//
+// The same assembly also builds the Storm-style baseline cluster (worker-
+// level TCP, heartbeat-only fault detection) so the paper's head-to-head
+// experiments run on identical substrate.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"typhoon/internal/agent"
+	"typhoon/internal/controller"
+	"typhoon/internal/coordinator"
+	"typhoon/internal/manager"
+	"typhoon/internal/paths"
+	"typhoon/internal/scheduler"
+	"typhoon/internal/storm"
+	"typhoon/internal/switchfabric"
+	"typhoon/internal/topology"
+	"typhoon/internal/worker"
+)
+
+// Mode selects the data plane of a cluster.
+type Mode int
+
+// Cluster modes.
+const (
+	// ModeTyphoon runs the SDN data plane.
+	ModeTyphoon Mode = iota
+	// ModeStorm runs the application-level TCP baseline.
+	ModeStorm
+)
+
+// Config describes an emulated cluster.
+type Config struct {
+	Mode Mode
+	// Hosts names the emulated compute hosts.
+	Hosts []string
+	// Scheduler places topologies; nil selects round robin, which the
+	// paper uses on both systems for fair comparison (§6).
+	Scheduler scheduler.Scheduler
+	// HeartbeatTimeout is the manager's worker-failure timeout
+	// (Storm defaults to 30 s; experiments shrink it).
+	HeartbeatTimeout time.Duration
+	// MonitorInterval is the heartbeat scan period; zero disables the
+	// monitor.
+	MonitorInterval time.Duration
+	// HeartbeatInterval is how often agents report worker heartbeats.
+	HeartbeatInterval time.Duration
+	// DefaultBatchSize is the worker I/O batch size (Typhoon knob).
+	DefaultBatchSize int
+	// AckTimeout is the source replay timeout under guaranteed
+	// processing.
+	AckTimeout time.Duration
+	// SwitchRingCapacity sizes switch port rings.
+	SwitchRingCapacity int
+	// DrainDelay is the agent's stable-removal drain window.
+	DrainDelay time.Duration
+	// RestartDelay spaces local restarts of crashed workers.
+	RestartDelay time.Duration
+	// RuleIdleTimeout optionally ages out flow rules (ablation knob).
+	RuleIdleTimeout time.Duration
+	// OnWorkerCrash observes worker crashes (experiments).
+	OnWorkerCrash func(topo string, id topology.WorkerID, err error)
+}
+
+// Host is one emulated compute host.
+type Host struct {
+	Name   string
+	Switch *switchfabric.Switch
+	Agent  *agent.Agent
+
+	ofAgent *controller.OFAgent
+	tunnel  *tunnelEndpoint
+}
+
+// Cluster is a running emulated deployment.
+type Cluster struct {
+	cfg Config
+
+	// Store is the central coordinator state.
+	Store *coordinator.Store
+	// Manager is the streaming manager.
+	Manager *manager.Manager
+	// Controller is the SDN controller (nil in ModeStorm).
+	Controller *controller.Controller
+	// Env is the shared environment handed to computation logic.
+	Env *worker.SharedEnv
+
+	hosts    map[string]*Host
+	fabric   *tunnelFabric
+	stormNet *storm.Network
+}
+
+// NewCluster builds and starts a cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if len(cfg.Hosts) == 0 {
+		return nil, fmt.Errorf("core: at least one host required")
+	}
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = scheduler.RoundRobin{}
+	}
+	if cfg.DefaultBatchSize <= 0 {
+		cfg.DefaultBatchSize = worker.DefaultBatchSize
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		Store: coordinator.NewStore(),
+		Env:   worker.NewSharedEnv(),
+		hosts: make(map[string]*Host),
+	}
+
+	if cfg.Mode == ModeTyphoon {
+		ctl, err := controller.New(c.Store, controller.Options{
+			RuleIdleTimeout: cfg.RuleIdleTimeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.Controller = ctl
+		if err := ctl.Start(); err != nil {
+			return nil, err
+		}
+		c.fabric = newTunnelFabric()
+	} else {
+		c.stormNet = storm.NewNetwork()
+	}
+
+	c.Manager = manager.New(c.Store, manager.Options{
+		Scheduler:        cfg.Scheduler,
+		HeartbeatTimeout: cfg.HeartbeatTimeout,
+		MonitorInterval:  cfg.MonitorInterval,
+	})
+	if c.Controller != nil {
+		c.Controller.SetManager(c.Manager)
+	}
+
+	for i, name := range cfg.Hosts {
+		h := &Host{Name: name}
+		agentOpts := agent.Options{
+			Host:              name,
+			KV:                c.Store,
+			Env:               c.Env,
+			HeartbeatInterval: cfg.HeartbeatInterval,
+			DrainDelay:        cfg.DrainDelay,
+			RestartDelay:      cfg.RestartDelay,
+			DefaultBatchSize:  cfg.DefaultBatchSize,
+			AckTimeout:        cfg.AckTimeout,
+			OnWorkerCrash:     cfg.OnWorkerCrash,
+		}
+		if cfg.Mode == ModeTyphoon {
+			sw := switchfabric.New(name, uint64(i+1), switchfabric.Options{
+				RingCapacity: cfg.SwitchRingCapacity,
+			})
+			sw.Start()
+			h.Switch = sw
+			tport, err := sw.AddTunnelPort("tun0")
+			if err != nil {
+				c.Stop()
+				return nil, err
+			}
+			tun, err := startTunnel(name, tport, c.fabric)
+			if err != nil {
+				c.Stop()
+				return nil, err
+			}
+			h.tunnel = tun
+			ofa, err := controller.ConnectSwitch(c.Controller.Addr(), sw)
+			if err != nil {
+				c.Stop()
+				return nil, err
+			}
+			h.ofAgent = ofa
+			agentOpts.Mode = agent.ModeSDN
+			agentOpts.Switch = sw
+		} else {
+			agentOpts.Mode = agent.ModeStorm
+			agentOpts.StormNet = c.stormNet
+		}
+		ag, err := agent.New(agentOpts)
+		if err != nil {
+			c.Stop()
+			return nil, err
+		}
+		if err := ag.Start(); err != nil {
+			c.Stop()
+			return nil, err
+		}
+		h.Agent = ag
+		c.hosts[name] = h
+	}
+	c.Manager.Start()
+	return c, nil
+}
+
+// Host returns a host by name, or nil.
+func (c *Cluster) Host(name string) *Host { return c.hosts[name] }
+
+// Submit submits a topology and, in Typhoon mode, waits until the SDN
+// controller has programmed the data plane and activated the sources.
+func (c *Cluster) Submit(l *topology.Logical, timeout time.Duration) error {
+	if err := c.Manager.Submit(l); err != nil {
+		return err
+	}
+	if c.Controller == nil {
+		// Baseline: wait for all workers, then activate the topology so
+		// throttled sources start emitting (no startup tuple loss).
+		if err := c.waitWorkersRunning(l.Name, timeout); err != nil {
+			return err
+		}
+		_, err := c.Store.Put(paths.Activated(l.Name), []byte("1"))
+		return err
+	}
+	return c.Manager.WaitReady(l.Name, timeout)
+}
+
+func (c *Cluster) waitWorkersRunning(name string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		_, p, err := c.Manager.Describe(name)
+		if err == nil {
+			running := 0
+			for _, h := range c.hosts {
+				running += len(h.Agent.RunningWorkers(name))
+			}
+			if running >= len(p.Workers) {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: topology %s workers not running", name)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Worker finds a running worker by ID across hosts (experiments and
+// tests); nil if not running.
+func (c *Cluster) Worker(topo string, id topology.WorkerID) *worker.Worker {
+	for _, h := range c.hosts {
+		if w := h.Agent.Worker(topo, id); w != nil {
+			return w
+		}
+	}
+	return nil
+}
+
+// WorkersOf lists the running workers of a logical node.
+func (c *Cluster) WorkersOf(topo, node string) []*worker.Worker {
+	_, p, err := c.Manager.Describe(topo)
+	if err != nil {
+		return nil
+	}
+	var out []*worker.Worker
+	for _, as := range p.Instances(node) {
+		if w := c.Worker(topo, as.Worker); w != nil {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Stop tears the cluster down.
+func (c *Cluster) Stop() {
+	if c.Manager != nil {
+		c.Manager.Stop()
+	}
+	for _, h := range c.hosts {
+		if h.Agent != nil {
+			h.Agent.Stop()
+		}
+	}
+	if c.Controller != nil {
+		c.Controller.Stop()
+	}
+	for _, h := range c.hosts {
+		if h.ofAgent != nil {
+			h.ofAgent.Close()
+		}
+		if h.Switch != nil {
+			h.Switch.Stop()
+		}
+		if h.tunnel != nil {
+			h.tunnel.close()
+		}
+	}
+	if c.Store != nil {
+		c.Store.Close()
+	}
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"typhoon/internal/switchfabric"
+)
+
+// tunnelFabric interconnects the hosts' software switches with host-level
+// TCP tunnels (§3.3.1): frames leaving a switch through its tunnel port are
+// encapsulated with their destination host, carried over a TCP connection,
+// and injected into the remote switch's tunnel port.
+type tunnelFabric struct {
+	mu    sync.Mutex
+	addrs map[string]string
+}
+
+func newTunnelFabric() *tunnelFabric {
+	return &tunnelFabric{addrs: make(map[string]string)}
+}
+
+func (f *tunnelFabric) register(host, addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.addrs[host] = addr
+}
+
+func (f *tunnelFabric) lookup(host string) (string, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	a, ok := f.addrs[host]
+	return a, ok
+}
+
+// tunnelEndpoint is one host's end of the tunnel fabric.
+type tunnelEndpoint struct {
+	host   string
+	port   *switchfabric.Port
+	fabric *tunnelFabric
+	ln     net.Listener
+
+	mu    sync.Mutex
+	outs  map[string]*tunnelConn
+	incon map[net.Conn]struct{}
+
+	closed chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+}
+
+type tunnelConn struct {
+	c  net.Conn
+	bw *bufio.Writer
+}
+
+// maxTunnelFrame bounds one tunneled frame.
+const maxTunnelFrame = 1 << 20
+
+// startTunnel binds a host's tunnel endpoint and starts its pumps.
+func startTunnel(host string, port *switchfabric.Port, fabric *tunnelFabric) (*tunnelEndpoint, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("core: tunnel listen: %w", err)
+	}
+	t := &tunnelEndpoint{
+		host:   host,
+		port:   port,
+		fabric: fabric,
+		ln:     ln,
+		outs:   make(map[string]*tunnelConn),
+		incon:  make(map[net.Conn]struct{}),
+		closed: make(chan struct{}),
+	}
+	fabric.register(host, ln.Addr().String())
+	t.wg.Add(2)
+	go t.acceptLoop()
+	go t.egressLoop()
+	return t, nil
+}
+
+func (t *tunnelEndpoint) close() {
+	t.once.Do(func() {
+		close(t.closed)
+		_ = t.ln.Close()
+		t.mu.Lock()
+		for _, oc := range t.outs {
+			_ = oc.c.Close()
+		}
+		for c := range t.incon {
+			_ = c.Close()
+		}
+		t.mu.Unlock()
+	})
+	t.wg.Wait()
+}
+
+// egressLoop moves frames from the switch's tunnel port onto TCP.
+func (t *tunnelEndpoint) egressLoop() {
+	defer t.wg.Done()
+	var batch [][]byte
+	var hdr [4]byte
+	for {
+		batch = batch[:0]
+		var err error
+		batch, err = t.port.ReadBatch(batch, 64, 500*time.Millisecond)
+		if err != nil {
+			return
+		}
+		touched := map[string]*tunnelConn{}
+		for _, raw := range batch {
+			host, inner, derr := switchfabric.DecapTunnel(raw)
+			if derr != nil || host == "" {
+				continue
+			}
+			oc := t.connTo(host)
+			if oc == nil {
+				continue
+			}
+			binary.BigEndian.PutUint32(hdr[:], uint32(len(inner)))
+			if _, werr := oc.bw.Write(hdr[:]); werr != nil {
+				t.dropConn(host)
+				continue
+			}
+			if _, werr := oc.bw.Write(inner); werr != nil {
+				t.dropConn(host)
+				continue
+			}
+			touched[host] = oc
+		}
+		for host, oc := range touched {
+			if oc.bw.Flush() != nil {
+				t.dropConn(host)
+			}
+		}
+	}
+}
+
+func (t *tunnelEndpoint) connTo(host string) *tunnelConn {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if oc, ok := t.outs[host]; ok {
+		return oc
+	}
+	addr, ok := t.fabric.lookup(host)
+	if !ok {
+		return nil
+	}
+	c, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return nil
+	}
+	oc := &tunnelConn{c: c, bw: bufio.NewWriterSize(c, 128<<10)}
+	t.outs[host] = oc
+	return oc
+}
+
+func (t *tunnelEndpoint) dropConn(host string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if oc, ok := t.outs[host]; ok {
+		_ = oc.c.Close()
+		delete(t.outs, host)
+	}
+}
+
+func (t *tunnelEndpoint) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		select {
+		case <-t.closed:
+			t.mu.Unlock()
+			_ = c.Close()
+			return
+		default:
+		}
+		t.incon[c] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.ingressLoop(c)
+	}
+}
+
+// ingressLoop injects received frames into the switch's tunnel port.
+func (t *tunnelEndpoint) ingressLoop(c net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		t.mu.Lock()
+		delete(t.incon, c)
+		t.mu.Unlock()
+		_ = c.Close()
+	}()
+	br := bufio.NewReaderSize(c, 128<<10)
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		n := int(binary.BigEndian.Uint32(hdr[:]))
+		if n <= 0 || n > maxTunnelFrame {
+			return
+		}
+		frame := make([]byte, n)
+		if _, err := io.ReadFull(br, frame); err != nil {
+			return
+		}
+		// Backpressure into the switch: retry briefly on a full ring.
+		ok := t.port.WriteFrame(frame)
+		for retries := 0; !ok && retries < 200 && !t.port.Closed(); retries++ {
+			time.Sleep(50 * time.Microsecond)
+			ok = t.port.WriteFrame(frame)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"time"
+
+	"typhoon/internal/control"
+	"typhoon/internal/core"
+	"typhoon/internal/scheduler"
+	"typhoon/internal/topology"
+	"typhoon/internal/workload"
+)
+
+// AblationScheduler quantifies the §5 scheduler design choice: the Typhoon
+// locality-aware scheduler co-locates topologically adjacent workers, the
+// round-robin baseline spreads them. The experiment schedules the same
+// word-count topology both ways on three hosts and reports (a) the static
+// remote-edge count and (b) the measured fraction of data frames that
+// crossed a host-level tunnel.
+func AblationScheduler(p Params) Result {
+	p = p.WithDefaults()
+	res := Result{
+		ID:      "Ablation: scheduler",
+		Title:   "Locality-aware vs round-robin placement",
+		Columns: []string{"remote-edges", "tunnel-frac"},
+	}
+	for _, cfg := range []struct {
+		name  string
+		sched scheduler.Scheduler
+	}{
+		{"ROUND-ROBIN", scheduler.RoundRobin{}},
+		{"LOCALITY", scheduler.Locality{}},
+	} {
+		remoteEdges, tunnelFrac, err := measurePlacement(cfg.sched, p)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		res.Rows = append(res.Rows, Row{
+			Label:  cfg.name,
+			Values: []float64{float64(remoteEdges), tunnelFrac},
+		})
+	}
+	return res
+}
+
+func measurePlacement(sched scheduler.Scheduler, p Params) (int, float64, error) {
+	e, err := startCluster(core.ModeTyphoon, 3, func(c *core.Config) {
+		c.Scheduler = sched
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer e.stop()
+
+	b := topology.NewBuilder("placement", 1)
+	b.Source("src", workload.LogicSentenceSource, 1)
+	b.Node("split", workload.LogicSplitter, 3).ShuffleFrom("src")
+	b.Node("count", workload.LogicCounter, 3).FieldsFrom("split", 0)
+	l, err := b.Build()
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := e.cluster.Submit(l, 10*time.Second); err != nil {
+		return 0, 0, err
+	}
+	for _, w := range e.cluster.WorkersOf("placement", "src") {
+		_ = e.cluster.Controller.SendControlTuple("placement", w.ID(),
+			control.Encode(control.KindInputRate, control.InputRate{TuplesPerSec: 10000}))
+	}
+	time.Sleep(p.Warmup + p.Measure)
+
+	lStored, pStored, err := e.cluster.Manager.Describe("placement")
+	if err != nil {
+		return 0, 0, err
+	}
+	remoteEdges := scheduler.RemoteEdges(lStored, pStored)
+
+	// Measured: fraction of delivered frames that traversed a tunnel.
+	var tunnelTx, totalTx uint64
+	for _, host := range pStored.Hosts() {
+		h := e.cluster.Host(host)
+		if h == nil || h.Switch == nil {
+			continue
+		}
+		for _, ps := range h.Switch.PortStatsSnapshot() {
+			totalTx += ps.TxPackets
+			if port := h.Switch.Port(ps.PortNo); port != nil && port.IsTunnel() {
+				tunnelTx += ps.TxPackets
+			}
+		}
+	}
+	frac := 0.0
+	if totalTx > 0 {
+		frac = float64(tunnelTx) / float64(totalTx)
+	}
+	return remoteEdges, frac, nil
+}

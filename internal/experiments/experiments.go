@@ -1,0 +1,217 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) on the emulated cluster: Fig 8 (forwarding throughput
+// and latency, with and without acking), Fig 9 (one-to-many), Fig 10
+// (fault recovery), Fig 11 (auto scaling), Fig 12 (live debugging
+// overhead), Fig 14 (runtime computation-logic update) and Table 5 (live
+// debugger comparison).
+//
+// Absolute numbers differ from the paper's DPDK/10G testbed; the harness
+// reproduces the *shape* of each result: who wins, by what factor, and
+// where behaviour changes. Durations are scaled down by default and can be
+// stretched via Params.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"typhoon/internal/core"
+	"typhoon/internal/metrics"
+	"typhoon/internal/topology"
+	"typhoon/internal/workload"
+)
+
+// Params scales every experiment.
+type Params struct {
+	// Warmup is discarded before measuring.
+	Warmup time.Duration
+	// Measure is the measurement window.
+	Measure time.Duration
+	// Hosts is the cluster size (defaults per experiment).
+	Hosts int
+}
+
+// WithDefaults fills missing fields.
+func (p Params) WithDefaults() Params {
+	if p.Warmup <= 0 {
+		p.Warmup = time.Second
+	}
+	if p.Measure <= 0 {
+		p.Measure = 2 * time.Second
+	}
+	return p
+}
+
+// Row is one printable result row.
+type Row struct {
+	Label  string
+	Values []float64
+	Text   string
+}
+
+// Result is one regenerated table or figure.
+type Result struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    []Row
+	Err     error
+}
+
+// Print renders the result in the paper's row/series format.
+func (r Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	if r.Err != nil {
+		fmt.Fprintf(w, "  ERROR: %v\n", r.Err)
+		return
+	}
+	if len(r.Columns) > 0 {
+		fmt.Fprintf(w, "  %-28s %s\n", "", strings.Join(r.Columns, "  "))
+	}
+	for _, row := range r.Rows {
+		if row.Text != "" {
+			fmt.Fprintf(w, "  %-28s %s\n", row.Label, row.Text)
+			continue
+		}
+		vals := make([]string, len(row.Values))
+		for i, v := range row.Values {
+			vals[i] = formatValue(v)
+		}
+		fmt.Fprintf(w, "  %-28s %s\n", row.Label, strings.Join(vals, "  "))
+	}
+}
+
+func formatValue(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	case v == float64(int64(v)):
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// env is one running cluster with its measurement plumbing.
+type env struct {
+	cluster *core.Cluster
+	stats   *workload.Stats
+	cfg     *workload.Config
+}
+
+// startCluster builds a cluster in the given mode with fast test timings.
+func startCluster(mode core.Mode, hosts int, mutate func(*core.Config)) (*env, error) {
+	names := make([]string, hosts)
+	for i := range names {
+		names[i] = fmt.Sprintf("h%d", i+1)
+	}
+	cfg := core.Config{
+		Mode:              mode,
+		Hosts:             names,
+		HeartbeatInterval: 200 * time.Millisecond,
+		HeartbeatTimeout:  3 * time.Second,
+		MonitorInterval:   300 * time.Millisecond,
+		DrainDelay:        150 * time.Millisecond,
+		RestartDelay:      300 * time.Millisecond,
+		AckTimeout:        2 * time.Second,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := core.NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e := &env{
+		cluster: c,
+		stats:   workload.NewStats(250 * time.Millisecond),
+		cfg:     workload.NewConfig(),
+	}
+	c.Env.Set(workload.EnvStats, e.stats)
+	c.Env.Set(workload.EnvConfig, e.cfg)
+	return e, nil
+}
+
+func (e *env) stop() { e.cluster.Stop() }
+
+// rate measures a counter's steady-state rate: warmup, then delta over the
+// measurement window, in events per second.
+func (e *env) rate(counter string, warmup, window time.Duration) float64 {
+	time.Sleep(warmup)
+	before := e.stats.Counter(counter).Value()
+	start := time.Now()
+	time.Sleep(window)
+	delta := e.stats.Counter(counter).Value() - before
+	return float64(delta) / time.Since(start).Seconds()
+}
+
+// sumSeries adds multiple timelines pointwise.
+func sumSeries(stats *workload.Stats, names []string) []float64 {
+	var out []float64
+	for _, n := range names {
+		s := stats.Timeline(n).Rates()
+		for i, v := range s {
+			if i >= len(out) {
+				out = append(out, 0)
+			}
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// modeName renders a cluster mode like the paper's labels.
+func modeName(m core.Mode) string {
+	if m == core.ModeStorm {
+		return "STORM"
+	}
+	return "TYPHOON"
+}
+
+// forwardingTopology is the two-worker chain of §6.1.
+func forwardingTopology(name string, app uint16, ackers int) (*topology.Logical, error) {
+	b := topology.NewBuilder(name, app)
+	if ackers > 0 {
+		b.Ackers(ackers)
+	}
+	b.Source("src", workload.LogicSeqSource, 1)
+	b.Node("sink", workload.LogicSeqChecker, 1).ShuffleFrom("src")
+	return b.Build()
+}
+
+// downsample reduces a series to at most n points by averaging buckets.
+func downsample(s []float64, n int) []float64 {
+	if len(s) <= n || n <= 0 {
+		return s
+	}
+	out := make([]float64, n)
+	per := float64(len(s)) / float64(n)
+	for i := 0; i < n; i++ {
+		lo, hi := int(float64(i)*per), int(float64(i+1)*per)
+		if hi > len(s) {
+			hi = len(s)
+		}
+		sum := 0.0
+		for _, v := range s[lo:hi] {
+			sum += v
+		}
+		if hi > lo {
+			out[i] = sum / float64(hi-lo)
+		}
+	}
+	return out
+}
+
+// cdfRow renders CDF points as a row.
+func cdfRow(label string, lat *metrics.Latencies) Row {
+	points := lat.CDF(10)
+	vals := make([]float64, 0, len(points))
+	for _, p := range points {
+		vals = append(vals, float64(p.Latency.Microseconds())/1000.0)
+	}
+	return Row{Label: label, Values: vals}
+}

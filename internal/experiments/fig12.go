@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"typhoon/internal/controller"
+	"typhoon/internal/core"
+	"typhoon/internal/topology"
+	"typhoon/internal/workload"
+)
+
+// Fig12 regenerates Fig 12: live-debugging overhead. A source→sink
+// pipeline runs at maximum speed; partway through, live logging of the
+// source's tuples is activated and later deactivated.
+//
+// The baseline taps by emitting every tuple a second time to a
+// pre-provisioned debug worker (extra application-level serialization), so
+// its throughput drops while the tap is active. Typhoon attaches a debug
+// worker dynamically and mirrors frames with switch rules, so its
+// throughput is unaffected.
+//
+// Rows report throughput before / during / after the tap plus the number
+// of tuples the debug worker captured.
+func Fig12(p Params) Result {
+	p = p.WithDefaults()
+	res := Result{
+		ID:      "Fig 12",
+		Title:   "Live debugging overhead (sink tuples/s)",
+		Columns: []string{"before", "during", "after", "ser/tuple"},
+	}
+	for _, mode := range []core.Mode{core.ModeStorm, core.ModeTyphoon} {
+		row, captured, err := runDebugScenario(mode, p)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		res.Rows = append(res.Rows, row)
+		res.Rows = append(res.Rows, Row{
+			Label: "  " + modeName(mode) + " captured",
+			Text:  fmt.Sprintf("%d tuples at debug worker", captured),
+		})
+	}
+	return res
+}
+
+func runDebugScenario(mode core.Mode, p Params) (Row, uint64, error) {
+	e, err := startCluster(mode, 1, nil)
+	if err != nil {
+		return Row{}, 0, err
+	}
+	defer e.stop()
+
+	b := topology.NewBuilder("livedbg", 1)
+	b.Source("src", workload.LogicTappableSeqSource, 1)
+	b.Node("sink", workload.LogicSink, 1).ShuffleFrom("src")
+	if mode == core.ModeStorm {
+		// Pre-provisioned debug worker wired at application design time
+		// (Table 5's "predefined" provisioning).
+		b.Node("debug", workload.LogicDebugSink, 1).
+			ShuffleFrom("src").OnStream(workload.DebugTapStream)
+	}
+	l, err := b.Build()
+	if err != nil {
+		return Row{}, 0, err
+	}
+	if err := e.cluster.Submit(l, 10*time.Second); err != nil {
+		return Row{}, 0, err
+	}
+
+	var dbg *controller.LiveDebugger
+	srcWorker := e.cluster.WorkersOf("livedbg", "src")[0]
+	before := e.rate("sink.total", p.Warmup, p.Measure)
+
+	// Activate the tap.
+	if mode == core.ModeStorm {
+		e.cfg.Set(workload.CfgDebugTap, 1)
+	} else {
+		dbg = controller.NewLiveDebugger()
+		e.cluster.Controller.AddApp(dbg)
+		src := e.cluster.WorkersOf("livedbg", "src")
+		if len(src) != 1 {
+			return Row{}, 0, fmt.Errorf("experiments: source missing")
+		}
+		if _, err := dbg.Attach(e.cluster.Controller, "livedbg", src[0].ID(), workload.LogicDebugSink); err != nil {
+			return Row{}, 0, err
+		}
+	}
+	// Measure the tap window, tracking the intrinsic cost: source-side
+	// serializations per pipeline tuple (2.0 for the baseline's extra
+	// copy, 1.0 for Typhoon's switch-level mirroring).
+	time.Sleep(p.Warmup / 2)
+	emittedCounter := fmt.Sprintf("emitted/src/%d", srcWorker.ID())
+	ser0 := srcWorker.Transport().Stats().Serializations
+	emit0 := e.stats.Counter(emittedCounter).Value()
+	sink0 := e.stats.Counter("sink.total").Value()
+	start := time.Now()
+	time.Sleep(p.Measure)
+	during := float64(e.stats.Counter("sink.total").Value()-sink0) / time.Since(start).Seconds()
+	serPerTuple := float64(srcWorker.Transport().Stats().Serializations-ser0) /
+		maxf(float64(e.stats.Counter(emittedCounter).Value()-emit0), 1)
+	captured := e.stats.Counter("debug.seen").Value()
+
+	// Deactivate the tap.
+	if mode == core.ModeStorm {
+		e.cfg.Set(workload.CfgDebugTap, 0)
+	} else {
+		src := e.cluster.WorkersOf("livedbg", "src")
+		if err := dbg.Detach(e.cluster.Controller, "livedbg", src[0].ID()); err != nil {
+			return Row{}, 0, err
+		}
+	}
+	after := e.rate("sink.total", p.Warmup/2, p.Measure)
+
+	return Row{
+		Label:  modeName(mode),
+		Values: []float64{before, during, after, serPerTuple},
+	}, captured, nil
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"typhoon/internal/core"
+	"typhoon/internal/kafkasim"
+	"typhoon/internal/kvstore"
+	"typhoon/internal/topology"
+	"typhoon/internal/workload"
+)
+
+// YahooTopology builds the Fig 13 advertisement-analytics pipeline with
+// the given filter logic.
+func YahooTopology(name string, app uint16, filterLogic string) (*topology.Logical, error) {
+	b := topology.NewBuilder(name, app)
+	b.Source("kafka", workload.LogicKafkaClient, 1)
+	b.Node("parse", workload.LogicParse, 1).ShuffleFrom("kafka")
+	b.Node("filter", filterLogic, 3).ShuffleFrom("parse")
+	b.Node("projection", workload.LogicProjection, 3).ShuffleFrom("filter")
+	b.Node("join", workload.LogicJoin, 3).FieldsFrom("projection", 0)
+	b.Node("agg", workload.LogicAggStore, 1).FieldsFrom("join", 0)
+	return b.Build()
+}
+
+// Fig14 regenerates Fig 14: a runtime computation-logic update on the
+// Yahoo pipeline. The filter initially passes only "view" events (one
+// third of traffic); mid-run the filter workers are hot-swapped for logic
+// that also passes "click" events — without restarting the topology — and
+// the windowed count at the aggregation worker roughly doubles.
+//
+// The row is the aggregated-events-per-second time series; the summary
+// reports the before/after rates and their ratio (expected ≈ 2×).
+func Fig14(p Params) Result {
+	p = p.WithDefaults()
+	res := Result{ID: "Fig 14", Title: "Runtime update on computation logic (agg events/s)"}
+
+	e, err := startCluster(core.ModeTyphoon, 3, nil)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	defer e.stop()
+
+	log := kafkasim.New(4)
+	kv := kvstore.New()
+	gen := workload.NewAdEventGen(1, 10, 10)
+	gen.PrepopulateCampaigns(kv)
+	e.cluster.Env.Set(workload.EnvKafka, log)
+	e.cluster.Env.Set(workload.EnvKV, kv)
+	e.cfg.Set(workload.CfgWindowMillis, 1000)
+
+	// Continuous event production at a fixed rate.
+	stop := make(chan struct{})
+	var produced atomic.Int64
+	go func() {
+		ticker := time.NewTicker(10 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-ticker.C:
+				gen.Produce(log, 300, now)
+				produced.Add(300)
+			}
+		}
+	}()
+	defer close(stop)
+
+	l, err := YahooTopology("yahoo", 1, workload.LogicFilterView)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if err := e.cluster.Submit(l, 10*time.Second); err != nil {
+		res.Err = err
+		return res
+	}
+
+	before := e.rate("yahoo.agg.total", p.Warmup, p.Measure)
+
+	// Reconfiguration request: swap the filter computation logic while
+	// the pipeline keeps running.
+	if err := e.cluster.Manager.SwapLogic("yahoo", "filter", workload.LogicFilterViewClick); err != nil {
+		res.Err = err
+		return res
+	}
+	if err := e.cluster.Manager.WaitReady("yahoo", 10*time.Second); err != nil {
+		res.Err = err
+		return res
+	}
+	after := e.rate("yahoo.agg.total", p.Warmup, p.Measure)
+
+	series := sumSeries(e.stats, countTimelinesOf(e, "agg/"))
+	res.Rows = append(res.Rows, Row{Label: "agg events/s", Values: downsample(series, 12)})
+	res.Rows = append(res.Rows, Row{
+		Label: "summary",
+		Text: fmt.Sprintf("view-only %.0f ev/s → view+click %.0f ev/s (×%.2f, expect ≈2.0); windows stored: %d",
+			before, after, after/maxf(before, 1), len(kv.Keys("window:"))),
+	})
+	return res
+}

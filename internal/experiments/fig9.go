@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"typhoon/internal/core"
+	"typhoon/internal/topology"
+	"typhoon/internal/workload"
+)
+
+// FanOuts are the sink counts swept in Fig 9.
+var FanOuts = []int{2, 3, 4, 5, 6}
+
+// Fig9 regenerates Fig 9: one-to-many tuple forwarding throughput as the
+// number of broadcast sinks grows. The baseline pays one serialization and
+// one TCP write per sink, so its source throughput falls with fan-out;
+// Typhoon serializes once and the switch replicates, so it stays flat.
+//
+// Values are source tuples/s per fan-out (columns 2..6 sinks); rows cover
+// Storm and Typhoon in LOCAL and REMOTE placements, like the figure's
+// four bar groups.
+func Fig9(p Params) Result {
+	p = p.WithDefaults()
+	res := Result{
+		ID:    "Fig 9",
+		Title: "One-to-many communication (source tuples/s)",
+		Columns: func() []string {
+			var c []string
+			for _, n := range FanOuts {
+				c = append(c, fmt.Sprintf("%d", n))
+			}
+			return c
+		}(),
+	}
+	for _, mode := range []core.Mode{core.ModeStorm, core.ModeTyphoon} {
+		for _, place := range placements {
+			row := Row{Label: fmt.Sprintf("%s (%s)", modeName(mode), place.name)}
+			for _, sinks := range FanOuts {
+				tput, err := measureBroadcast(mode, place.hosts, sinks, p)
+				if err != nil {
+					res.Err = err
+					return res
+				}
+				row.Values = append(row.Values, tput)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res
+}
+
+func measureBroadcast(mode core.Mode, hosts, sinks int, p Params) (float64, error) {
+	e, err := startCluster(mode, hosts, nil)
+	if err != nil {
+		return 0, err
+	}
+	defer e.stop()
+	b := topology.NewBuilder("bcast", 1)
+	b.Source("src", workload.LogicSeqSource, 1)
+	b.Node("sink", workload.LogicSink, sinks).AllFrom("src")
+	l, err := b.Build()
+	if err != nil {
+		return 0, err
+	}
+	if err := e.cluster.Submit(l, 10*time.Second); err != nil {
+		return 0, err
+	}
+	// Source throughput: every emitted tuple reaches all sinks, so the
+	// sink aggregate divided by fan-out is the per-tuple rate.
+	agg := e.rate("sink.total", p.Warmup, p.Measure)
+	return agg / float64(sinks), nil
+}

@@ -1,0 +1,38 @@
+package experiments
+
+// Entry is one runnable experiment.
+type Entry struct {
+	// ID matches the paper's table/figure numbering.
+	ID string
+	// Run regenerates the result.
+	Run func(Params) Result
+}
+
+// All lists every experiment in paper order.
+func All() []Entry {
+	return []Entry{
+		{"fig8a", Fig8a},
+		{"fig8b", Fig8b},
+		{"fig8c", Fig8c},
+		{"fig8d", Fig8d},
+		{"fig9", Fig9},
+		{"fig10", Fig10},
+		{"fig11", Fig11},
+		{"fig12", Fig12},
+		{"fig14", Fig14},
+		{"table5", Table5},
+		{"stable", StableUpdate},
+		{"ablation-scheduler", AblationScheduler},
+	}
+}
+
+// ByID finds one experiment, or nil.
+func ByID(id string) *Entry {
+	for _, e := range All() {
+		if e.ID == id {
+			out := e
+			return &out
+		}
+	}
+	return nil
+}

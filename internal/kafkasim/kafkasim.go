@@ -1,0 +1,128 @@
+// Package kafkasim is the partitioned, replayable message log the Yahoo
+// streaming benchmark (§6.2, Fig 13) consumes from — the role Apache Kafka
+// plays in the paper's testbed. Producers append to partitions; consumers
+// track per-partition offsets independently, so the same log can feed both
+// the Typhoon and baseline pipelines identically.
+package kafkasim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Log is an append-only partitioned message log.
+type Log struct {
+	mu         sync.RWMutex
+	partitions [][][]byte
+	next       int
+}
+
+// New builds a log with the given partition count.
+func New(partitions int) *Log {
+	if partitions < 1 {
+		partitions = 1
+	}
+	return &Log{partitions: make([][][]byte, partitions)}
+}
+
+// Partitions returns the partition count.
+func (l *Log) Partitions() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.partitions)
+}
+
+// Append adds one record to a partition.
+func (l *Log) Append(partition int, value []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if partition < 0 || partition >= len(l.partitions) {
+		return fmt.Errorf("kafkasim: partition %d out of range", partition)
+	}
+	l.partitions[partition] = append(l.partitions[partition], value)
+	return nil
+}
+
+// Produce adds one record, spreading across partitions round robin.
+func (l *Log) Produce(value []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	p := l.next % len(l.partitions)
+	l.next++
+	l.partitions[p] = append(l.partitions[p], value)
+}
+
+// Len reports the total number of records.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	n := 0
+	for _, p := range l.partitions {
+		n += len(p)
+	}
+	return n
+}
+
+// Consumer reads a subset of partitions with its own offsets.
+type Consumer struct {
+	log        *Log
+	partitions []int
+	offsets    map[int]int
+}
+
+// NewConsumer builds a consumer over the given partitions; empty means all.
+func (l *Log) NewConsumer(partitions ...int) *Consumer {
+	if len(partitions) == 0 {
+		for i := 0; i < l.Partitions(); i++ {
+			partitions = append(partitions, i)
+		}
+	}
+	return &Consumer{log: l, partitions: partitions, offsets: make(map[int]int)}
+}
+
+// Poll returns up to max records across the consumer's partitions,
+// advancing offsets.
+func (c *Consumer) Poll(max int) [][]byte {
+	if max <= 0 {
+		max = 64
+	}
+	var out [][]byte
+	c.log.mu.RLock()
+	defer c.log.mu.RUnlock()
+	for _, p := range c.partitions {
+		if p < 0 || p >= len(c.log.partitions) {
+			continue
+		}
+		part := c.log.partitions[p]
+		off := c.offsets[p]
+		for off < len(part) && len(out) < max {
+			out = append(out, part[off])
+			off++
+		}
+		c.offsets[p] = off
+		if len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// Lag reports records not yet consumed.
+func (c *Consumer) Lag() int {
+	c.log.mu.RLock()
+	defer c.log.mu.RUnlock()
+	lag := 0
+	for _, p := range c.partitions {
+		if p >= 0 && p < len(c.log.partitions) {
+			lag += len(c.log.partitions[p]) - c.offsets[p]
+		}
+	}
+	return lag
+}
+
+// Rewind resets the consumer's offsets to the beginning.
+func (c *Consumer) Rewind() {
+	for p := range c.offsets {
+		c.offsets[p] = 0
+	}
+}

@@ -1,0 +1,113 @@
+package kafkasim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendPoll(t *testing.T) {
+	l := New(2)
+	if l.Partitions() != 2 {
+		t.Fatalf("partitions = %d", l.Partitions())
+	}
+	if err := l.Append(0, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(1, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(5, []byte("x")); err == nil {
+		t.Fatal("out-of-range partition accepted")
+	}
+	c := l.NewConsumer()
+	got := c.Poll(10)
+	if len(got) != 2 {
+		t.Fatalf("polled %d", len(got))
+	}
+	if len(c.Poll(10)) != 0 {
+		t.Fatal("re-polled consumed records")
+	}
+}
+
+func TestProduceRoundRobin(t *testing.T) {
+	l := New(3)
+	for i := 0; i < 9; i++ {
+		l.Produce([]byte{byte(i)})
+	}
+	if l.Len() != 9 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	for p := 0; p < 3; p++ {
+		c := l.NewConsumer(p)
+		if got := c.Poll(100); len(got) != 3 {
+			t.Fatalf("partition %d has %d records", p, len(got))
+		}
+	}
+}
+
+func TestIndependentConsumers(t *testing.T) {
+	l := New(1)
+	l.Produce([]byte("x"))
+	c1, c2 := l.NewConsumer(), l.NewConsumer()
+	if len(c1.Poll(1)) != 1 || len(c2.Poll(1)) != 1 {
+		t.Fatal("consumers must have independent offsets")
+	}
+}
+
+func TestLagAndRewind(t *testing.T) {
+	l := New(1)
+	for i := 0; i < 5; i++ {
+		l.Produce([]byte{byte(i)})
+	}
+	c := l.NewConsumer()
+	if c.Lag() != 5 {
+		t.Fatalf("lag = %d", c.Lag())
+	}
+	c.Poll(3)
+	if c.Lag() != 2 {
+		t.Fatalf("lag after poll = %d", c.Lag())
+	}
+	c.Rewind()
+	if c.Lag() != 5 {
+		t.Fatalf("lag after rewind = %d", c.Lag())
+	}
+}
+
+func TestPollBatchLimit(t *testing.T) {
+	l := New(1)
+	for i := 0; i < 100; i++ {
+		l.Produce([]byte{1})
+	}
+	c := l.NewConsumer()
+	if got := c.Poll(0); len(got) != 64 { // default batch
+		t.Fatalf("default poll = %d", len(got))
+	}
+}
+
+func TestPropertyNothingLostNothingDuplicated(t *testing.T) {
+	f := func(parts uint8, n uint8) bool {
+		l := New(int(parts%4) + 1)
+		for i := 0; i < int(n); i++ {
+			l.Produce([]byte(fmt.Sprintf("%d", i)))
+		}
+		c := l.NewConsumer()
+		seen := map[string]bool{}
+		for {
+			batch := c.Poll(7)
+			if len(batch) == 0 {
+				break
+			}
+			for _, r := range batch {
+				if seen[string(r)] {
+					return false // duplicate
+				}
+				seen[string(r)] = true
+			}
+		}
+		return len(seen) == int(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

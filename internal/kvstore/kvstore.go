@@ -1,0 +1,152 @@
+// Package kvstore is the in-memory key-value store the Yahoo streaming
+// benchmark's join and aggregation workers use (§6.2, Fig 13) — the role
+// Redis plays in the paper's testbed. It supports plain keys, hashes and
+// atomic counters, which is the subset the benchmark touches.
+package kvstore
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is a concurrency-safe in-memory KV store.
+type Store struct {
+	mu     sync.RWMutex
+	keys   map[string]string
+	hashes map[string]map[string]string
+	counts map[string]int64
+
+	ops uint64
+}
+
+// New builds an empty store.
+func New() *Store {
+	return &Store{
+		keys:   make(map[string]string),
+		hashes: make(map[string]map[string]string),
+		counts: make(map[string]int64),
+	}
+}
+
+// Set stores a string value.
+func (s *Store) Set(key, value string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ops++
+	s.keys[key] = value
+}
+
+// Get fetches a string value.
+func (s *Store) Get(key string) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.keys[key]
+	return v, ok
+}
+
+// Del removes a key from all families.
+func (s *Store) Del(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ops++
+	delete(s.keys, key)
+	delete(s.hashes, key)
+	delete(s.counts, key)
+}
+
+// HSet stores a hash field.
+func (s *Store) HSet(key, field, value string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ops++
+	h := s.hashes[key]
+	if h == nil {
+		h = make(map[string]string)
+		s.hashes[key] = h
+	}
+	h[field] = value
+}
+
+// HGet fetches a hash field.
+func (s *Store) HGet(key, field string) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.hashes[key][field]
+	return v, ok
+}
+
+// HGetAll copies a hash.
+func (s *Store) HGetAll(key string) map[string]string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]string, len(s.hashes[key]))
+	for f, v := range s.hashes[key] {
+		out[f] = v
+	}
+	return out
+}
+
+// Incr atomically adds delta to a counter and returns the new value.
+func (s *Store) Incr(key string, delta int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ops++
+	s.counts[key] += delta
+	return s.counts[key]
+}
+
+// Counter reads a counter.
+func (s *Store) Counter(key string) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.counts[key]
+}
+
+// Keys lists keys with the given prefix across all families, sorted.
+func (s *Store) Keys(prefix string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := make(map[string]bool)
+	for k := range s.keys {
+		if strings.HasPrefix(k, prefix) {
+			seen[k] = true
+		}
+	}
+	for k := range s.hashes {
+		if strings.HasPrefix(k, prefix) {
+			seen[k] = true
+		}
+	}
+	for k := range s.counts {
+		if strings.HasPrefix(k, prefix) {
+			seen[k] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ops reports the number of mutating operations served.
+func (s *Store) Ops() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ops
+}
+
+// SumCounters sums all counters with the given prefix.
+func (s *Store) SumCounters(prefix string) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var sum int64
+	for k, v := range s.counts {
+		if strings.HasPrefix(k, prefix) {
+			sum += v
+		}
+	}
+	return sum
+}

@@ -1,0 +1,102 @@
+package kvstore
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestSetGetDel(t *testing.T) {
+	s := New()
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("missing key found")
+	}
+	s.Set("k", "v")
+	if v, ok := s.Get("k"); !ok || v != "v" {
+		t.Fatalf("get = %q %v", v, ok)
+	}
+	s.Del("k")
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("deleted key found")
+	}
+}
+
+func TestHashes(t *testing.T) {
+	s := New()
+	s.HSet("h", "f1", "a")
+	s.HSet("h", "f2", "b")
+	if v, ok := s.HGet("h", "f1"); !ok || v != "a" {
+		t.Fatalf("hget = %q %v", v, ok)
+	}
+	if _, ok := s.HGet("h", "nope"); ok {
+		t.Fatal("missing field found")
+	}
+	all := s.HGetAll("h")
+	if !reflect.DeepEqual(all, map[string]string{"f1": "a", "f2": "b"}) {
+		t.Fatalf("hgetall = %v", all)
+	}
+	s.Del("h")
+	if len(s.HGetAll("h")) != 0 {
+		t.Fatal("hash survived delete")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	s := New()
+	if s.Incr("c", 5) != 5 {
+		t.Fatal("incr")
+	}
+	if s.Incr("c", -2) != 3 {
+		t.Fatal("negative incr")
+	}
+	if s.Counter("c") != 3 {
+		t.Fatal("counter read")
+	}
+	s.Incr("window:a", 1)
+	s.Incr("window:b", 2)
+	if s.SumCounters("window:") != 3 {
+		t.Fatalf("sum = %d", s.SumCounters("window:"))
+	}
+}
+
+func TestKeysPrefix(t *testing.T) {
+	s := New()
+	s.Set("ad:1", "x")
+	s.HSet("ad:2", "f", "y")
+	s.Incr("ad:3", 1)
+	s.Set("other", "z")
+	keys := s.Keys("ad:")
+	if !reflect.DeepEqual(keys, []string{"ad:1", "ad:2", "ad:3"}) {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestOpsCounting(t *testing.T) {
+	s := New()
+	s.Set("a", "1")
+	s.HSet("h", "f", "1")
+	s.Incr("c", 1)
+	s.Del("a")
+	if s.Ops() != 4 {
+		t.Fatalf("ops = %d", s.Ops())
+	}
+}
+
+func TestConcurrentIncr(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.Incr(fmt.Sprintf("c%d", n%2), 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Counter("c0")+s.Counter("c1") != 8000 {
+		t.Fatalf("total = %d", s.Counter("c0")+s.Counter("c1"))
+	}
+}

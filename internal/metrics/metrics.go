@@ -1,0 +1,193 @@
+// Package metrics provides the measurement primitives the evaluation
+// harness and the worker statistics reporter share: counters, windowed
+// throughput timelines, and latency distributions with CDF extraction
+// (Figs 8, 10-12 and 14 are all built from these).
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Timeline buckets event counts into fixed intervals from a start time,
+// producing the per-second throughput series plotted in Figs 10-12 and 14.
+type Timeline struct {
+	start    time.Time
+	interval time.Duration
+
+	mu      sync.Mutex
+	buckets []float64
+}
+
+// NewTimeline builds a timeline starting at start with the given bucket
+// width; interval <= 0 selects one second.
+func NewTimeline(start time.Time, interval time.Duration) *Timeline {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Timeline{start: start, interval: interval}
+}
+
+// Add records v at time t; times before start are clamped to bucket 0.
+func (tl *Timeline) Add(t time.Time, v float64) {
+	idx := int(t.Sub(tl.start) / tl.interval)
+	if idx < 0 {
+		idx = 0
+	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	for len(tl.buckets) <= idx {
+		tl.buckets = append(tl.buckets, 0)
+	}
+	tl.buckets[idx] += v
+}
+
+// Series returns a copy of the bucket values.
+func (tl *Timeline) Series() []float64 {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	out := make([]float64, len(tl.buckets))
+	copy(out, tl.buckets)
+	return out
+}
+
+// Rates converts bucket counts into per-second rates.
+func (tl *Timeline) Rates() []float64 {
+	s := tl.Series()
+	perSec := float64(time.Second) / float64(tl.interval)
+	for i := range s {
+		s[i] *= perSec
+	}
+	return s
+}
+
+// Interval returns the bucket width.
+func (tl *Timeline) Interval() time.Duration { return tl.interval }
+
+// Start returns the timeline origin.
+func (tl *Timeline) Start() time.Time { return tl.start }
+
+// Latencies collects duration samples with reservoir sampling so memory
+// stays bounded under multi-million-tuple runs, and extracts quantiles and
+// CDFs (Figs 8c/8d).
+type Latencies struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	seen    uint64
+	maxKeep int
+	rng     *rand.Rand
+}
+
+// NewLatencies builds a recorder keeping at most maxKeep samples;
+// maxKeep <= 0 selects 100000.
+func NewLatencies(maxKeep int) *Latencies {
+	if maxKeep <= 0 {
+		maxKeep = 100000
+	}
+	return &Latencies{maxKeep: maxKeep, rng: rand.New(rand.NewSource(42))}
+}
+
+// Record adds one sample.
+func (l *Latencies) Record(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seen++
+	if len(l.samples) < l.maxKeep {
+		l.samples = append(l.samples, d)
+		return
+	}
+	// Reservoir: replace a random slot with probability maxKeep/seen.
+	if idx := l.rng.Uint64() % l.seen; idx < uint64(l.maxKeep) {
+		l.samples[idx] = d
+	}
+}
+
+// Count returns the number of recorded samples (including evicted ones).
+func (l *Latencies) Count() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seen
+}
+
+// Quantile returns the q-quantile (0..1) of the retained samples, or zero
+// when empty.
+func (l *Latencies) Quantile(q float64) time.Duration {
+	s := l.sorted()
+	if len(s) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	return s[int(q*float64(len(s)-1)+0.5)]
+}
+
+// Mean returns the average of retained samples.
+func (l *Latencies) Mean() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range l.samples {
+		sum += d
+	}
+	return sum / time.Duration(len(l.samples))
+}
+
+// CDFPoint is one (latency, cumulative fraction) pair.
+type CDFPoint struct {
+	Latency  time.Duration
+	Fraction float64
+}
+
+// CDF returns up to points evenly spaced CDF points.
+func (l *Latencies) CDF(points int) []CDFPoint {
+	s := l.sorted()
+	if len(s) == 0 {
+		return nil
+	}
+	if points <= 0 || points > len(s) {
+		points = len(s)
+	}
+	out := make([]CDFPoint, 0, points)
+	for i := 1; i <= points; i++ {
+		frac := float64(i) / float64(points)
+		idx := int(frac*float64(len(s))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out = append(out, CDFPoint{Latency: s[idx], Fraction: frac})
+	}
+	return out
+}
+
+func (l *Latencies) sorted() []time.Duration {
+	l.mu.Lock()
+	s := make([]time.Duration, len(l.samples))
+	copy(s, l.samples)
+	l.mu.Unlock()
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s
+}

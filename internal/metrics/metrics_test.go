@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("value = %d", c.Value())
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8010 {
+		t.Fatalf("concurrent value = %d", c.Value())
+	}
+}
+
+func TestTimelineBucketing(t *testing.T) {
+	start := time.Unix(1000, 0)
+	tl := NewTimeline(start, time.Second)
+	tl.Add(start, 1)
+	tl.Add(start.Add(500*time.Millisecond), 2)
+	tl.Add(start.Add(2*time.Second), 5)
+	tl.Add(start.Add(-time.Hour), 100) // clamped to bucket 0
+	s := tl.Series()
+	if len(s) != 3 || s[0] != 103 || s[1] != 0 || s[2] != 5 {
+		t.Fatalf("series = %v", s)
+	}
+	if tl.Interval() != time.Second || !tl.Start().Equal(start) {
+		t.Fatal("accessors")
+	}
+}
+
+func TestTimelineRates(t *testing.T) {
+	start := time.Unix(0, 0)
+	tl := NewTimeline(start, 100*time.Millisecond)
+	tl.Add(start, 10)
+	r := tl.Rates()
+	if len(r) != 1 || r[0] != 100 { // 10 per 100ms = 100/s
+		t.Fatalf("rates = %v", r)
+	}
+	if NewTimeline(start, 0).Interval() != time.Second {
+		t.Fatal("default interval")
+	}
+}
+
+func TestLatenciesQuantiles(t *testing.T) {
+	l := NewLatencies(0)
+	for i := 1; i <= 100; i++ {
+		l.Record(time.Duration(i) * time.Millisecond)
+	}
+	if l.Count() != 100 {
+		t.Fatalf("count = %d", l.Count())
+	}
+	if q := l.Quantile(0.5); q < 45*time.Millisecond || q > 55*time.Millisecond {
+		t.Fatalf("p50 = %v", q)
+	}
+	if l.Quantile(0) != time.Millisecond {
+		t.Fatalf("p0 = %v", l.Quantile(0))
+	}
+	if l.Quantile(1) != 100*time.Millisecond {
+		t.Fatalf("p100 = %v", l.Quantile(1))
+	}
+	if m := l.Mean(); m < 49*time.Millisecond || m > 52*time.Millisecond {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestLatenciesEmpty(t *testing.T) {
+	l := NewLatencies(10)
+	if l.Quantile(0.5) != 0 || l.Mean() != 0 || l.CDF(5) != nil {
+		t.Fatal("empty recorder should return zeros")
+	}
+}
+
+func TestLatenciesReservoirBounded(t *testing.T) {
+	l := NewLatencies(100)
+	for i := 0; i < 10000; i++ {
+		l.Record(time.Duration(i))
+	}
+	if l.Count() != 10000 {
+		t.Fatalf("count = %d", l.Count())
+	}
+	l.mu.Lock()
+	n := len(l.samples)
+	l.mu.Unlock()
+	if n != 100 {
+		t.Fatalf("retained %d samples", n)
+	}
+}
+
+func TestCDFMonotonic(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		l := NewLatencies(0)
+		for _, v := range raw {
+			l.Record(time.Duration(v) * time.Microsecond)
+		}
+		cdf := l.CDF(10)
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i].Latency < cdf[i-1].Latency || cdf[i].Fraction <= cdf[i-1].Fraction {
+				return false
+			}
+		}
+		return len(cdf) > 0 && cdf[len(cdf)-1].Fraction == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentTimelineAndLatencies(t *testing.T) {
+	tl := NewTimeline(time.Now(), 10*time.Millisecond)
+	l := NewLatencies(1000)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				tl.Add(time.Now(), 1)
+				l.Record(time.Duration(j))
+			}
+		}()
+	}
+	wg.Wait()
+	var sum float64
+	for _, v := range tl.Series() {
+		sum += v
+	}
+	if sum != 2000 {
+		t.Fatalf("timeline sum = %v", sum)
+	}
+	if l.Count() != 2000 {
+		t.Fatalf("latency count = %d", l.Count())
+	}
+}

@@ -1,0 +1,377 @@
+package openflow
+
+import (
+	"encoding/binary"
+
+	"typhoon/internal/packet"
+)
+
+// Encode serializes a message with the given transaction ID into a
+// self-framed byte slice.
+func Encode(xid uint32, m Message) []byte {
+	buf := make([]byte, HeaderLen, HeaderLen+64)
+	buf[0] = Version
+	buf[1] = byte(m.MsgType())
+	binary.BigEndian.PutUint32(buf[8:12], xid)
+	buf = m.appendBody(buf)
+	binary.BigEndian.PutUint32(buf[4:8], uint32(len(buf)))
+	return buf
+}
+
+// Decode parses one complete message. The input must be exactly one framed
+// message (as returned by Conn.Read or Encode).
+func Decode(raw []byte) (xid uint32, m Message, err error) {
+	if len(raw) < HeaderLen {
+		return 0, nil, ErrTruncated
+	}
+	if raw[0] != Version {
+		return 0, nil, ErrBadVersion
+	}
+	if int(binary.BigEndian.Uint32(raw[4:8])) != len(raw) {
+		return 0, nil, ErrTruncated
+	}
+	xid = binary.BigEndian.Uint32(raw[8:12])
+	m, err = decodeBody(MsgType(raw[1]), raw[HeaderLen:])
+	return xid, m, err
+}
+
+func decodeBody(t MsgType, b []byte) (Message, error) {
+	r := reader{buf: b}
+	var m Message
+	switch t {
+	case TypeHello:
+		m = Hello{}
+	case TypeEchoRequest:
+		m = EchoRequest{Payload: r.blob()}
+	case TypeEchoReply:
+		m = EchoReply{Payload: r.blob()}
+	case TypeError:
+		m = Error{Code: r.u16(), Msg: string(r.blob())}
+	case TypeFeaturesRequest:
+		m = FeaturesRequest{}
+	case TypeFeaturesReply:
+		fr := FeaturesReply{DatapathID: r.u64(), Host: string(r.blob())}
+		n := int(r.u16())
+		for i := 0; i < n && r.err == nil; i++ {
+			fr.Ports = append(fr.Ports, PortInfo{No: r.u32(), Name: string(r.blob())})
+		}
+		m = fr
+	case TypeFlowMod:
+		fm := FlowMod{
+			Command:       FlowCommand(r.u8()),
+			Priority:      r.u16(),
+			IdleTimeoutMs: r.u32(),
+			Cookie:        r.u64(),
+			Flags:         r.u16(),
+			Match:         r.match(),
+		}
+		fm.Actions = r.actions()
+		m = fm
+	case TypeFlowRemoved:
+		m = FlowRemoved{
+			Match:    r.match(),
+			Priority: r.u16(),
+			Cookie:   r.u64(),
+			Reason:   FlowRemovedReason(r.u8()),
+			Packets:  r.u64(),
+			Bytes:    r.u64(),
+		}
+	case TypeGroupMod:
+		gm := GroupMod{
+			Command: GroupCommand(r.u8()),
+			GroupID: r.u32(),
+			Type:    GroupType(r.u8()),
+		}
+		n := int(r.u16())
+		for i := 0; i < n && r.err == nil; i++ {
+			gm.Buckets = append(gm.Buckets, Bucket{Weight: r.u16(), Actions: r.actions()})
+		}
+		m = gm
+	case TypePacketOut:
+		po := PacketOut{InPort: r.u32()}
+		po.Actions = r.actions()
+		po.Data = r.blob()
+		m = po
+	case TypePacketIn:
+		m = PacketIn{InPort: r.u32(), Reason: PacketInReason(r.u8()), Data: r.blob()}
+	case TypePortStatus:
+		m = PortStatus{
+			Reason: PortReason(r.u8()),
+			Port:   PortInfo{No: r.u32(), Name: string(r.blob())},
+			Addr:   r.addr(),
+		}
+	case TypeStatsRequest:
+		m = StatsRequest{Kind: StatsKind(r.u8()), Port: r.u32()}
+	case TypeStatsReply:
+		sr := StatsReply{Kind: StatsKind(r.u8())}
+		switch sr.Kind {
+		case StatsPort:
+			n := int(r.u16())
+			for i := 0; i < n && r.err == nil; i++ {
+				sr.Ports = append(sr.Ports, PortStats{
+					PortNo: r.u32(), RxPackets: r.u64(), TxPackets: r.u64(),
+					RxBytes: r.u64(), TxBytes: r.u64(), RxDropped: r.u64(), TxDropped: r.u64(),
+				})
+			}
+		case StatsFlow:
+			n := int(r.u16())
+			for i := 0; i < n && r.err == nil; i++ {
+				sr.Flows = append(sr.Flows, FlowStats{
+					Match: r.match(), Priority: r.u16(), Cookie: r.u64(),
+					Packets: r.u64(), Bytes: r.u64(),
+				})
+			}
+		default:
+			return nil, ErrBadType
+		}
+		m = sr
+	default:
+		return nil, ErrBadType
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return m, nil
+}
+
+// --- body encoders -------------------------------------------------------
+
+func (Hello) appendBody(dst []byte) []byte           { return dst }
+func (FeaturesRequest) appendBody(dst []byte) []byte { return dst }
+
+func (m EchoRequest) appendBody(dst []byte) []byte { return appendBlob(dst, m.Payload) }
+func (m EchoReply) appendBody(dst []byte) []byte   { return appendBlob(dst, m.Payload) }
+
+func (m Error) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, m.Code)
+	return appendBlob(dst, []byte(m.Msg))
+}
+
+func (m FeaturesReply) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, m.DatapathID)
+	dst = appendBlob(dst, []byte(m.Host))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Ports)))
+	for _, p := range m.Ports {
+		dst = binary.BigEndian.AppendUint32(dst, p.No)
+		dst = appendBlob(dst, []byte(p.Name))
+	}
+	return dst
+}
+
+func (m FlowMod) appendBody(dst []byte) []byte {
+	dst = append(dst, byte(m.Command))
+	dst = binary.BigEndian.AppendUint16(dst, m.Priority)
+	dst = binary.BigEndian.AppendUint32(dst, m.IdleTimeoutMs)
+	dst = binary.BigEndian.AppendUint64(dst, m.Cookie)
+	dst = binary.BigEndian.AppendUint16(dst, m.Flags)
+	dst = appendMatch(dst, m.Match)
+	return appendActions(dst, m.Actions)
+}
+
+func (m FlowRemoved) appendBody(dst []byte) []byte {
+	dst = appendMatch(dst, m.Match)
+	dst = binary.BigEndian.AppendUint16(dst, m.Priority)
+	dst = binary.BigEndian.AppendUint64(dst, m.Cookie)
+	dst = append(dst, byte(m.Reason))
+	dst = binary.BigEndian.AppendUint64(dst, m.Packets)
+	return binary.BigEndian.AppendUint64(dst, m.Bytes)
+}
+
+func (m GroupMod) appendBody(dst []byte) []byte {
+	dst = append(dst, byte(m.Command))
+	dst = binary.BigEndian.AppendUint32(dst, m.GroupID)
+	dst = append(dst, byte(m.Type))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Buckets)))
+	for _, b := range m.Buckets {
+		dst = binary.BigEndian.AppendUint16(dst, b.Weight)
+		dst = appendActions(dst, b.Actions)
+	}
+	return dst
+}
+
+func (m PacketOut) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.InPort)
+	dst = appendActions(dst, m.Actions)
+	return appendBlob(dst, m.Data)
+}
+
+func (m PacketIn) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.InPort)
+	dst = append(dst, byte(m.Reason))
+	return appendBlob(dst, m.Data)
+}
+
+func (m PortStatus) appendBody(dst []byte) []byte {
+	dst = append(dst, byte(m.Reason))
+	dst = binary.BigEndian.AppendUint32(dst, m.Port.No)
+	dst = appendBlob(dst, []byte(m.Port.Name))
+	return append(dst, m.Addr[:]...)
+}
+
+func (m StatsRequest) appendBody(dst []byte) []byte {
+	dst = append(dst, byte(m.Kind))
+	return binary.BigEndian.AppendUint32(dst, m.Port)
+}
+
+func (m StatsReply) appendBody(dst []byte) []byte {
+	dst = append(dst, byte(m.Kind))
+	switch m.Kind {
+	case StatsPort:
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Ports)))
+		for _, p := range m.Ports {
+			dst = binary.BigEndian.AppendUint32(dst, p.PortNo)
+			dst = binary.BigEndian.AppendUint64(dst, p.RxPackets)
+			dst = binary.BigEndian.AppendUint64(dst, p.TxPackets)
+			dst = binary.BigEndian.AppendUint64(dst, p.RxBytes)
+			dst = binary.BigEndian.AppendUint64(dst, p.TxBytes)
+			dst = binary.BigEndian.AppendUint64(dst, p.RxDropped)
+			dst = binary.BigEndian.AppendUint64(dst, p.TxDropped)
+		}
+	case StatsFlow:
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Flows)))
+		for _, f := range m.Flows {
+			dst = appendMatch(dst, f.Match)
+			dst = binary.BigEndian.AppendUint16(dst, f.Priority)
+			dst = binary.BigEndian.AppendUint64(dst, f.Cookie)
+			dst = binary.BigEndian.AppendUint64(dst, f.Packets)
+			dst = binary.BigEndian.AppendUint64(dst, f.Bytes)
+		}
+	}
+	return dst
+}
+
+// --- shared field helpers -------------------------------------------------
+
+func appendBlob(dst, b []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+func appendMatch(dst []byte, m Match) []byte {
+	dst = append(dst, byte(m.Fields))
+	dst = binary.BigEndian.AppendUint32(dst, m.InPort)
+	dst = append(dst, m.DlSrc[:]...)
+	dst = append(dst, m.DlDst[:]...)
+	return binary.BigEndian.AppendUint16(dst, m.EtherType)
+}
+
+func appendActions(dst []byte, acts []Action) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(acts)))
+	for _, a := range acts {
+		dst = append(dst, byte(a.Type))
+		switch a.Type {
+		case ActOutput:
+			dst = binary.BigEndian.AppendUint32(dst, a.Port)
+		case ActSetDlDst:
+			dst = append(dst, a.Addr[:]...)
+		case ActSetTunnelDst:
+			dst = appendBlob(dst, []byte(a.Host))
+		case ActGroup:
+			dst = binary.BigEndian.AppendUint32(dst, a.Group)
+		}
+	}
+	return dst
+}
+
+// reader is a cursor with sticky errors over a message body.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = ErrTruncated
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *reader) blob() []byte {
+	n := int(r.u32())
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+func (r *reader) addr() packet.Addr {
+	var a packet.Addr
+	copy(a[:], r.take(6))
+	return a
+}
+
+func (r *reader) match() Match {
+	return Match{
+		Fields:    FieldSet(r.u8()),
+		InPort:    r.u32(),
+		DlSrc:     r.addr(),
+		DlDst:     r.addr(),
+		EtherType: r.u16(),
+	}
+}
+
+func (r *reader) actions() []Action {
+	n := int(r.u16())
+	var acts []Action
+	for i := 0; i < n && r.err == nil; i++ {
+		a := Action{Type: ActionType(r.u8())}
+		switch a.Type {
+		case ActOutput:
+			a.Port = r.u32()
+		case ActSetDlDst:
+			a.Addr = r.addr()
+		case ActSetTunnelDst:
+			a.Host = string(r.blob())
+		case ActGroup:
+			a.Group = r.u32()
+		default:
+			if r.err == nil {
+				r.err = ErrBadType
+			}
+		}
+		acts = append(acts, a)
+	}
+	return acts
+}

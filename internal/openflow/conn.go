@@ -1,0 +1,80 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Conn is a framed, write-serialized protocol connection over a stream
+// transport (TCP in the emulated cluster).
+type Conn struct {
+	nc      net.Conn
+	wmu     sync.Mutex
+	nextXID atomic.Uint32
+}
+
+// NewConn wraps a stream connection.
+func NewConn(nc net.Conn) *Conn { return &Conn{nc: nc} }
+
+// XID allocates a fresh non-zero transaction ID.
+func (c *Conn) XID() uint32 {
+	for {
+		if x := c.nextXID.Add(1); x != 0 {
+			return x
+		}
+	}
+}
+
+// Send encodes and writes a message with a fresh XID, returning the XID.
+func (c *Conn) Send(m Message) (uint32, error) {
+	xid := c.XID()
+	return xid, c.SendXID(xid, m)
+}
+
+// SendXID encodes and writes a message under the caller's XID (used for
+// replies that must echo the request's transaction ID).
+func (c *Conn) SendXID(xid uint32, m Message) error {
+	raw := Encode(xid, m)
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	_, err := c.nc.Write(raw)
+	return err
+}
+
+// Receive reads the next complete message, blocking until one arrives, the
+// connection fails, or the read deadline (if set) expires.
+func (c *Conn) Receive() (uint32, Message, error) {
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(c.nc, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if hdr[0] != Version {
+		return 0, nil, ErrBadVersion
+	}
+	total := int(binary.BigEndian.Uint32(hdr[4:8]))
+	if total < HeaderLen {
+		return 0, nil, ErrTruncated
+	}
+	if total > MaxMessageLen {
+		return 0, nil, ErrTooLarge
+	}
+	raw := make([]byte, total)
+	copy(raw, hdr[:])
+	if _, err := io.ReadFull(c.nc, raw[HeaderLen:]); err != nil {
+		return 0, nil, err
+	}
+	return Decode(raw)
+}
+
+// SetReadDeadline forwards to the underlying connection.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.nc.SetReadDeadline(t) }
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// RemoteAddr reports the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }

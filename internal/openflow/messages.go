@@ -1,0 +1,257 @@
+package openflow
+
+import "typhoon/internal/packet"
+
+// Hello opens a connection; both sides send it first.
+type Hello struct{}
+
+// MsgType implements Message.
+func (Hello) MsgType() MsgType { return TypeHello }
+
+// EchoRequest is a keepalive probe; Payload is echoed back.
+type EchoRequest struct{ Payload []byte }
+
+// MsgType implements Message.
+func (EchoRequest) MsgType() MsgType { return TypeEchoRequest }
+
+// EchoReply answers an EchoRequest.
+type EchoReply struct{ Payload []byte }
+
+// MsgType implements Message.
+func (EchoReply) MsgType() MsgType { return TypeEchoReply }
+
+// Error reports a protocol or processing failure.
+type Error struct {
+	Code uint16
+	Msg  string
+}
+
+// Error codes.
+const (
+	ErrCodeBadRequest uint16 = iota + 1
+	ErrCodeBadAction
+	ErrCodeUnknownGroup
+	ErrCodeTableFull
+)
+
+// MsgType implements Message.
+func (Error) MsgType() MsgType { return TypeError }
+
+// FeaturesRequest asks a switch for its identity and ports.
+type FeaturesRequest struct{}
+
+// MsgType implements Message.
+func (FeaturesRequest) MsgType() MsgType { return TypeFeaturesRequest }
+
+// PortInfo describes one switch port.
+type PortInfo struct {
+	No   uint32
+	Name string
+}
+
+// FeaturesReply announces the switch datapath ID, its host name and ports.
+type FeaturesReply struct {
+	DatapathID uint64
+	Host       string
+	Ports      []PortInfo
+}
+
+// MsgType implements Message.
+func (FeaturesReply) MsgType() MsgType { return TypeFeaturesReply }
+
+// FlowCommand selects the FlowMod operation.
+type FlowCommand uint8
+
+// Flow commands.
+const (
+	FlowAdd FlowCommand = iota + 1
+	FlowModify
+	FlowDelete       // delete all rules covered by Match
+	FlowDeleteStrict // delete the rule with exactly Match and Priority
+)
+
+// FlowMod flags.
+const (
+	// FlagSendFlowRem requests a FlowRemoved message when the rule expires.
+	FlagSendFlowRem uint16 = 1 << iota
+)
+
+// FlowMod installs, modifies or removes flow rules.
+type FlowMod struct {
+	Command FlowCommand
+	// Priority orders overlapping rules; highest wins.
+	Priority uint16
+	// IdleTimeoutMs expires the rule after this many milliseconds without a
+	// matching frame. Zero means no expiry. The paper relies on idle
+	// timeout to garbage-collect rules of removed workers (§3.5).
+	IdleTimeoutMs uint32
+	Cookie        uint64
+	Flags         uint16
+	Match         Match
+	Actions       []Action
+}
+
+// MsgType implements Message.
+func (FlowMod) MsgType() MsgType { return TypeFlowMod }
+
+// FlowRemovedReason explains why a rule disappeared.
+type FlowRemovedReason uint8
+
+// FlowRemoved reasons.
+const (
+	RemovedIdleTimeout FlowRemovedReason = iota + 1
+	RemovedDelete
+)
+
+// FlowRemoved notifies the controller that a rule expired or was deleted.
+type FlowRemoved struct {
+	Match    Match
+	Priority uint16
+	Cookie   uint64
+	Reason   FlowRemovedReason
+	Packets  uint64
+	Bytes    uint64
+}
+
+// MsgType implements Message.
+func (FlowRemoved) MsgType() MsgType { return TypeFlowRemoved }
+
+// GroupCommand selects the GroupMod operation.
+type GroupCommand uint8
+
+// Group commands.
+const (
+	GroupAdd GroupCommand = iota + 1
+	GroupModify
+	GroupDelete
+)
+
+// GroupType enumerates group semantics; only select groups (weighted
+// round-robin across buckets) are needed for the SDN load balancer (§4).
+type GroupType uint8
+
+// Group types.
+const (
+	GroupSelect GroupType = iota + 1
+	GroupAll
+)
+
+// Bucket is one weighted action list of a group.
+type Bucket struct {
+	Weight  uint16
+	Actions []Action
+}
+
+// GroupMod installs, modifies or removes group table entries.
+type GroupMod struct {
+	Command GroupCommand
+	GroupID uint32
+	Type    GroupType
+	Buckets []Bucket
+}
+
+// MsgType implements Message.
+func (GroupMod) MsgType() MsgType { return TypeGroupMod }
+
+// PacketOut injects a frame into the switch data path; the paper uses it to
+// deliver control tuples to workers (§3.3.2).
+type PacketOut struct {
+	InPort  uint32 // typically PortController
+	Actions []Action
+	Data    []byte
+}
+
+// MsgType implements Message.
+func (PacketOut) MsgType() MsgType { return TypePacketOut }
+
+// PacketInReason explains why a frame reached the controller.
+type PacketInReason uint8
+
+// PacketIn reasons.
+const (
+	ReasonNoMatch PacketInReason = iota + 1
+	ReasonAction
+)
+
+// PacketIn delivers a data-plane frame to the controller (METRIC_RESP
+// statistics and other worker-to-controller traffic).
+type PacketIn struct {
+	InPort uint32
+	Reason PacketInReason
+	Data   []byte
+}
+
+// MsgType implements Message.
+func (PacketIn) MsgType() MsgType { return TypePacketIn }
+
+// PortReason explains a PortStatus event.
+type PortReason uint8
+
+// Port status reasons.
+const (
+	PortAdded PortReason = iota + 1
+	PortDeleted
+	PortModified
+)
+
+// PortStatus reports switch port lifecycle events; unexpected PortDeleted
+// is what drives the fault detector app (§4, Fig 10).
+type PortStatus struct {
+	Reason PortReason
+	Port   PortInfo
+	// Addr is the worker address bound to the port when known, letting the
+	// controller identify the victim without a coordinator round trip.
+	Addr packet.Addr
+}
+
+// MsgType implements Message.
+func (PortStatus) MsgType() MsgType { return TypePortStatus }
+
+// StatsKind selects the statistics family.
+type StatsKind uint8
+
+// Stats kinds.
+const (
+	StatsPort StatsKind = iota + 1
+	StatsFlow
+)
+
+// StatsRequest polls switch statistics.
+type StatsRequest struct {
+	Kind StatsKind
+	// Port filters port stats (PortAny for all).
+	Port uint32
+}
+
+// MsgType implements Message.
+func (StatsRequest) MsgType() MsgType { return TypeStatsRequest }
+
+// PortStats is one port counter row.
+type PortStats struct {
+	PortNo    uint32
+	RxPackets uint64
+	TxPackets uint64
+	RxBytes   uint64
+	TxBytes   uint64
+	RxDropped uint64
+	TxDropped uint64
+}
+
+// FlowStats is one flow counter row.
+type FlowStats struct {
+	Match    Match
+	Priority uint16
+	Cookie   uint64
+	Packets  uint64
+	Bytes    uint64
+}
+
+// StatsReply answers a StatsRequest with the matching family populated.
+type StatsReply struct {
+	Kind  StatsKind
+	Ports []PortStats
+	Flows []FlowStats
+}
+
+// MsgType implements Message.
+func (StatsReply) MsgType() MsgType { return TypeStatsReply }

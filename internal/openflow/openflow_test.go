@@ -1,0 +1,283 @@
+package openflow
+
+import (
+	"math/rand"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"typhoon/internal/packet"
+)
+
+func sampleMessages() []Message {
+	w1 := packet.WorkerAddr(1, 10)
+	w2 := packet.WorkerAddr(1, 20)
+	return []Message{
+		Hello{},
+		EchoRequest{Payload: []byte("ping")},
+		EchoReply{Payload: []byte("pong")},
+		Error{Code: ErrCodeBadAction, Msg: "bad action"},
+		FeaturesRequest{},
+		FeaturesReply{
+			DatapathID: 42, Host: "host-1",
+			Ports: []PortInfo{{No: 1, Name: "w10"}, {No: 2, Name: "tun0"}},
+		},
+		FlowMod{
+			Command: FlowAdd, Priority: 100, IdleTimeoutMs: 5000, Cookie: 7,
+			Flags: FlagSendFlowRem,
+			Match: Match{
+				Fields: FieldInPort | FieldDlSrc | FieldDlDst | FieldEtherType,
+				InPort: 3, DlSrc: w1, DlDst: w2, EtherType: packet.EtherType,
+			},
+			Actions: []Action{Output(4), SetTunnelDst("host-2"), ToGroup(9), SetDlDst(w2)},
+		},
+		FlowRemoved{
+			Match:    Match{Fields: FieldDlDst, DlDst: w2},
+			Priority: 10, Cookie: 3, Reason: RemovedIdleTimeout, Packets: 100, Bytes: 9999,
+		},
+		GroupMod{
+			Command: GroupAdd, GroupID: 5, Type: GroupSelect,
+			Buckets: []Bucket{
+				{Weight: 2, Actions: []Action{SetDlDst(w1), Output(1)}},
+				{Weight: 1, Actions: []Action{SetDlDst(w2), Output(2)}},
+			},
+		},
+		PacketOut{InPort: PortController, Actions: []Action{Output(7)}, Data: []byte{1, 2, 3}},
+		PacketIn{InPort: 7, Reason: ReasonAction, Data: []byte{9, 8}},
+		PortStatus{Reason: PortDeleted, Port: PortInfo{No: 7, Name: "w10"}, Addr: w1},
+		StatsRequest{Kind: StatsPort, Port: PortAny},
+		StatsReply{Kind: StatsPort, Ports: []PortStats{
+			{PortNo: 1, RxPackets: 10, TxPackets: 20, RxBytes: 30, TxBytes: 40, RxDropped: 1, TxDropped: 2},
+		}},
+		StatsReply{Kind: StatsFlow, Flows: []FlowStats{
+			{Match: Match{Fields: FieldDlSrc, DlSrc: w1}, Priority: 5, Cookie: 1, Packets: 2, Bytes: 3},
+		}},
+	}
+}
+
+func TestEncodeDecodeAllMessageTypes(t *testing.T) {
+	for _, m := range sampleMessages() {
+		raw := Encode(77, m)
+		xid, out, err := Decode(raw)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", m.MsgType(), err)
+		}
+		if xid != 77 {
+			t.Fatalf("%v: xid = %d", m.MsgType(), xid)
+		}
+		if !reflect.DeepEqual(normalize(m), normalize(out)) {
+			t.Fatalf("%v round trip mismatch:\n in=%#v\nout=%#v", m.MsgType(), m, out)
+		}
+	}
+}
+
+// normalize maps nil and empty slices to a comparable form.
+func normalize(m Message) Message {
+	switch v := m.(type) {
+	case EchoRequest:
+		if len(v.Payload) == 0 {
+			v.Payload = nil
+		}
+		return v
+	case EchoReply:
+		if len(v.Payload) == 0 {
+			v.Payload = nil
+		}
+		return v
+	default:
+		return m
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	raw := Encode(1, Hello{})
+	if _, _, err := Decode(raw[:4]); err != ErrTruncated {
+		t.Fatalf("short: %v", err)
+	}
+	bad := append([]byte(nil), raw...)
+	bad[0] = 0x55
+	if _, _, err := Decode(bad); err != ErrBadVersion {
+		t.Fatalf("version: %v", err)
+	}
+	bad = append([]byte(nil), raw...)
+	bad[1] = 0xEE
+	if _, _, err := Decode(bad); err != ErrBadType {
+		t.Fatalf("type: %v", err)
+	}
+	// Wrong framed length.
+	bad = append(append([]byte(nil), raw...), 0)
+	if _, _, err := Decode(bad); err != ErrTruncated {
+		t.Fatalf("length: %v", err)
+	}
+	// Truncated body.
+	fm := Encode(1, FlowMod{Command: FlowAdd, Actions: []Action{Output(1)}})
+	fm = fm[:len(fm)-2]
+	// fix up framed length so truncation is inside the body decode
+	fm[7] = byte(len(fm))
+	if _, _, err := Decode(fm); err == nil {
+		t.Fatal("truncated body should fail")
+	}
+}
+
+func TestMatchCovers(t *testing.T) {
+	w1, w2, w3 := packet.WorkerAddr(1, 1), packet.WorkerAddr(1, 2), packet.WorkerAddr(1, 3)
+	m := Match{Fields: FieldInPort | FieldDlDst, InPort: 2, DlDst: w2}
+	if !m.Covers(2, w1, w2, packet.EtherType) {
+		t.Fatal("should cover")
+	}
+	if m.Covers(3, w1, w2, packet.EtherType) {
+		t.Fatal("wrong in_port should not cover")
+	}
+	if m.Covers(2, w1, w3, packet.EtherType) {
+		t.Fatal("wrong dst should not cover")
+	}
+	any := Match{}
+	if !any.Covers(9, w3, w1, 0x0800) {
+		t.Fatal("empty match should cover everything")
+	}
+	e := Match{Fields: FieldEtherType, EtherType: packet.EtherType}
+	if e.Covers(1, w1, w2, 0x0800) {
+		t.Fatal("wrong ethertype should not cover")
+	}
+	s := Match{Fields: FieldDlSrc, DlSrc: w1}
+	if s.Covers(1, w2, w2, packet.EtherType) {
+		t.Fatal("wrong src should not cover")
+	}
+}
+
+func TestMatchString(t *testing.T) {
+	if (Match{}).String() != "any" {
+		t.Fatal("empty match string")
+	}
+	m := Match{Fields: FieldInPort | FieldEtherType, InPort: 1, EtherType: 0xFFFF}
+	if m.String() == "" || m.String() == "any" {
+		t.Fatalf("match string = %q", m.String())
+	}
+	for _, a := range []Action{Output(1), Output(PortController), SetDlDst(packet.Broadcast), SetTunnelDst("h"), ToGroup(2)} {
+		if a.String() == "" {
+			t.Fatal("action string empty")
+		}
+	}
+}
+
+func TestConnExchange(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, m := range sampleMessages() {
+			if _, err := ca.Send(m); err != nil {
+				t.Errorf("send: %v", err)
+				return
+			}
+		}
+	}()
+	for _, want := range sampleMessages() {
+		_, got, err := cb.Receive()
+		if err != nil {
+			t.Fatalf("receive: %v", err)
+		}
+		if got.MsgType() != want.MsgType() {
+			t.Fatalf("got %v want %v", got.MsgType(), want.MsgType())
+		}
+	}
+	wg.Wait()
+}
+
+func TestConnXIDEcho(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+	go func() {
+		xid, m, err := cb.Receive()
+		if err != nil {
+			return
+		}
+		if req, ok := m.(EchoRequest); ok {
+			_ = cb.SendXID(xid, EchoReply{Payload: req.Payload})
+		}
+	}()
+	xid, err := ca.Send(EchoRequest{Payload: []byte("hi")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotXID, reply, err := ca.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotXID != xid {
+		t.Fatalf("xid %d != %d", gotXID, xid)
+	}
+	if string(reply.(EchoReply).Payload) != "hi" {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestConnXIDNeverZero(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	c := NewConn(a)
+	for i := 0; i < 1000; i++ {
+		if c.XID() == 0 {
+			t.Fatal("zero XID allocated")
+		}
+	}
+}
+
+func TestPropertyFlowModRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fm := FlowMod{
+			Command:       FlowCommand(1 + r.Intn(4)),
+			Priority:      uint16(r.Intn(1 << 16)),
+			IdleTimeoutMs: r.Uint32(),
+			Cookie:        r.Uint64(),
+			Flags:         uint16(r.Intn(2)),
+			Match: Match{
+				Fields:    FieldSet(r.Intn(16)),
+				InPort:    r.Uint32(),
+				DlSrc:     packet.WorkerAddr(uint16(r.Intn(1<<16)), r.Uint32()),
+				DlDst:     packet.WorkerAddr(uint16(r.Intn(1<<16)), r.Uint32()),
+				EtherType: uint16(r.Intn(1 << 16)),
+			},
+		}
+		n := r.Intn(5)
+		for i := 0; i < n; i++ {
+			switch r.Intn(4) {
+			case 0:
+				fm.Actions = append(fm.Actions, Output(r.Uint32()))
+			case 1:
+				fm.Actions = append(fm.Actions, SetDlDst(packet.WorkerAddr(1, r.Uint32())))
+			case 2:
+				fm.Actions = append(fm.Actions, SetTunnelDst("host"))
+			case 3:
+				fm.Actions = append(fm.Actions, ToGroup(r.Uint32()))
+			}
+		}
+		_, out, err := Decode(Encode(r.Uint32(), fm))
+		return err == nil && reflect.DeepEqual(fm, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	for mt := TypeHello; mt <= TypeStatsReply; mt++ {
+		if mt.String() == "" {
+			t.Fatalf("empty string for type %d", mt)
+		}
+	}
+	if MsgType(200).String() != "TYPE(200)" {
+		t.Fatal("unknown type rendering")
+	}
+}

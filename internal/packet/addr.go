@@ -1,0 +1,61 @@
+// Package packet implements the Typhoon data-plane frame format of Fig 5:
+// Ethernet-style frames with a custom EtherType whose source/destination
+// addresses are worker IDs prefixed by the application (topology) ID.
+//
+// The package provides frame encoding/decoding, a Packetizer that multiplexes
+// small tuples into shared frames and segments large tuples across frames,
+// and a Depacketizer that reverses both, mirroring the southbound transport
+// library of the prototype.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EtherType is the custom EtherType carried by all Typhoon frames so SDN
+// switches can match them without IPv4 wildcards (paper §3.4).
+const EtherType uint16 = 0xFFFF
+
+// Addr is a 6-byte worker address: a 2-byte application (topology) ID prefix
+// followed by a 4-byte worker ID, taking the place of a MAC address.
+type Addr [6]byte
+
+// Broadcast is the destination address used for one-to-many transfer; the
+// switch replicates matching frames to every destination port.
+var Broadcast = Addr{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+
+// ControllerAddr is the pseudo-address workers use to reach the SDN
+// controller (the dl_dst of worker→controller rules in Table 3).
+var ControllerAddr = Addr{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFE}
+
+// WorkerAddr builds the address of worker id within application app.
+func WorkerAddr(app uint16, worker uint32) Addr {
+	var a Addr
+	binary.BigEndian.PutUint16(a[0:2], app)
+	binary.BigEndian.PutUint32(a[2:6], worker)
+	return a
+}
+
+// App returns the application ID prefix of the address.
+func (a Addr) App() uint16 { return binary.BigEndian.Uint16(a[0:2]) }
+
+// Worker returns the worker ID portion of the address.
+func (a Addr) Worker() uint32 { return binary.BigEndian.Uint32(a[2:6]) }
+
+// IsBroadcast reports whether the address is the broadcast address.
+func (a Addr) IsBroadcast() bool { return a == Broadcast }
+
+// IsController reports whether the address is the controller pseudo-address.
+func (a Addr) IsController() bool { return a == ControllerAddr }
+
+// String renders the address in MAC-like notation.
+func (a Addr) String() string {
+	if a.IsBroadcast() {
+		return "bcast"
+	}
+	if a.IsController() {
+		return "ctrl"
+	}
+	return fmt.Sprintf("app%d/w%d", a.App(), a.Worker())
+}

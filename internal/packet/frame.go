@@ -1,0 +1,165 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// HeaderLen is the size of the frame header: dst(6) src(6) ethertype(2)
+// flags(1) — the flags byte distinguishes multiplexed-tuple payloads from
+// segment payloads.
+const HeaderLen = 6 + 6 + 2 + 1
+
+// Frame payload flavours.
+const (
+	flagTuples  = 0x00 // payload is a sequence of length-prefixed tuples
+	flagSegment = 0x01 // payload is one fragment of a segmented tuple
+)
+
+// segHeaderLen is the extra header inside segment payloads:
+// segID(4) index(2) count(2) fragLen(4).
+const segHeaderLen = 4 + 2 + 2 + 4
+
+// DefaultMaxPayload is the default frame payload capacity. The prototype
+// runs on DPDK with jumbo-capable rings; 8 KiB keeps segmentation exercised
+// without making it the common case.
+const DefaultMaxPayload = 8192
+
+// Frame is a decoded Typhoon data-plane frame.
+type Frame struct {
+	Dst       Addr
+	Src       Addr
+	EtherType uint16
+	// Segment is non-nil when the frame carries one fragment of a large
+	// tuple; Tuples is then empty.
+	Segment *Segment
+	// Tuples holds the encoded bytes of each multiplexed tuple. The slices
+	// alias the decode buffer.
+	Tuples [][]byte
+}
+
+// Segment describes one fragment of a tuple too large for a single frame.
+type Segment struct {
+	ID    uint32 // per-sender segmented-tuple sequence number
+	Index uint16 // fragment index, 0-based
+	Count uint16 // total number of fragments
+	Data  []byte // fragment payload
+}
+
+// Errors returned by Decode.
+var (
+	ErrShortFrame    = errors.New("packet: frame shorter than header")
+	ErrBadEtherType  = errors.New("packet: unexpected ethertype")
+	ErrCorruptFrame  = errors.New("packet: corrupt frame payload")
+	ErrOversizeTuple = errors.New("packet: tuple exceeds segment limits")
+)
+
+// EncodeTuples builds a frame carrying the given pre-encoded tuples, which
+// must jointly fit the payload budget (the Packetizer guarantees this).
+func EncodeTuples(dst, src Addr, encoded [][]byte) []byte {
+	size := HeaderLen
+	for _, e := range encoded {
+		size += 4 + len(e)
+	}
+	buf := make([]byte, 0, size)
+	buf = appendHeader(buf, dst, src, flagTuples)
+	for _, e := range encoded {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e)))
+		buf = append(buf, e...)
+	}
+	return buf
+}
+
+// EncodeSegment builds a frame carrying one fragment of a segmented tuple.
+func EncodeSegment(dst, src Addr, seg Segment) []byte {
+	buf := make([]byte, 0, HeaderLen+segHeaderLen+len(seg.Data))
+	buf = appendHeader(buf, dst, src, flagSegment)
+	buf = binary.LittleEndian.AppendUint32(buf, seg.ID)
+	buf = binary.LittleEndian.AppendUint16(buf, seg.Index)
+	buf = binary.LittleEndian.AppendUint16(buf, seg.Count)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(seg.Data)))
+	buf = append(buf, seg.Data...)
+	return buf
+}
+
+func appendHeader(buf []byte, dst, src Addr, flags byte) []byte {
+	buf = append(buf, dst[:]...)
+	buf = append(buf, src[:]...)
+	buf = binary.BigEndian.AppendUint16(buf, EtherType)
+	buf = append(buf, flags)
+	return buf
+}
+
+// PeekAddrs extracts the destination and source addresses without a full
+// decode; the switch data path matches on these fields only.
+func PeekAddrs(raw []byte) (dst, src Addr, ok bool) {
+	if len(raw) < HeaderLen {
+		return dst, src, false
+	}
+	copy(dst[:], raw[0:6])
+	copy(src[:], raw[6:12])
+	if binary.BigEndian.Uint16(raw[12:14]) != EtherType {
+		return dst, src, false
+	}
+	return dst, src, true
+}
+
+// RewriteDst overwrites the destination address in place. The SDN load
+// balancer (paper §4) uses this in switch group buckets.
+func RewriteDst(raw []byte, dst Addr) bool {
+	if len(raw) < HeaderLen {
+		return false
+	}
+	copy(raw[0:6], dst[:])
+	return true
+}
+
+// Decode parses raw into a Frame. Tuple and segment slices alias raw.
+func Decode(raw []byte) (Frame, error) {
+	if len(raw) < HeaderLen {
+		return Frame{}, ErrShortFrame
+	}
+	var f Frame
+	copy(f.Dst[:], raw[0:6])
+	copy(f.Src[:], raw[6:12])
+	f.EtherType = binary.BigEndian.Uint16(raw[12:14])
+	if f.EtherType != EtherType {
+		return Frame{}, ErrBadEtherType
+	}
+	flags := raw[14]
+	body := raw[HeaderLen:]
+	switch flags {
+	case flagTuples:
+		for len(body) > 0 {
+			if len(body) < 4 {
+				return Frame{}, ErrCorruptFrame
+			}
+			n := int(binary.LittleEndian.Uint32(body))
+			body = body[4:]
+			if n > len(body) {
+				return Frame{}, ErrCorruptFrame
+			}
+			f.Tuples = append(f.Tuples, body[:n])
+			body = body[n:]
+		}
+	case flagSegment:
+		if len(body) < segHeaderLen {
+			return Frame{}, ErrCorruptFrame
+		}
+		seg := Segment{
+			ID:    binary.LittleEndian.Uint32(body),
+			Index: binary.LittleEndian.Uint16(body[4:]),
+			Count: binary.LittleEndian.Uint16(body[6:]),
+		}
+		n := int(binary.LittleEndian.Uint32(body[8:]))
+		if n != len(body)-segHeaderLen {
+			return Frame{}, ErrCorruptFrame
+		}
+		seg.Data = body[segHeaderLen:]
+		f.Segment = &seg
+	default:
+		return Frame{}, fmt.Errorf("packet: unknown frame flags %#x", flags)
+	}
+	return f, nil
+}

@@ -1,0 +1,316 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"typhoon/internal/tuple"
+)
+
+func TestAddrRoundTrip(t *testing.T) {
+	a := WorkerAddr(7, 123456)
+	if a.App() != 7 || a.Worker() != 123456 {
+		t.Fatalf("addr round trip: app=%d worker=%d", a.App(), a.Worker())
+	}
+	if a.IsBroadcast() || a.IsController() {
+		t.Fatal("worker addr misclassified")
+	}
+	if !Broadcast.IsBroadcast() || !ControllerAddr.IsController() {
+		t.Fatal("special addrs misclassified")
+	}
+	if Broadcast.String() != "bcast" || ControllerAddr.String() != "ctrl" {
+		t.Fatal("special addr rendering")
+	}
+	if a.String() != "app7/w123456" {
+		t.Fatalf("addr string = %q", a.String())
+	}
+}
+
+func TestEncodeDecodeTupleFrame(t *testing.T) {
+	src, dst := WorkerAddr(1, 10), WorkerAddr(1, 20)
+	a := tuple.Encode(tuple.New(tuple.String("hello")))
+	b := tuple.Encode(tuple.New(tuple.Int(42)))
+	raw := EncodeTuples(dst, src, [][]byte{a, b})
+
+	f, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Src != src || f.Dst != dst || f.EtherType != EtherType {
+		t.Fatal("header mismatch")
+	}
+	if len(f.Tuples) != 2 || !bytes.Equal(f.Tuples[0], a) || !bytes.Equal(f.Tuples[1], b) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestPeekAddrsAndRewrite(t *testing.T) {
+	src, dst := WorkerAddr(1, 10), WorkerAddr(1, 20)
+	raw := EncodeTuples(dst, src, [][]byte{tuple.Encode(tuple.New(tuple.Int(1)))})
+	d, s, ok := PeekAddrs(raw)
+	if !ok || d != dst || s != src {
+		t.Fatal("PeekAddrs mismatch")
+	}
+	if _, _, ok := PeekAddrs(raw[:5]); ok {
+		t.Fatal("PeekAddrs on short frame should fail")
+	}
+	newDst := WorkerAddr(1, 30)
+	if !RewriteDst(raw, newDst) {
+		t.Fatal("RewriteDst failed")
+	}
+	d, _, _ = PeekAddrs(raw)
+	if d != newDst {
+		t.Fatal("RewriteDst did not take effect")
+	}
+	if RewriteDst(raw[:3], newDst) {
+		t.Fatal("RewriteDst on short frame should fail")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err != ErrShortFrame {
+		t.Fatalf("nil frame: %v", err)
+	}
+	raw := EncodeTuples(Broadcast, WorkerAddr(1, 1), [][]byte{{1, 2, 3}})
+	raw[12], raw[13] = 0x08, 0x00 // IPv4 ethertype
+	if _, err := Decode(raw); err != ErrBadEtherType {
+		t.Fatalf("bad ethertype: %v", err)
+	}
+	raw = EncodeTuples(Broadcast, WorkerAddr(1, 1), [][]byte{{1, 2, 3}})
+	if _, err := Decode(raw[:len(raw)-1]); err != ErrCorruptFrame {
+		t.Fatalf("truncated payload: %v", err)
+	}
+	raw = EncodeTuples(Broadcast, WorkerAddr(1, 1), nil)
+	raw[14] = 0x55 // unknown flags
+	if _, err := Decode(raw); err == nil {
+		t.Fatal("unknown flags should fail")
+	}
+}
+
+func TestPacketizerMultiplexing(t *testing.T) {
+	src := WorkerAddr(1, 1)
+	dst := WorkerAddr(1, 2)
+	p := NewPacketizer(src, 0)
+	enc := tuple.Encode(tuple.New(tuple.String("abc")))
+	for i := 0; i < 10; i++ {
+		if frames := p.Add(dst, enc); len(frames) != 0 {
+			t.Fatal("small adds should stage, not emit")
+		}
+	}
+	if p.Pending() != 10 {
+		t.Fatalf("pending = %d", p.Pending())
+	}
+	frames := p.FlushAll()
+	if len(frames) != 1 {
+		t.Fatalf("FlushAll emitted %d frames, want 1", len(frames))
+	}
+	f, err := Decode(frames[0])
+	if err != nil || len(f.Tuples) != 10 {
+		t.Fatalf("decoded %d tuples, err=%v", len(f.Tuples), err)
+	}
+	if p.Pending() != 0 {
+		t.Fatal("staging not cleared")
+	}
+}
+
+func TestPacketizerEmitsWhenFull(t *testing.T) {
+	src, dst := WorkerAddr(1, 1), WorkerAddr(1, 2)
+	p := NewPacketizer(src, 256)
+	big := tuple.Encode(tuple.New(tuple.Bytes(make([]byte, 100))))
+	var emitted int
+	for i := 0; i < 10; i++ {
+		emitted += len(p.Add(dst, big))
+	}
+	if emitted == 0 {
+		t.Fatal("full staging buffer should emit frames")
+	}
+	emitted += len(p.FlushAll())
+	dp := NewDepacketizer()
+	// Re-run to count tuples: collect frames deterministically.
+	p = NewPacketizer(src, 256)
+	var frames [][]byte
+	for i := 0; i < 10; i++ {
+		frames = append(frames, p.Add(dst, big)...)
+	}
+	frames = append(frames, p.FlushAll()...)
+	total := 0
+	for _, fr := range frames {
+		in, err := dp.Feed(fr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(in)
+	}
+	if total != 10 {
+		t.Fatalf("recovered %d tuples, want 10", total)
+	}
+}
+
+func TestSegmentationReassembly(t *testing.T) {
+	src, dst := WorkerAddr(1, 1), WorkerAddr(1, 2)
+	p := NewPacketizer(src, 128)
+	payload := make([]byte, 1000)
+	rand.New(rand.NewSource(1)).Read(payload)
+	enc := tuple.Encode(tuple.New(tuple.Bytes(payload)))
+	frames := p.Add(dst, enc)
+	if len(frames) < 2 {
+		t.Fatalf("oversized tuple produced %d frames, want >=2", len(frames))
+	}
+	dp := NewDepacketizer()
+	var out []Incoming
+	for i, fr := range frames {
+		in, err := dp.Feed(fr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < len(frames)-1 && len(in) != 0 {
+			t.Fatal("tuple completed before last fragment")
+		}
+		out = append(out, in...)
+	}
+	if len(out) != 1 {
+		t.Fatalf("reassembled %d tuples, want 1", len(out))
+	}
+	if !bytes.Equal(out[0].Data, enc) {
+		t.Fatal("reassembled bytes differ")
+	}
+	tp, _, err := tuple.Decode(out[0].Data)
+	if err != nil || !bytes.Equal(tp.Field(0).AsBytes(), payload) {
+		t.Fatal("reassembled tuple does not decode")
+	}
+	if dp.PendingReassemblies() != 0 {
+		t.Fatal("reassembly state not cleared")
+	}
+}
+
+func TestSegmentOrderingAfterStagedTuples(t *testing.T) {
+	// An oversized tuple must flush staged tuples first to keep ordering.
+	src, dst := WorkerAddr(1, 1), WorkerAddr(1, 2)
+	p := NewPacketizer(src, 128)
+	small := tuple.Encode(tuple.New(tuple.Int(1)))
+	p.Add(dst, small)
+	big := tuple.Encode(tuple.New(tuple.Bytes(make([]byte, 500))))
+	frames := p.Add(dst, big)
+	if len(frames) < 2 {
+		t.Fatalf("got %d frames", len(frames))
+	}
+	f0, err := Decode(frames[0])
+	if err != nil || f0.Segment != nil || len(f0.Tuples) != 1 {
+		t.Fatal("first frame should carry the staged small tuple")
+	}
+}
+
+func TestDepacketizerDuplicateAndCorruptSegments(t *testing.T) {
+	src, dst := WorkerAddr(1, 1), WorkerAddr(1, 2)
+	p := NewPacketizer(src, 128)
+	enc := tuple.Encode(tuple.New(tuple.Bytes(make([]byte, 300))))
+	frames := p.Add(dst, enc)
+	dp := NewDepacketizer()
+	// Duplicate first fragment: must be idempotent.
+	if _, err := dp.Feed(frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dp.Feed(frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	for _, fr := range frames[1:] {
+		in, err := dp.Feed(fr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got += len(in)
+	}
+	if got != 1 {
+		t.Fatalf("reassembled %d, want 1", got)
+	}
+	// Zero-count segment is corrupt.
+	bad := EncodeSegment(dst, src, Segment{ID: 9, Index: 0, Count: 0, Data: []byte("x")})
+	if _, err := dp.Feed(bad); err != ErrCorruptFrame {
+		t.Fatalf("zero-count segment: %v", err)
+	}
+	// Mismatched count across fragments of the same ID is corrupt.
+	a := EncodeSegment(dst, src, Segment{ID: 10, Index: 0, Count: 3, Data: []byte("x")})
+	b := EncodeSegment(dst, src, Segment{ID: 10, Index: 1, Count: 4, Data: []byte("y")})
+	if _, err := dp.Feed(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dp.Feed(b); err != ErrCorruptFrame {
+		t.Fatalf("mismatched count: %v", err)
+	}
+}
+
+func TestReassemblyEviction(t *testing.T) {
+	src, dst := WorkerAddr(1, 1), WorkerAddr(1, 2)
+	dp := NewDepacketizer()
+	for i := 0; i < maxReassemblies+10; i++ {
+		fr := EncodeSegment(dst, src, Segment{ID: uint32(i), Index: 0, Count: 2, Data: []byte("x")})
+		if _, err := dp.Feed(fr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dp.PendingReassemblies() > maxReassemblies {
+		t.Fatalf("pending %d exceeds cap %d", dp.PendingReassemblies(), maxReassemblies)
+	}
+}
+
+func TestPropertyPacketizerLossless(t *testing.T) {
+	// Any mix of tuple sizes and destinations round-trips losslessly and
+	// in order per destination.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := WorkerAddr(1, 99)
+		dsts := []Addr{WorkerAddr(1, 1), WorkerAddr(1, 2), WorkerAddr(1, 3)}
+		p := NewPacketizer(src, 64+r.Intn(512))
+		type sent struct {
+			dst Addr
+			enc []byte
+		}
+		var all []sent
+		var frames [][]byte
+		n := 1 + r.Intn(60)
+		for i := 0; i < n; i++ {
+			dst := dsts[r.Intn(len(dsts))]
+			b := make([]byte, r.Intn(700))
+			r.Read(b)
+			enc := tuple.Encode(tuple.New(tuple.Bytes(b), tuple.Int(int64(i))))
+			all = append(all, sent{dst, enc})
+			frames = append(frames, p.Add(dst, enc)...)
+		}
+		frames = append(frames, p.FlushAll()...)
+		dp := NewDepacketizer()
+		gotPerDst := map[Addr][][]byte{}
+		for _, fr := range frames {
+			in, err := dp.Feed(fr)
+			if err != nil {
+				return false
+			}
+			for _, inc := range in {
+				cp := make([]byte, len(inc.Data))
+				copy(cp, inc.Data)
+				gotPerDst[inc.Dst] = append(gotPerDst[inc.Dst], cp)
+			}
+		}
+		wantPerDst := map[Addr][][]byte{}
+		for _, s := range all {
+			wantPerDst[s.dst] = append(wantPerDst[s.dst], s.enc)
+		}
+		for dst, want := range wantPerDst {
+			got := gotPerDst[dst]
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if !bytes.Equal(got[i], want[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,223 @@
+package packet
+
+// Packetizer converts encoded tuples into frames. It mirrors the egress
+// workflow of the southbound transport library: multiple small tuples with
+// the same source/destination are multiplexed into one frame; one tuple
+// larger than the payload budget is segmented across several frames.
+//
+// Packetizer is not safe for concurrent use; each worker sender owns one.
+type Packetizer struct {
+	src        Addr
+	maxPayload int
+	nextSegID  uint32
+
+	// Per-destination staging buffers. A small topology has a handful of
+	// next hops, so a map of slices is fine.
+	staged map[Addr]*stage
+}
+
+type stage struct {
+	tuples [][]byte
+	bytes  int // sum of 4+len(tuple) for staged tuples
+}
+
+// NewPacketizer builds a Packetizer for a sender address. maxPayload <= 0
+// selects DefaultMaxPayload.
+func NewPacketizer(src Addr, maxPayload int) *Packetizer {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	return &Packetizer{src: src, maxPayload: maxPayload, staged: make(map[Addr]*stage)}
+}
+
+// MaxPayload returns the frame payload budget.
+func (p *Packetizer) MaxPayload() int { return p.maxPayload }
+
+// Add stages one encoded tuple for dst and returns any frames that became
+// ready (a full multiplexed frame, or the complete segment train of an
+// oversized tuple).
+func (p *Packetizer) Add(dst Addr, encoded []byte) [][]byte {
+	need := 4 + len(encoded)
+	if need > p.maxPayload {
+		// Oversized: flush whatever is staged for this destination first so
+		// ordering is preserved, then emit the segment train.
+		frames := p.flushDst(dst, nil)
+		return append(frames, p.segment(dst, encoded)...)
+	}
+	st := p.staged[dst]
+	if st == nil {
+		st = &stage{}
+		p.staged[dst] = st
+	}
+	var frames [][]byte
+	if st.bytes+need > p.maxPayload {
+		frames = p.flushDst(dst, frames)
+		st = p.staged[dst]
+		if st == nil {
+			st = &stage{}
+			p.staged[dst] = st
+		}
+	}
+	st.tuples = append(st.tuples, encoded)
+	st.bytes += need
+	return frames
+}
+
+// FlushAll emits one frame per destination with staged tuples and clears
+// the staging area. The worker I/O layer calls this when the configurable
+// batch threshold is reached or a batch timer fires.
+func (p *Packetizer) FlushAll() [][]byte {
+	var frames [][]byte
+	for dst := range p.staged {
+		frames = p.flushDst(dst, frames)
+	}
+	return frames
+}
+
+// Pending reports the number of tuples currently staged across all
+// destinations.
+func (p *Packetizer) Pending() int {
+	n := 0
+	for _, st := range p.staged {
+		n += len(st.tuples)
+	}
+	return n
+}
+
+func (p *Packetizer) flushDst(dst Addr, frames [][]byte) [][]byte {
+	st := p.staged[dst]
+	if st == nil || len(st.tuples) == 0 {
+		return frames
+	}
+	frames = append(frames, EncodeTuples(dst, p.src, st.tuples))
+	delete(p.staged, dst)
+	return frames
+}
+
+func (p *Packetizer) segment(dst Addr, encoded []byte) [][]byte {
+	chunk := p.maxPayload - segHeaderLen
+	count := (len(encoded) + chunk - 1) / chunk
+	id := p.nextSegID
+	p.nextSegID++
+	frames := make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		lo, hi := i*chunk, (i+1)*chunk
+		if hi > len(encoded) {
+			hi = len(encoded)
+		}
+		frames = append(frames, EncodeSegment(dst, p.src, Segment{
+			ID:    id,
+			Index: uint16(i),
+			Count: uint16(count),
+			Data:  encoded[lo:hi],
+		}))
+	}
+	return frames
+}
+
+// Incoming is one reassembled encoded tuple together with its source.
+type Incoming struct {
+	Src  Addr
+	Dst  Addr
+	Data []byte
+}
+
+// maxReassemblies bounds in-flight segment reassembly state per
+// Depacketizer; beyond it the oldest entry is evicted (its tuple is lost,
+// which the switch-loss handling of the paper's §8 already tolerates).
+const maxReassemblies = 1024
+
+// Depacketizer converts received frames back into encoded tuples, handling
+// demultiplexing and segment reassembly (ingress workflow of the southbound
+// library). It is not safe for concurrent use.
+type Depacketizer struct {
+	partial map[reasmKey]*reassembly
+	order   []reasmKey // FIFO for eviction
+}
+
+type reasmKey struct {
+	src Addr
+	id  uint32
+}
+
+type reassembly struct {
+	dst      Addr
+	parts    [][]byte
+	received int
+}
+
+// NewDepacketizer builds an empty Depacketizer.
+func NewDepacketizer() *Depacketizer {
+	return &Depacketizer{partial: make(map[reasmKey]*reassembly)}
+}
+
+// Feed consumes one raw frame and returns any complete tuples it yields.
+// Returned Data slices alias raw for multiplexed frames; callers that
+// retain them across Feed calls must copy.
+func (d *Depacketizer) Feed(raw []byte) ([]Incoming, error) {
+	f, err := Decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	if f.Segment == nil {
+		out := make([]Incoming, 0, len(f.Tuples))
+		for _, t := range f.Tuples {
+			out = append(out, Incoming{Src: f.Src, Dst: f.Dst, Data: t})
+		}
+		return out, nil
+	}
+	seg := f.Segment
+	if seg.Count == 0 || seg.Index >= seg.Count {
+		return nil, ErrCorruptFrame
+	}
+	key := reasmKey{src: f.Src, id: seg.ID}
+	r := d.partial[key]
+	if r == nil {
+		r = &reassembly{dst: f.Dst, parts: make([][]byte, seg.Count)}
+		d.partial[key] = r
+		d.order = append(d.order, key)
+		d.evict()
+	}
+	if int(seg.Count) != len(r.parts) {
+		return nil, ErrCorruptFrame
+	}
+	if r.parts[seg.Index] == nil {
+		// Segments must be copied: the fragment aliases the caller's buffer
+		// but outlives this call.
+		buf := make([]byte, len(seg.Data))
+		copy(buf, seg.Data)
+		r.parts[seg.Index] = buf
+		r.received++
+	}
+	if r.received < len(r.parts) {
+		return nil, nil
+	}
+	size := 0
+	for _, p := range r.parts {
+		size += len(p)
+	}
+	data := make([]byte, 0, size)
+	for _, p := range r.parts {
+		data = append(data, p...)
+	}
+	delete(d.partial, key)
+	return []Incoming{{Src: f.Src, Dst: r.dst, Data: data}}, nil
+}
+
+// PendingReassemblies reports in-flight segment reassembly count.
+func (d *Depacketizer) PendingReassemblies() int { return len(d.partial) }
+
+func (d *Depacketizer) evict() {
+	for len(d.partial) > maxReassemblies && len(d.order) > 0 {
+		k := d.order[0]
+		d.order = d.order[1:]
+		delete(d.partial, k)
+	}
+	// Compact order lazily: drop leading keys already completed.
+	for len(d.order) > 0 {
+		if _, ok := d.partial[d.order[0]]; ok {
+			break
+		}
+		d.order = d.order[1:]
+	}
+}

@@ -1,0 +1,54 @@
+// Package paths defines the coordinator tree layout shared by every
+// Typhoon component (the concrete encoding of Table 1's global states):
+//
+//	/topologies/<name>/logical    JSON topology.Logical   (streaming manager ⇄ SDN controller)
+//	/topologies/<name>/physical   JSON topology.Physical  (manager → controller, agents, workers)
+//	/agents/<host>                JSON agent registration (agents → manager, controller)
+//	/heartbeats/<name>/<worker>   unix-nano timestamp     (agents → manager fault monitor)
+//	/status/<name>/netready       generation the SDN controller finished programming
+package paths
+
+import (
+	"strconv"
+
+	"typhoon/internal/topology"
+)
+
+// Topologies is the prefix covering all topology state.
+const Topologies = "/topologies"
+
+// Agents is the prefix covering worker agent registrations.
+const Agents = "/agents"
+
+// Heartbeats is the prefix covering worker heartbeats.
+const Heartbeats = "/heartbeats"
+
+// Status is the prefix covering controller-written readiness markers.
+const Status = "/status"
+
+// Logical returns the logical-topology node for a topology name.
+func Logical(name string) string { return Topologies + "/" + name + "/logical" }
+
+// Physical returns the physical-topology node for a topology name.
+func Physical(name string) string { return Topologies + "/" + name + "/physical" }
+
+// TopologyPrefix returns the subtree of one topology.
+func TopologyPrefix(name string) string { return Topologies + "/" + name }
+
+// Agent returns the registration node of a worker agent host.
+func Agent(host string) string { return Agents + "/" + host }
+
+// Heartbeat returns the heartbeat node of one worker.
+func Heartbeat(name string, id topology.WorkerID) string {
+	return Heartbeats + "/" + name + "/" + strconv.FormatUint(uint64(id), 10)
+}
+
+// HeartbeatPrefix returns the heartbeat subtree of one topology.
+func HeartbeatPrefix(name string) string { return Heartbeats + "/" + name }
+
+// NetReady returns the controller-readiness node of one topology.
+func NetReady(name string) string { return Status + "/" + name + "/netready" }
+
+// Activated returns the activation marker of one topology (baseline mode:
+// sources stay throttled until the manager activates the topology).
+func Activated(name string) string { return Status + "/" + name + "/activated" }

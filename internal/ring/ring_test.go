@@ -1,0 +1,175 @@
+package ring
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTryEnqueueDropsWhenFull(t *testing.T) {
+	r := New(2)
+	if !r.TryEnqueue([]byte("a")) || !r.TryEnqueue([]byte("b")) {
+		t.Fatal("enqueue into non-full ring failed")
+	}
+	if r.TryEnqueue([]byte("c")) {
+		t.Fatal("enqueue into full ring should fail")
+	}
+	s := r.Stats()
+	if s.Enqueued != 2 || s.Dropped != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if r.Len() != 2 || r.Capacity() != 2 {
+		t.Fatalf("len=%d cap=%d", r.Len(), r.Capacity())
+	}
+}
+
+func TestDequeueFIFO(t *testing.T) {
+	r := New(8)
+	r.TryEnqueue([]byte("1"))
+	r.TryEnqueue([]byte("2"))
+	a, err := r.Dequeue()
+	if err != nil || string(a) != "1" {
+		t.Fatalf("got %q err=%v", a, err)
+	}
+	b, _ := r.Dequeue()
+	if string(b) != "2" {
+		t.Fatalf("got %q", b)
+	}
+	if r.Stats().Dequeued != 2 {
+		t.Fatal("dequeued counter wrong")
+	}
+}
+
+func TestBlockingEnqueueReleasedByConsumer(t *testing.T) {
+	r := New(1)
+	r.TryEnqueue([]byte("x"))
+	done := make(chan error, 1)
+	go func() { done <- r.Enqueue([]byte("y")) }()
+	time.Sleep(10 * time.Millisecond)
+	if _, err := r.Dequeue(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseReleasesBlockedConsumers(t *testing.T) {
+	r := New(4)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := r.Dequeue()
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	r.Close()
+	if err := <-errc; err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if !r.Closed() {
+		t.Fatal("Closed() should be true")
+	}
+	if r.TryEnqueue([]byte("z")) {
+		t.Fatal("enqueue after close should fail")
+	}
+}
+
+func TestCloseDrainsQueuedFrames(t *testing.T) {
+	r := New(4)
+	r.TryEnqueue([]byte("keep"))
+	r.Close()
+	f, err := r.Dequeue()
+	if err != nil || string(f) != "keep" {
+		t.Fatalf("queued frame lost on close: %q %v", f, err)
+	}
+	if _, err := r.Dequeue(); err != ErrClosed {
+		t.Fatalf("drained ring should report ErrClosed, got %v", err)
+	}
+}
+
+func TestDequeueBatch(t *testing.T) {
+	r := New(16)
+	for i := 0; i < 5; i++ {
+		r.TryEnqueue([]byte{byte(i)})
+	}
+	out, err := r.DequeueBatch(nil, 3, time.Second)
+	if err != nil || len(out) != 3 {
+		t.Fatalf("batch len=%d err=%v", len(out), err)
+	}
+	out, err = r.DequeueBatch(out[:0], 0, time.Second)
+	if err != nil || len(out) != 2 {
+		t.Fatalf("second batch len=%d err=%v", len(out), err)
+	}
+}
+
+func TestDequeueBatchTimeout(t *testing.T) {
+	r := New(4)
+	start := time.Now()
+	out, err := r.DequeueBatch(nil, 4, 20*time.Millisecond)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("timeout batch: len=%d err=%v", len(out), err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("returned before timeout")
+	}
+	// Poll mode returns immediately.
+	out, err = r.DequeueBatch(nil, 4, 0)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("poll batch: len=%d err=%v", len(out), err)
+	}
+}
+
+func TestDequeueBatchClosed(t *testing.T) {
+	r := New(4)
+	r.Close()
+	if _, err := r.DequeueBatch(nil, 4, time.Second); err != ErrClosed {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	r := New(1024)
+	const producers, perProducer = 8, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				_ = r.Enqueue([]byte{1})
+			}
+		}()
+	}
+	var consumed int
+	var mu sync.Mutex
+	var cwg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				if _, err := r.Dequeue(); err != nil {
+					return
+				}
+				mu.Lock()
+				consumed++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for r.Len() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	r.Close()
+	cwg.Wait()
+	if consumed != producers*perProducer {
+		t.Fatalf("consumed %d, want %d", consumed, producers*perProducer)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	if New(0).Capacity() != DefaultCapacity {
+		t.Fatal("default capacity not applied")
+	}
+}

@@ -1,0 +1,270 @@
+// Package scheduler converts logical topologies into physical topologies:
+// it expands node parallelism into worker instances, allocates worker IDs,
+// and places workers on compute hosts.
+//
+// Two placement policies are provided, matching the paper's setup: the
+// round-robin scheduler Storm defaults to (used for all head-to-head
+// comparisons, §6) and the Typhoon locality-aware scheduler that co-locates
+// topologically adjacent workers to minimise remote inter-worker
+// communication (§5).
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"typhoon/internal/topology"
+)
+
+// Host describes one schedulable compute host.
+type Host struct {
+	// Name identifies the host.
+	Name string
+	// Slots is the number of workers the host can run; zero means
+	// unlimited.
+	Slots int
+}
+
+// Scheduler places logical topologies onto hosts.
+type Scheduler interface {
+	// Schedule produces a fresh physical topology for l on hosts.
+	Schedule(l *topology.Logical, hosts []Host) (*topology.Physical, error)
+	// Reschedule adapts an existing physical topology to an updated
+	// logical topology, reusing surviving workers and allocating fresh
+	// worker IDs for new instances. Removed instances simply disappear
+	// from the assignment list.
+	Reschedule(l *topology.Logical, prev *topology.Physical, hosts []Host) (*topology.Physical, error)
+}
+
+// expandError reports an unplaceable topology.
+func expandError(l *topology.Logical, hosts []Host, need int) error {
+	cap := 0
+	unlimited := false
+	for _, h := range hosts {
+		if h.Slots <= 0 {
+			unlimited = true
+		}
+		cap += h.Slots
+	}
+	if unlimited {
+		return nil
+	}
+	if need > cap {
+		return fmt.Errorf("scheduler: topology %s needs %d slots, cluster has %d", l.Name, need, cap)
+	}
+	return nil
+}
+
+func totalInstances(l *topology.Logical) int {
+	n := 0
+	for _, node := range l.Nodes {
+		n += node.Parallelism
+	}
+	return n
+}
+
+// RoundRobin is Storm's default scheduler: instances are dealt across
+// hosts in turn, irrespective of topology structure.
+type RoundRobin struct{}
+
+// Schedule implements Scheduler.
+func (RoundRobin) Schedule(l *topology.Logical, hosts []Host) (*topology.Physical, error) {
+	return rescheduleRR(l, &topology.Physical{App: l.App, Name: l.Name, NextWorker: 1}, hosts)
+}
+
+// Reschedule implements Scheduler.
+func (RoundRobin) Reschedule(l *topology.Logical, prev *topology.Physical, hosts []Host) (*topology.Physical, error) {
+	return rescheduleRR(l, prev, hosts)
+}
+
+func rescheduleRR(l *topology.Logical, prev *topology.Physical, hosts []Host) (*topology.Physical, error) {
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("scheduler: no hosts")
+	}
+	if err := expandError(l, hosts, totalInstances(l)); err != nil {
+		return nil, err
+	}
+	next := prev.Clone()
+	next.Generation = l.Generation
+	next.Workers = nil
+	if next.NextWorker == 0 {
+		next.NextWorker = 1
+	}
+	used := map[string]int{}
+	cursor := 0
+	place := func() string {
+		for {
+			h := hosts[cursor%len(hosts)]
+			cursor++
+			if h.Slots <= 0 || used[h.Name] < h.Slots {
+				used[h.Name]++
+				return h.Name
+			}
+		}
+	}
+	for _, node := range l.Nodes {
+		surviving := prev.Instances(node.Name)
+		for i := 0; i < node.Parallelism; i++ {
+			if i < len(surviving) {
+				// Reuse the existing worker, keeping its host and port.
+				a := surviving[i]
+				a.Index = i
+				next.Workers = append(next.Workers, a)
+				used[a.Host]++
+				continue
+			}
+			next.Workers = append(next.Workers, topology.Assignment{
+				Worker: next.NextWorker,
+				Node:   node.Name,
+				Index:  i,
+				Host:   place(),
+			})
+			next.NextWorker++
+		}
+	}
+	return next, nil
+}
+
+// Locality is the Typhoon scheduler: it walks the DAG and prefers placing
+// each instance on the host already running most of its neighbours
+// (predecessors scheduled so far), falling back to the least-loaded host.
+type Locality struct{}
+
+// Schedule implements Scheduler.
+func (Locality) Schedule(l *topology.Logical, hosts []Host) (*topology.Physical, error) {
+	return rescheduleLocality(l, &topology.Physical{App: l.App, Name: l.Name, NextWorker: 1}, hosts)
+}
+
+// Reschedule implements Scheduler.
+func (Locality) Reschedule(l *topology.Logical, prev *topology.Physical, hosts []Host) (*topology.Physical, error) {
+	return rescheduleLocality(l, prev, hosts)
+}
+
+func rescheduleLocality(l *topology.Logical, prev *topology.Physical, hosts []Host) (*topology.Physical, error) {
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("scheduler: no hosts")
+	}
+	if err := expandError(l, hosts, totalInstances(l)); err != nil {
+		return nil, err
+	}
+	next := prev.Clone()
+	next.Generation = l.Generation
+	next.Workers = nil
+	if next.NextWorker == 0 {
+		next.NextWorker = 1
+	}
+	load := map[string]int{}
+	free := func(h Host) bool { return h.Slots <= 0 || load[h.Name] < h.Slots }
+
+	// Process nodes in topological order so predecessors are placed first.
+	order := topoOrder(l)
+	placedHost := map[string][]string{} // node -> host per instance index
+	for _, nodeName := range order {
+		node := l.Node(nodeName)
+		surviving := prev.Instances(nodeName)
+		for i := 0; i < node.Parallelism; i++ {
+			if i < len(surviving) {
+				a := surviving[i]
+				a.Index = i
+				next.Workers = append(next.Workers, a)
+				load[a.Host]++
+				placedHost[nodeName] = append(placedHost[nodeName], a.Host)
+				continue
+			}
+			host := pickNeighbourHost(l, nodeName, i, placedHost, hosts, load, free)
+			next.Workers = append(next.Workers, topology.Assignment{
+				Worker: next.NextWorker,
+				Node:   nodeName,
+				Index:  i,
+				Host:   host,
+			})
+			next.NextWorker++
+			load[host]++
+			placedHost[nodeName] = append(placedHost[nodeName], host)
+		}
+	}
+	return next, nil
+}
+
+// pickNeighbourHost prefers the host with the most already-placed
+// predecessor instances of node, breaking ties by lowest load.
+func pickNeighbourHost(l *topology.Logical, node string, _ int,
+	placed map[string][]string, hosts []Host, load map[string]int, free func(Host) bool) string {
+	affinity := map[string]int{}
+	for _, e := range l.InEdges(node) {
+		for _, h := range placed[e.From] {
+			affinity[h]++
+		}
+	}
+	best := ""
+	bestScore := -1 << 30
+	for _, h := range hosts {
+		if !free(h) {
+			continue
+		}
+		score := affinity[h.Name]*1000 - load[h.Name]
+		if score > bestScore {
+			best, bestScore = h.Name, score
+		}
+	}
+	if best == "" {
+		// All constrained hosts full; fall back to the first unlimited.
+		for _, h := range hosts {
+			if free(h) {
+				return h.Name
+			}
+		}
+		return hosts[0].Name
+	}
+	return best
+}
+
+// topoOrder returns node names in topological order (sources first).
+func topoOrder(l *topology.Logical) []string {
+	indeg := map[string]int{}
+	for _, n := range l.Nodes {
+		indeg[n.Name] = 0
+	}
+	for _, e := range l.Edges {
+		indeg[e.To]++
+	}
+	var ready []string
+	for _, n := range l.Nodes {
+		if indeg[n.Name] == 0 {
+			ready = append(ready, n.Name)
+		}
+	}
+	sort.Strings(ready)
+	var out []string
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		out = append(out, n)
+		var next []string
+		for _, e := range l.OutEdges(n) {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				next = append(next, e.To)
+			}
+		}
+		sort.Strings(next)
+		ready = append(ready, next...)
+	}
+	return out
+}
+
+// RemoteEdges counts worker pairs that communicate across hosts under a
+// physical topology — the metric the locality scheduler minimises.
+func RemoteEdges(l *topology.Logical, p *topology.Physical) int {
+	n := 0
+	for _, e := range l.Edges {
+		for _, from := range p.Instances(e.From) {
+			for _, to := range p.Instances(e.To) {
+				if from.Host != to.Host {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}

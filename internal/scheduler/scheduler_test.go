@@ -1,0 +1,209 @@
+package scheduler
+
+import (
+	"testing"
+
+	"typhoon/internal/topology"
+)
+
+func chainTopology(t *testing.T, par ...int) *topology.Logical {
+	t.Helper()
+	b := topology.NewBuilder("chain", 1)
+	b.Source("n0", "l", par[0])
+	for i := 1; i < len(par); i++ {
+		b.Node(nodeName(i), "l", par[i]).ShuffleFrom(nodeName(i - 1))
+	}
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func nodeName(i int) string {
+	return string(rune('n')) + string(rune('0'+i))
+}
+
+func hosts(names ...string) []Host {
+	out := make([]Host, len(names))
+	for i, n := range names {
+		out[i] = Host{Name: n}
+	}
+	return out
+}
+
+func TestRoundRobinSpreadsInstances(t *testing.T) {
+	l := chainTopology(t, 1, 2, 4)
+	p, err := (RoundRobin{}).Schedule(l, hosts("h1", "h2", "h3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Workers) != 7 {
+		t.Fatalf("workers = %d", len(p.Workers))
+	}
+	perHost := map[string]int{}
+	for _, a := range p.Workers {
+		perHost[a.Host]++
+	}
+	for h, n := range perHost {
+		if n < 2 || n > 3 {
+			t.Fatalf("host %s has %d workers (uneven)", h, n)
+		}
+	}
+	// Worker IDs unique and contiguous from 1.
+	seen := map[topology.WorkerID]bool{}
+	for _, a := range p.Workers {
+		if seen[a.Worker] {
+			t.Fatalf("duplicate worker ID %d", a.Worker)
+		}
+		seen[a.Worker] = true
+	}
+	if p.NextWorker != 8 {
+		t.Fatalf("NextWorker = %d", p.NextWorker)
+	}
+}
+
+func TestScheduleRespectsSlots(t *testing.T) {
+	l := chainTopology(t, 1, 2)
+	if _, err := (RoundRobin{}).Schedule(l, []Host{{Name: "h1", Slots: 2}}); err == nil {
+		t.Fatal("over-capacity schedule should fail")
+	}
+	p, err := (RoundRobin{}).Schedule(l, []Host{{Name: "h1", Slots: 2}, {Name: "h2", Slots: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perHost := map[string]int{}
+	for _, a := range p.Workers {
+		perHost[a.Host]++
+	}
+	if perHost["h1"] > 2 || perHost["h2"] > 1 {
+		t.Fatalf("slot caps violated: %v", perHost)
+	}
+}
+
+func TestScheduleNoHosts(t *testing.T) {
+	l := chainTopology(t, 1)
+	if _, err := (RoundRobin{}).Schedule(l, nil); err == nil {
+		t.Fatal("no hosts should fail")
+	}
+	if _, err := (Locality{}).Schedule(l, nil); err == nil {
+		t.Fatal("no hosts should fail")
+	}
+}
+
+func TestRescheduleReusesSurvivors(t *testing.T) {
+	l := chainTopology(t, 1, 2)
+	sched := RoundRobin{}
+	p1, err := sched.Schedule(l, hosts("h1", "h2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scale n1 from 2 to 4.
+	l2 := l.Clone()
+	l2.Node("n1").Parallelism = 4
+	l2.Generation = 1
+	p2, err := sched.Reschedule(l2, p1, hosts("h1", "h2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.Workers) != 5 {
+		t.Fatalf("workers = %d", len(p2.Workers))
+	}
+	// The original two n1 instances keep their IDs and hosts.
+	old := p1.Instances("n1")
+	now := p2.Instances("n1")
+	for i := 0; i < 2; i++ {
+		if now[i].Worker != old[i].Worker || now[i].Host != old[i].Host {
+			t.Fatalf("survivor %d reassigned: %+v -> %+v", i, old[i], now[i])
+		}
+	}
+	// New instances get fresh, never-reused IDs.
+	for _, a := range now[2:] {
+		if a.Worker < p1.NextWorker {
+			t.Fatalf("worker ID %d reused", a.Worker)
+		}
+	}
+	if p2.Generation != 1 {
+		t.Fatal("generation not propagated")
+	}
+}
+
+func TestRescheduleScaleDownDropsHighestIndices(t *testing.T) {
+	l := chainTopology(t, 1, 4)
+	sched := RoundRobin{}
+	p1, _ := sched.Schedule(l, hosts("h1", "h2"))
+	l2 := l.Clone()
+	l2.Node("n1").Parallelism = 2
+	p2, err := sched.Reschedule(l2, p1, hosts("h1", "h2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := p2.Instances("n1")
+	if len(now) != 2 {
+		t.Fatalf("instances = %d", len(now))
+	}
+	old := p1.Instances("n1")
+	if now[0].Worker != old[0].Worker || now[1].Worker != old[1].Worker {
+		t.Fatal("scale-down should keep the lowest-index instances")
+	}
+}
+
+func TestLocalityBeatsRoundRobinOnRemoteEdges(t *testing.T) {
+	l := chainTopology(t, 1, 2, 2, 1)
+	hs := hosts("h1", "h2", "h3")
+	prr, err := (RoundRobin{}).Schedule(l, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ploc, err := (Locality{}).Schedule(l, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, loc := RemoteEdges(l, prr), RemoteEdges(l, ploc)
+	if loc > rr {
+		t.Fatalf("locality remote edges %d > round robin %d", loc, rr)
+	}
+	if loc == 0 && rr == 0 {
+		t.Fatal("degenerate test: no remote edges at all")
+	}
+}
+
+func TestLocalityRespectsSlots(t *testing.T) {
+	l := chainTopology(t, 1, 3)
+	p, err := (Locality{}).Schedule(l, []Host{{Name: "h1", Slots: 2}, {Name: "h2", Slots: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perHost := map[string]int{}
+	for _, a := range p.Workers {
+		perHost[a.Host]++
+	}
+	if perHost["h1"] > 2 || perHost["h2"] > 2 {
+		t.Fatalf("slots violated: %v", perHost)
+	}
+}
+
+func TestLocalitySchedulesAllNodes(t *testing.T) {
+	// Diamond: a -> b, a -> c, b -> d, c -> d.
+	b := topology.NewBuilder("diamond", 1)
+	b.Source("a", "l", 1)
+	b.Node("b", "l", 2).ShuffleFrom("a")
+	b.Node("c", "l", 2).ShuffleFrom("a")
+	b.Node("d", "l", 1).ShuffleFrom("b").ShuffleFrom("c")
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := (Locality{}).Schedule(l, hosts("h1", "h2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Workers) != 6 {
+		t.Fatalf("workers = %d", len(p.Workers))
+	}
+	for _, n := range []string{"a", "b", "c", "d"} {
+		if len(p.Instances(n)) == 0 {
+			t.Fatalf("node %s not scheduled", n)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package switchfabric
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"typhoon/internal/openflow"
+	"typhoon/internal/packet"
+)
+
+// rule is one installed flow entry.
+type rule struct {
+	match         openflow.Match
+	priority      uint16
+	cookie        uint64
+	idleTimeoutMs uint32
+	flags         uint16
+	actions       []openflow.Action
+
+	packets atomic.Uint64
+	bytes   atomic.Uint64
+	lastHit atomic.Int64 // unix nanos of last match (or install time)
+}
+
+func (r *rule) touch(bytes int) {
+	r.packets.Add(1)
+	r.bytes.Add(uint64(bytes))
+	r.lastHit.Store(time.Now().UnixNano())
+}
+
+func (r *rule) expired(now time.Time) bool {
+	if r.idleTimeoutMs == 0 {
+		return false
+	}
+	idle := now.UnixNano() - r.lastHit.Load()
+	return idle > int64(r.idleTimeoutMs)*int64(time.Millisecond)
+}
+
+// flowTable holds rules sorted by descending priority with stable insertion
+// order among equal priorities. Lookup is a linear scan, which is exact and
+// fast at the rule counts a streaming topology produces.
+type flowTable struct {
+	mu    sync.RWMutex
+	rules []*rule
+}
+
+// lookup returns the highest-priority rule covering the frame attributes.
+func (t *flowTable) lookup(inPort uint32, src, dst packet.Addr, etherType uint16) *rule {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.rules {
+		if r.match.Covers(inPort, src, dst, etherType) {
+			return r
+		}
+	}
+	return nil
+}
+
+// add installs a rule, replacing any entry with the identical match and
+// priority (OpenFlow ADD semantics).
+func (t *flowTable) add(fm openflow.FlowMod) {
+	nr := &rule{
+		match:         fm.Match,
+		priority:      fm.Priority,
+		cookie:        fm.Cookie,
+		idleTimeoutMs: fm.IdleTimeoutMs,
+		flags:         fm.Flags,
+		actions:       fm.Actions,
+	}
+	nr.lastHit.Store(time.Now().UnixNano())
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, r := range t.rules {
+		if r.priority == fm.Priority && r.match.Equal(fm.Match) {
+			t.rules[i] = nr
+			return
+		}
+	}
+	t.rules = append(t.rules, nr)
+	sort.SliceStable(t.rules, func(i, j int) bool {
+		return t.rules[i].priority > t.rules[j].priority
+	})
+}
+
+// modify replaces the actions of rules subsumed by the match; it returns
+// the number of rules updated.
+func (t *flowTable) modify(fm openflow.FlowMod) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, r := range t.rules {
+		if subsumes(fm.Match, r.match) {
+			r.actions = fm.Actions
+			n++
+		}
+	}
+	return n
+}
+
+// remove deletes rules. Strict deletion requires exact match and priority;
+// loose deletion removes every rule subsumed by the match. Removed rules
+// are returned so the switch can emit FlowRemoved notifications.
+func (t *flowTable) remove(m openflow.Match, priority uint16, strict bool) []*rule {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var removed []*rule
+	kept := t.rules[:0]
+	for _, r := range t.rules {
+		del := false
+		if strict {
+			del = r.priority == priority && r.match.Equal(m)
+		} else {
+			del = subsumes(m, r.match)
+		}
+		if del {
+			removed = append(removed, r)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	t.rules = kept
+	return removed
+}
+
+// expire removes rules whose idle timeout elapsed, returning them.
+func (t *flowTable) expire(now time.Time) []*rule {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var removed []*rule
+	kept := t.rules[:0]
+	for _, r := range t.rules {
+		if r.expired(now) {
+			removed = append(removed, r)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	t.rules = kept
+	return removed
+}
+
+// snapshot returns flow statistics rows for all rules.
+func (t *flowTable) snapshot() []openflow.FlowStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]openflow.FlowStats, 0, len(t.rules))
+	for _, r := range t.rules {
+		out = append(out, openflow.FlowStats{
+			Match:    r.match,
+			Priority: r.priority,
+			Cookie:   r.cookie,
+			Packets:  r.packets.Load(),
+			Bytes:    r.bytes.Load(),
+		})
+	}
+	return out
+}
+
+func (t *flowTable) len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rules)
+}
+
+// subsumes reports whether outer (a deletion/modification pattern) covers
+// rule match inner: every field constrained by outer must be constrained to
+// the same value in inner.
+func subsumes(outer, inner openflow.Match) bool {
+	if outer.Fields.Has(openflow.FieldInPort) &&
+		(!inner.Fields.Has(openflow.FieldInPort) || inner.InPort != outer.InPort) {
+		return false
+	}
+	if outer.Fields.Has(openflow.FieldDlSrc) &&
+		(!inner.Fields.Has(openflow.FieldDlSrc) || inner.DlSrc != outer.DlSrc) {
+		return false
+	}
+	if outer.Fields.Has(openflow.FieldDlDst) &&
+		(!inner.Fields.Has(openflow.FieldDlDst) || inner.DlDst != outer.DlDst) {
+		return false
+	}
+	if outer.Fields.Has(openflow.FieldEtherType) &&
+		(!inner.Fields.Has(openflow.FieldEtherType) || inner.EtherType != outer.EtherType) {
+		return false
+	}
+	return true
+}

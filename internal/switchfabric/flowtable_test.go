@@ -1,0 +1,131 @@
+package switchfabric
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"typhoon/internal/openflow"
+	"typhoon/internal/packet"
+)
+
+func mkMatch(fields openflow.FieldSet, inPort uint32, src, dst uint32, et uint16) openflow.Match {
+	return openflow.Match{
+		Fields: fields, InPort: inPort,
+		DlSrc: packet.WorkerAddr(1, src), DlDst: packet.WorkerAddr(1, dst),
+		EtherType: et,
+	}
+}
+
+func TestSubsumesSemantics(t *testing.T) {
+	full := mkMatch(openflow.FieldInPort|openflow.FieldDlSrc|openflow.FieldDlDst|openflow.FieldEtherType,
+		1, 10, 20, packet.EtherType)
+	byDst := openflow.Match{Fields: openflow.FieldDlDst, DlDst: packet.WorkerAddr(1, 20)}
+	if !subsumes(byDst, full) {
+		t.Fatal("wildcard-heavy pattern should subsume the specific rule")
+	}
+	if subsumes(full, byDst) {
+		t.Fatal("specific pattern must not subsume a wildcard rule")
+	}
+	otherDst := openflow.Match{Fields: openflow.FieldDlDst, DlDst: packet.WorkerAddr(1, 99)}
+	if subsumes(otherDst, full) {
+		t.Fatal("different value must not subsume")
+	}
+	empty := openflow.Match{}
+	if !subsumes(empty, full) || !subsumes(empty, byDst) {
+		t.Fatal("empty pattern subsumes everything")
+	}
+}
+
+func TestPropertySubsumedRuleAlsoCovered(t *testing.T) {
+	// Whenever pattern subsumes rule, any frame the rule matches would
+	// also match the pattern — the property loose deletion relies on.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		randMatch := func(fields openflow.FieldSet) openflow.Match {
+			return mkMatch(fields, r.Uint32()%4, r.Uint32()%4, r.Uint32()%4, uint16(r.Intn(2)))
+		}
+		pattern := randMatch(openflow.FieldSet(r.Intn(16)))
+		rule := randMatch(openflow.FieldSet(r.Intn(16)))
+		if !subsumes(pattern, rule) {
+			return true // vacuous
+		}
+		// Sample frames that the rule covers; the pattern must too.
+		for i := 0; i < 20; i++ {
+			in := r.Uint32() % 4
+			src := packet.WorkerAddr(1, r.Uint32()%4)
+			dst := packet.WorkerAddr(1, r.Uint32()%4)
+			et := uint16(r.Intn(2))
+			if rule.Covers(in, src, dst, et) && !pattern.Covers(in, src, dst, et) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlowTablePriorityStability(t *testing.T) {
+	var ft flowTable
+	// Two rules with equal priority: first-installed wins ties.
+	a := openflow.FlowMod{Priority: 10, Match: openflow.Match{Fields: openflow.FieldInPort, InPort: 1},
+		Actions: []openflow.Action{openflow.Output(100)}}
+	b := openflow.FlowMod{Priority: 10, Match: openflow.Match{Fields: openflow.FieldEtherType, EtherType: packet.EtherType},
+		Actions: []openflow.Action{openflow.Output(200)}}
+	ft.add(a)
+	ft.add(b)
+	r := ft.lookup(1, packet.Addr{}, packet.Addr{}, packet.EtherType)
+	if r == nil || r.actions[0].Port != 100 {
+		t.Fatal("stable tie-break broken")
+	}
+}
+
+func TestFlowTableModifyCounts(t *testing.T) {
+	var ft flowTable
+	ft.add(openflow.FlowMod{Priority: 1, Match: openflow.Match{Fields: openflow.FieldInPort, InPort: 1}})
+	ft.add(openflow.FlowMod{Priority: 1, Match: openflow.Match{Fields: openflow.FieldInPort, InPort: 2}})
+	n := ft.modify(openflow.FlowMod{
+		Match:   openflow.Match{Fields: openflow.FieldInPort, InPort: 1},
+		Actions: []openflow.Action{openflow.Output(9)},
+	})
+	if n != 1 {
+		t.Fatalf("modified %d rules", n)
+	}
+	r := ft.lookup(1, packet.Addr{}, packet.Addr{}, 0)
+	if r == nil || len(r.actions) != 1 || r.actions[0].Port != 9 {
+		t.Fatal("modify did not take effect")
+	}
+}
+
+func TestFlowTableExpireOnlyIdle(t *testing.T) {
+	var ft flowTable
+	ft.add(openflow.FlowMod{Priority: 1, IdleTimeoutMs: 10,
+		Match: openflow.Match{Fields: openflow.FieldInPort, InPort: 1}})
+	ft.add(openflow.FlowMod{Priority: 1,
+		Match: openflow.Match{Fields: openflow.FieldInPort, InPort: 2}})
+	time.Sleep(30 * time.Millisecond)
+	removed := ft.expire(time.Now())
+	if len(removed) != 1 || ft.len() != 1 {
+		t.Fatalf("removed=%d left=%d", len(removed), ft.len())
+	}
+	// The remaining rule has no timeout and never expires.
+	if r := ft.lookup(2, packet.Addr{}, packet.Addr{}, 0); r == nil {
+		t.Fatal("persistent rule expired")
+	}
+}
+
+func TestFlowTableSnapshotCounters(t *testing.T) {
+	var ft flowTable
+	ft.add(openflow.FlowMod{Priority: 1, Cookie: 77,
+		Match: openflow.Match{Fields: openflow.FieldInPort, InPort: 1}})
+	r := ft.lookup(1, packet.Addr{}, packet.Addr{}, 0)
+	r.touch(100)
+	r.touch(50)
+	snap := ft.snapshot()
+	if len(snap) != 1 || snap[0].Packets != 2 || snap[0].Bytes != 150 || snap[0].Cookie != 77 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}

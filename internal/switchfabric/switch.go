@@ -1,0 +1,486 @@
+// Package switchfabric implements the host-based software SDN switch of the
+// Typhoon data plane: an OpenFlow-programmable forwarding element whose
+// ports are DPDK-style ring buffers connecting local workers, tunnels and
+// the controller.
+//
+// The switch implements exactly the rule vocabulary of Table 3: matching on
+// in_port / dl_src / dl_dst / eth_type, output to one or many ports (the
+// serialization-free broadcast of Fig 9), set_tun_dst + tunnel-port output
+// for remote transfer, controller output for PACKET_IN, and select groups
+// with destination rewrite for SDN-level load balancing (§4).
+package switchfabric
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"typhoon/internal/openflow"
+	"typhoon/internal/packet"
+	"typhoon/internal/ring"
+)
+
+// ControllerSink receives asynchronous switch-to-controller events. The
+// in-process agent forwards them over the OpenFlow connection.
+type ControllerSink interface {
+	PacketIn(openflow.PacketIn)
+	PortStatus(openflow.PortStatus)
+	FlowRemoved(openflow.FlowRemoved)
+}
+
+// Options configures a Switch.
+type Options struct {
+	// RingCapacity sizes each port's RX and TX rings (frames).
+	RingCapacity int
+	// IdleScanInterval is how often idle timeouts are evaluated. Zero
+	// selects 50 ms.
+	IdleScanInterval time.Duration
+}
+
+// Switch is a host-local software SDN switch.
+type Switch struct {
+	name string
+	dpid uint64
+	opts Options
+
+	mu       sync.RWMutex
+	ports    map[uint32]*Port
+	nextPort uint32
+	groups   map[uint32]*group
+	sink     ControllerSink
+
+	flows flowTable
+
+	stopOnce sync.Once
+	stopped  chan struct{}
+	wg       sync.WaitGroup
+
+	rxDropsNoMatch atomic.Uint64
+}
+
+type group struct {
+	typ     openflow.GroupType
+	buckets []openflow.Bucket
+	next    atomic.Uint64 // weighted round-robin cursor
+	weights []uint32      // cumulative weights for bucket selection
+	total   uint32
+}
+
+// Port is one switch port. The device side (worker I/O layer, tunnel pump,
+// controller agent) writes frames in with WriteFrame and reads frames out
+// with ReadBatch; the switch side runs a pump goroutine per port.
+type Port struct {
+	no     uint32
+	name   string
+	addr   packet.Addr
+	tunnel bool
+
+	rx *ring.Ring // device -> switch
+	tx *ring.Ring // switch -> device
+
+	rxPackets atomic.Uint64
+	rxBytes   atomic.Uint64
+	txPackets atomic.Uint64
+	txBytes   atomic.Uint64
+	txDropped atomic.Uint64
+}
+
+// No returns the port number.
+func (p *Port) No() uint32 { return p.no }
+
+// Name returns the port name.
+func (p *Port) Name() string { return p.name }
+
+// Addr returns the worker address bound to the port (zero for tunnels).
+func (p *Port) Addr() packet.Addr { return p.addr }
+
+// IsTunnel reports whether the port is a tunnel port.
+func (p *Port) IsTunnel() bool { return p.tunnel }
+
+// WriteFrame submits a frame from the attached device into the switch.
+// It reports false when the ingress ring is full (frame dropped).
+func (p *Port) WriteFrame(frame []byte) bool { return p.rx.TryEnqueue(frame) }
+
+// ReadBatch reads frames the switch delivered to this port, waiting up to
+// wait for the first frame. It returns ring.ErrClosed after the port is
+// removed and drained.
+func (p *Port) ReadBatch(dst [][]byte, max int, wait time.Duration) ([][]byte, error) {
+	return p.tx.DequeueBatch(dst, max, wait)
+}
+
+// Closed reports whether the port has been removed from the switch.
+func (p *Port) Closed() bool { return p.rx.Closed() }
+
+// QueueLen reports frames queued toward the attached device, the
+// switch-side component of a worker's queue-status metric.
+func (p *Port) QueueLen() int { return p.tx.Len() }
+
+// New builds a switch named after its host with the given datapath ID.
+func New(name string, dpid uint64, opts Options) *Switch {
+	if opts.IdleScanInterval <= 0 {
+		opts.IdleScanInterval = 50 * time.Millisecond
+	}
+	return &Switch{
+		name:    name,
+		dpid:    dpid,
+		opts:    opts,
+		ports:   make(map[uint32]*Port),
+		groups:  make(map[uint32]*group),
+		stopped: make(chan struct{}),
+	}
+}
+
+// Name returns the switch (host) name.
+func (s *Switch) Name() string { return s.name }
+
+// DatapathID returns the datapath identifier.
+func (s *Switch) DatapathID() uint64 { return s.dpid }
+
+// SetController attaches the controller event sink.
+func (s *Switch) SetController(sink ControllerSink) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sink = sink
+}
+
+// Start launches the idle-timeout scanner. Port pumps start as ports are
+// added.
+func (s *Switch) Start() {
+	s.wg.Add(1)
+	go s.idleScanner()
+}
+
+// Stop halts the switch: all ports are closed and pumps drained.
+func (s *Switch) Stop() {
+	s.stopOnce.Do(func() { close(s.stopped) })
+	s.mu.Lock()
+	for _, p := range s.ports {
+		p.rx.Close()
+		p.tx.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// AddPort creates a worker port bound to addr and starts its pump.
+func (s *Switch) AddPort(name string, addr packet.Addr) (*Port, error) {
+	return s.addPort(name, addr, false)
+}
+
+// AddTunnelPort creates the host's tunnel port.
+func (s *Switch) AddTunnelPort(name string) (*Port, error) {
+	return s.addPort(name, packet.Addr{}, true)
+}
+
+func (s *Switch) addPort(name string, addr packet.Addr, tunnel bool) (*Port, error) {
+	s.mu.Lock()
+	select {
+	case <-s.stopped:
+		s.mu.Unlock()
+		return nil, fmt.Errorf("switchfabric: switch %s stopped", s.name)
+	default:
+	}
+	s.nextPort++
+	p := &Port{
+		no:     s.nextPort,
+		name:   name,
+		addr:   addr,
+		tunnel: tunnel,
+		rx:     ring.New(s.opts.RingCapacity),
+		tx:     ring.New(s.opts.RingCapacity),
+	}
+	s.ports[p.no] = p
+	sink := s.sink
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.pump(p)
+
+	if sink != nil {
+		sink.PortStatus(openflow.PortStatus{
+			Reason: openflow.PortAdded,
+			Port:   openflow.PortInfo{No: p.no, Name: p.name},
+			Addr:   p.addr,
+		})
+	}
+	return p, nil
+}
+
+// RemovePort removes a port, closing its rings and emitting a PortStatus
+// event. A worker crash manifests as exactly this event (Fig 10's
+// SwitchPortChanged notification).
+func (s *Switch) RemovePort(no uint32) error {
+	s.mu.Lock()
+	p, ok := s.ports[no]
+	if ok {
+		delete(s.ports, no)
+	}
+	sink := s.sink
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("switchfabric: no port %d", no)
+	}
+	p.rx.Close()
+	p.tx.Close()
+	if sink != nil {
+		sink.PortStatus(openflow.PortStatus{
+			Reason: openflow.PortDeleted,
+			Port:   openflow.PortInfo{No: p.no, Name: p.name},
+			Addr:   p.addr,
+		})
+	}
+	return nil
+}
+
+// Port returns the port with the given number, or nil.
+func (s *Switch) Port(no uint32) *Port {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ports[no]
+}
+
+// Ports lists current ports for FEATURES replies.
+func (s *Switch) Ports() []openflow.PortInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]openflow.PortInfo, 0, len(s.ports))
+	for _, p := range s.ports {
+		out = append(out, openflow.PortInfo{No: p.no, Name: p.name})
+	}
+	return out
+}
+
+// ApplyFlowMod programs the flow table.
+func (s *Switch) ApplyFlowMod(fm openflow.FlowMod) error {
+	switch fm.Command {
+	case openflow.FlowAdd:
+		s.flows.add(fm)
+	case openflow.FlowModify:
+		s.flows.modify(fm)
+	case openflow.FlowDelete, openflow.FlowDeleteStrict:
+		removed := s.flows.remove(fm.Match, fm.Priority, fm.Command == openflow.FlowDeleteStrict)
+		s.notifyRemoved(removed, openflow.RemovedDelete)
+	default:
+		return fmt.Errorf("switchfabric: bad flow command %d", fm.Command)
+	}
+	return nil
+}
+
+// ApplyGroupMod programs the group table.
+func (s *Switch) ApplyGroupMod(gm openflow.GroupMod) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch gm.Command {
+	case openflow.GroupAdd, openflow.GroupModify:
+		g := &group{typ: gm.Type, buckets: gm.Buckets}
+		for _, b := range gm.Buckets {
+			w := uint32(b.Weight)
+			if w == 0 {
+				w = 1
+			}
+			g.total += w
+			g.weights = append(g.weights, g.total)
+		}
+		s.groups[gm.GroupID] = g
+	case openflow.GroupDelete:
+		delete(s.groups, gm.GroupID)
+	default:
+		return fmt.Errorf("switchfabric: bad group command %d", gm.Command)
+	}
+	return nil
+}
+
+// Inject processes a controller PACKET_OUT: the data frame is run through
+// the explicit action list with in_port as given.
+func (s *Switch) Inject(po openflow.PacketOut) error {
+	if len(po.Data) == 0 {
+		return fmt.Errorf("switchfabric: empty packet-out")
+	}
+	s.execute(po.InPort, po.Data, po.Actions, 0)
+	return nil
+}
+
+// PortStatsSnapshot returns per-port counters.
+func (s *Switch) PortStatsSnapshot() []openflow.PortStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]openflow.PortStats, 0, len(s.ports))
+	for _, p := range s.ports {
+		rs := p.rx.Stats()
+		out = append(out, openflow.PortStats{
+			PortNo:    p.no,
+			RxPackets: p.rxPackets.Load(),
+			RxBytes:   p.rxBytes.Load(),
+			TxPackets: p.txPackets.Load(),
+			TxBytes:   p.txBytes.Load(),
+			RxDropped: rs.Dropped,
+			TxDropped: p.txDropped.Load(),
+		})
+	}
+	return out
+}
+
+// FlowStatsSnapshot returns per-rule counters.
+func (s *Switch) FlowStatsSnapshot() []openflow.FlowStats { return s.flows.snapshot() }
+
+// RuleCount reports the number of installed rules.
+func (s *Switch) RuleCount() int { return s.flows.len() }
+
+// NoMatchDrops reports frames dropped due to table miss.
+func (s *Switch) NoMatchDrops() uint64 { return s.rxDropsNoMatch.Load() }
+
+// pump moves frames from a port's RX ring through the pipeline.
+func (s *Switch) pump(p *Port) {
+	defer s.wg.Done()
+	var batch [][]byte
+	for {
+		batch = batch[:0]
+		var err error
+		batch, err = p.rx.DequeueBatch(batch, 64, time.Second)
+		if err != nil {
+			return
+		}
+		for _, frame := range batch {
+			s.process(p, frame)
+		}
+	}
+}
+
+func (s *Switch) process(in *Port, frame []byte) {
+	dst, src, ok := packet.PeekAddrs(frame)
+	if !ok {
+		s.rxDropsNoMatch.Add(1)
+		return
+	}
+	in.rxPackets.Add(1)
+	in.rxBytes.Add(uint64(len(frame)))
+	etherType := binary.BigEndian.Uint16(frame[12:14])
+	r := s.flows.lookup(in.no, src, dst, etherType)
+	if r == nil {
+		s.rxDropsNoMatch.Add(1)
+		return
+	}
+	r.touch(len(frame))
+	s.execute(in.no, frame, r.actions, 0)
+}
+
+// execute runs an action list on a frame. depth guards group recursion.
+func (s *Switch) execute(inPort uint32, frame []byte, actions []openflow.Action, depth int) {
+	if depth > 2 {
+		return
+	}
+	tunDst := ""
+	for _, a := range actions {
+		switch a.Type {
+		case openflow.ActSetTunnelDst:
+			tunDst = a.Host
+		case openflow.ActSetDlDst:
+			// Copy before rewrite: other outputs may alias this frame.
+			cp := make([]byte, len(frame))
+			copy(cp, frame)
+			packet.RewriteDst(cp, a.Addr)
+			frame = cp
+		case openflow.ActOutput:
+			s.deliver(a.Port, frame, tunDst)
+		case openflow.ActGroup:
+			s.executeGroup(inPort, frame, a.Group, depth+1)
+		}
+	}
+}
+
+func (s *Switch) executeGroup(inPort uint32, frame []byte, id uint32, depth int) {
+	s.mu.RLock()
+	g := s.groups[id]
+	s.mu.RUnlock()
+	if g == nil {
+		return
+	}
+	switch g.typ {
+	case openflow.GroupSelect:
+		if g.total == 0 {
+			return
+		}
+		// Weighted round robin over cumulative weights.
+		slot := uint32(g.next.Add(1)-1) % g.total
+		for i, cum := range g.weights {
+			if slot < cum {
+				s.execute(inPort, frame, g.buckets[i].Actions, depth)
+				return
+			}
+		}
+	case openflow.GroupAll:
+		for _, b := range g.buckets {
+			s.execute(inPort, frame, b.Actions, depth)
+		}
+	}
+}
+
+func (s *Switch) deliver(portNo uint32, frame []byte, tunDst string) {
+	if portNo == openflow.PortController {
+		s.mu.RLock()
+		sink := s.sink
+		s.mu.RUnlock()
+		if sink != nil {
+			sink.PacketIn(openflow.PacketIn{InPort: portNo, Reason: openflow.ReasonAction, Data: frame})
+		}
+		return
+	}
+	s.mu.RLock()
+	p := s.ports[portNo]
+	s.mu.RUnlock()
+	if p == nil {
+		return
+	}
+	out := frame
+	if p.tunnel {
+		out = EncapTunnel(tunDst, frame)
+	}
+	if p.tx.TryEnqueue(out) {
+		p.txPackets.Add(1)
+		p.txBytes.Add(uint64(len(out)))
+	} else {
+		p.txDropped.Add(1)
+	}
+}
+
+func (s *Switch) idleScanner() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.opts.IdleScanInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopped:
+			return
+		case now := <-ticker.C:
+			removed := s.flows.expire(now)
+			s.notifyRemoved(removed, openflow.RemovedIdleTimeout)
+		}
+	}
+}
+
+func (s *Switch) notifyRemoved(rules []*rule, reason openflow.FlowRemovedReason) {
+	if len(rules) == 0 {
+		return
+	}
+	s.mu.RLock()
+	sink := s.sink
+	s.mu.RUnlock()
+	if sink == nil {
+		return
+	}
+	for _, r := range rules {
+		if r.flags&openflow.FlagSendFlowRem == 0 {
+			continue
+		}
+		sink.FlowRemoved(openflow.FlowRemoved{
+			Match:    r.match,
+			Priority: r.priority,
+			Cookie:   r.cookie,
+			Reason:   reason,
+			Packets:  r.packets.Load(),
+			Bytes:    r.bytes.Load(),
+		})
+	}
+}

@@ -1,0 +1,110 @@
+package topology
+
+import "typhoon/internal/tuple"
+
+// Builder assembles a Logical topology with a fluent API, mirroring the
+// framework-provided topology-building APIs of §2. Errors are deferred to
+// Build, which validates the result.
+type Builder struct {
+	topo Logical
+}
+
+// NewBuilder starts a topology with the given name and application ID.
+func NewBuilder(name string, app uint16) *Builder {
+	return &Builder{topo: Logical{App: app, Name: name}}
+}
+
+// NodeBuilder adds edges to a node under construction.
+type NodeBuilder struct {
+	b    *Builder
+	name string
+}
+
+// Source declares a tuple-generating node.
+func (b *Builder) Source(name, logic string, parallelism int) *NodeBuilder {
+	b.topo.Nodes = append(b.topo.Nodes, NodeSpec{
+		Name: name, Logic: logic, Parallelism: parallelism, Source: true,
+	})
+	return &NodeBuilder{b: b, name: name}
+}
+
+// Node declares a processing node.
+func (b *Builder) Node(name, logic string, parallelism int) *NodeBuilder {
+	b.topo.Nodes = append(b.topo.Nodes, NodeSpec{
+		Name: name, Logic: logic, Parallelism: parallelism,
+	})
+	return &NodeBuilder{b: b, name: name}
+}
+
+// Ackers enables guaranteed processing with n acker workers.
+func (b *Builder) Ackers(n int) *Builder {
+	b.topo.Ackers = n
+	return b
+}
+
+// Build validates and returns the topology.
+func (b *Builder) Build() (*Logical, error) {
+	t := b.topo.Clone()
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Stateful marks the node as stateful (in-memory cache, Table 4).
+func (n *NodeBuilder) Stateful() *NodeBuilder {
+	if spec := n.b.topo.Node(n.name); spec != nil {
+		spec.Stateful = true
+	}
+	return n
+}
+
+// ShuffleFrom subscribes via round-robin shuffle routing.
+func (n *NodeBuilder) ShuffleFrom(from string) *NodeBuilder {
+	return n.edge(from, Shuffle, nil, tuple.DefaultStream)
+}
+
+// FieldsFrom subscribes via key-based routing over the given field indices.
+func (n *NodeBuilder) FieldsFrom(from string, fields ...int) *NodeBuilder {
+	return n.edge(from, Fields, fields, tuple.DefaultStream)
+}
+
+// GlobalFrom subscribes via global routing (all tuples to instance 0).
+func (n *NodeBuilder) GlobalFrom(from string) *NodeBuilder {
+	return n.edge(from, Global, nil, tuple.DefaultStream)
+}
+
+// AllFrom subscribes via broadcast routing (every tuple to every instance).
+func (n *NodeBuilder) AllFrom(from string) *NodeBuilder {
+	return n.edge(from, All, nil, tuple.DefaultStream)
+}
+
+// SDNBalancedFrom subscribes via SDN-level weighted load balancing.
+func (n *NodeBuilder) SDNBalancedFrom(from string) *NodeBuilder {
+	return n.edge(from, SDNBalanced, nil, tuple.DefaultStream)
+}
+
+// DirectFrom subscribes via direct routing: each tuple names its
+// destination worker in its first field.
+func (n *NodeBuilder) DirectFrom(from string) *NodeBuilder {
+	return n.edge(from, Direct, nil, tuple.DefaultStream)
+}
+
+// OnStream retargets the most recently added edge into this node to a named
+// stream of the upstream node.
+func (n *NodeBuilder) OnStream(s tuple.StreamID) *NodeBuilder {
+	for i := len(n.b.topo.Edges) - 1; i >= 0; i-- {
+		if n.b.topo.Edges[i].To == n.name {
+			n.b.topo.Edges[i].Stream = s
+			break
+		}
+	}
+	return n
+}
+
+func (n *NodeBuilder) edge(from string, p RoutingPolicy, fields []int, s tuple.StreamID) *NodeBuilder {
+	n.b.topo.Edges = append(n.b.topo.Edges, EdgeSpec{
+		From: from, To: n.name, Policy: p, HashFields: fields, Stream: s,
+	})
+	return n
+}

@@ -1,0 +1,58 @@
+package topology
+
+// Route is the policy-independent routing state of §3.3.2 for one outgoing
+// edge: the routing policy descriptor plus the current set of next-hop
+// workers (nextHops / numNextHops in Listing 1). The SDN controller carries
+// updated Routes to workers inside ROUTING control tuples.
+type Route struct {
+	Edge EdgeSpec `json:"edge"`
+	// NextHops are the destination worker IDs sorted by instance index.
+	NextHops []WorkerID `json:"nextHops"`
+}
+
+// RoutesFor derives the outgoing routing table of a logical node from the
+// current logical and physical topologies.
+func RoutesFor(l *Logical, p *Physical, node string) []Route {
+	var out []Route
+	for _, e := range l.OutEdges(node) {
+		r := Route{Edge: e}
+		for _, a := range p.Instances(e.To) {
+			r.NextHops = append(r.NextHops, a.Worker)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Predecessors returns the worker assignments of every node with an edge
+// into the named node; these are the workers whose routing state must be
+// updated when the node is reconfigured (§3.5).
+func Predecessors(l *Logical, p *Physical, node string) []Assignment {
+	var out []Assignment
+	seen := make(map[WorkerID]bool)
+	for _, e := range l.InEdges(node) {
+		for _, a := range p.Instances(e.From) {
+			if !seen[a.Worker] {
+				seen[a.Worker] = true
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// Successors returns the worker assignments of every node the named node
+// feeds.
+func Successors(l *Logical, p *Physical, node string) []Assignment {
+	var out []Assignment
+	seen := make(map[WorkerID]bool)
+	for _, e := range l.OutEdges(node) {
+		for _, a := range p.Instances(e.To) {
+			if !seen[a.Worker] {
+				seen[a.Worker] = true
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}

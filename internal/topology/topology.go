@@ -1,0 +1,341 @@
+// Package topology models Typhoon stream topologies: the logical DAG an
+// application declares (nodes with computation logic, parallelism and
+// routing policies) and the physical topology the scheduler derives from it
+// (workers pinned to hosts and switch ports).
+//
+// Logical and physical topologies are the global state rows of Table 1 and
+// are stored JSON-encoded in the coordinator so every component (streaming
+// manager, SDN controller, worker agents) shares one view.
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"typhoon/internal/tuple"
+)
+
+// RoutingPolicy selects how a node routes output tuples to the instances of
+// a downstream node (§2 "Data tuple routing policies").
+type RoutingPolicy uint8
+
+// Routing policies.
+const (
+	// Shuffle distributes tuples round-robin for load balancing.
+	Shuffle RoutingPolicy = iota + 1
+	// Fields routes by a hash of selected tuple fields, so equal keys
+	// always reach the same instance (key-based routing).
+	Fields
+	// Global sends every tuple to the first instance (sink aggregation).
+	Global
+	// All broadcasts every tuple to all instances (one-to-many).
+	All
+	// SDNBalanced delegates destination choice to the network: the worker
+	// stamps a broadcast destination and a switch select-group rewrites it
+	// in weighted round robin (the SDN load balancer of §4).
+	SDNBalanced
+	// Direct routes each tuple to the worker ID carried in its first
+	// field (Storm's direct grouping); ackers use it to notify the exact
+	// source worker whose tuple tree completed.
+	Direct
+)
+
+func (p RoutingPolicy) String() string {
+	switch p {
+	case Shuffle:
+		return "shuffle"
+	case Fields:
+		return "fields"
+	case Global:
+		return "global"
+	case All:
+		return "all"
+	case SDNBalanced:
+		return "sdn-balanced"
+	case Direct:
+		return "direct"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// NodeSpec declares one logical node.
+type NodeSpec struct {
+	// Name is unique within the topology.
+	Name string `json:"name"`
+	// Logic names the registered computation-logic factory. Swapping this
+	// string at runtime is the "computation logic reconfiguration" of §6.2.
+	Logic string `json:"logic"`
+	// Parallelism is the number of worker instances.
+	Parallelism int `json:"parallelism"`
+	// Source marks spout nodes that generate tuples.
+	Source bool `json:"source,omitempty"`
+	// Stateful marks workers with in-memory caches that require
+	// flush-before-reconfigure (Table 4, §3.5).
+	Stateful bool `json:"stateful,omitempty"`
+}
+
+// EdgeSpec declares one logical edge with its routing policy.
+type EdgeSpec struct {
+	From   string        `json:"from"`
+	To     string        `json:"to"`
+	Policy RoutingPolicy `json:"policy"`
+	// HashFields are the tuple field indices hashed by Fields routing.
+	HashFields []int `json:"hashFields,omitempty"`
+	// Stream restricts the edge to one output stream of From;
+	// tuple.DefaultStream subscribes to the default stream.
+	Stream tuple.StreamID `json:"stream,omitempty"`
+}
+
+// Logical is a validated logical topology.
+type Logical struct {
+	// App is the application ID used as address prefix on the data plane.
+	App uint16 `json:"app"`
+	// Name is the human-readable topology name.
+	Name  string     `json:"name"`
+	Nodes []NodeSpec `json:"nodes"`
+	Edges []EdgeSpec `json:"edges"`
+	// Ackers is the number of acker workers wired in for guaranteed
+	// processing; zero disables acking (§6.1).
+	Ackers int `json:"ackers,omitempty"`
+	// Generation counts reconfigurations applied to this topology.
+	Generation int64 `json:"generation"`
+}
+
+// Node returns the spec of the named node, or nil.
+func (l *Logical) Node(name string) *NodeSpec {
+	for i := range l.Nodes {
+		if l.Nodes[i].Name == name {
+			return &l.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// OutEdges returns the edges leaving the named node.
+func (l *Logical) OutEdges(name string) []EdgeSpec {
+	var out []EdgeSpec
+	for _, e := range l.Edges {
+		if e.From == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// InEdges returns the edges entering the named node.
+func (l *Logical) InEdges(name string) []EdgeSpec {
+	var out []EdgeSpec
+	for _, e := range l.Edges {
+		if e.To == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: unique node names, positive
+// parallelism, edges referencing declared nodes, at least one source, and
+// acyclicity.
+func (l *Logical) Validate() error {
+	if l.Name == "" {
+		return fmt.Errorf("topology: empty name")
+	}
+	if len(l.Nodes) == 0 {
+		return fmt.Errorf("topology %s: no nodes", l.Name)
+	}
+	seen := make(map[string]bool, len(l.Nodes))
+	hasSource := false
+	for _, n := range l.Nodes {
+		if n.Name == "" {
+			return fmt.Errorf("topology %s: node with empty name", l.Name)
+		}
+		if seen[n.Name] {
+			return fmt.Errorf("topology %s: duplicate node %q", l.Name, n.Name)
+		}
+		seen[n.Name] = true
+		if n.Parallelism < 1 {
+			return fmt.Errorf("topology %s: node %q parallelism %d < 1", l.Name, n.Name, n.Parallelism)
+		}
+		if n.Logic == "" {
+			return fmt.Errorf("topology %s: node %q has no logic", l.Name, n.Name)
+		}
+		if n.Source {
+			hasSource = true
+		}
+	}
+	if !hasSource {
+		return fmt.Errorf("topology %s: no source node", l.Name)
+	}
+	adj := make(map[string][]string)
+	for _, e := range l.Edges {
+		if !seen[e.From] || !seen[e.To] {
+			return fmt.Errorf("topology %s: edge %s->%s references unknown node", l.Name, e.From, e.To)
+		}
+		if e.Policy < Shuffle || e.Policy > Direct {
+			return fmt.Errorf("topology %s: edge %s->%s has invalid policy", l.Name, e.From, e.To)
+		}
+		if e.Policy == Fields && len(e.HashFields) == 0 {
+			return fmt.Errorf("topology %s: edge %s->%s fields routing without hash fields", l.Name, e.From, e.To)
+		}
+		// Framework edges (acking, completion notifications) are exempt
+		// from the DAG requirement: the acker both consumes from every
+		// node and notifies sources, which is a benign cycle outside the
+		// data flow.
+		if e.Stream == tuple.AckStream || e.Stream == tuple.CompleteStream {
+			continue
+		}
+		adj[e.From] = append(adj[e.From], e.To)
+	}
+	// DAG check via colouring.
+	const (
+		white, grey, black = 0, 1, 2
+	)
+	colour := make(map[string]int)
+	var visit func(string) error
+	visit = func(n string) error {
+		colour[n] = grey
+		for _, m := range adj[n] {
+			switch colour[m] {
+			case grey:
+				return fmt.Errorf("topology %s: cycle through %q", l.Name, m)
+			case white:
+				if err := visit(m); err != nil {
+					return err
+				}
+			}
+		}
+		colour[n] = black
+		return nil
+	}
+	for _, n := range l.Nodes {
+		if colour[n.Name] == white {
+			if err := visit(n.Name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the topology.
+func (l *Logical) Clone() *Logical {
+	out := &Logical{App: l.App, Name: l.Name, Ackers: l.Ackers, Generation: l.Generation}
+	out.Nodes = append([]NodeSpec(nil), l.Nodes...)
+	for _, e := range l.Edges {
+		e.HashFields = append([]int(nil), e.HashFields...)
+		out.Edges = append(out.Edges, e)
+	}
+	return out
+}
+
+// Encode serializes the topology for coordinator storage.
+func (l *Logical) Encode() []byte {
+	b, err := json.Marshal(l)
+	if err != nil {
+		panic("topology: unmarshalable logical topology: " + err.Error())
+	}
+	return b
+}
+
+// DecodeLogical parses a topology encoded by Encode.
+func DecodeLogical(b []byte) (*Logical, error) {
+	var l Logical
+	if err := json.Unmarshal(b, &l); err != nil {
+		return nil, fmt.Errorf("topology: decode logical: %w", err)
+	}
+	return &l, nil
+}
+
+// WorkerID identifies one physical worker within an application.
+type WorkerID uint32
+
+// Assignment pins one worker instance to a host and switch port
+// (the per-worker assignment info row of Table 1).
+type Assignment struct {
+	Worker WorkerID `json:"worker"`
+	// Node is the logical node this worker instantiates.
+	Node string `json:"node"`
+	// Index is the instance index within the node (0..parallelism-1).
+	Index int `json:"index"`
+	// Host names the compute host.
+	Host string `json:"host"`
+	// Port is the SDN switch port the worker is attached to; zero until
+	// the worker agent attaches it.
+	Port uint32 `json:"port"`
+}
+
+// Physical is a scheduled physical topology.
+type Physical struct {
+	App  uint16 `json:"app"`
+	Name string `json:"name"`
+	// Generation mirrors the logical generation it was scheduled from.
+	Generation int64 `json:"generation"`
+	// NextWorker is the next unallocated worker ID; reconfigurations
+	// allocate fresh IDs so addresses are never reused.
+	NextWorker WorkerID     `json:"nextWorker"`
+	Workers    []Assignment `json:"workers"`
+}
+
+// Worker returns the assignment of the given worker ID, or nil.
+func (p *Physical) Worker(id WorkerID) *Assignment {
+	for i := range p.Workers {
+		if p.Workers[i].Worker == id {
+			return &p.Workers[i]
+		}
+	}
+	return nil
+}
+
+// Instances returns the assignments of a logical node sorted by instance
+// index; routing tables depend on this ordering being stable.
+func (p *Physical) Instances(node string) []Assignment {
+	var out []Assignment
+	for _, a := range p.Workers {
+		if a.Node == node {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// Hosts returns the distinct host names in use, sorted.
+func (p *Physical) Hosts() []string {
+	seen := make(map[string]bool)
+	for _, a := range p.Workers {
+		seen[a.Host] = true
+	}
+	out := make([]string, 0, len(seen))
+	for h := range seen {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone deep-copies the physical topology.
+func (p *Physical) Clone() *Physical {
+	out := *p
+	out.Workers = append([]Assignment(nil), p.Workers...)
+	return &out
+}
+
+// Encode serializes the physical topology for coordinator storage.
+func (p *Physical) Encode() []byte {
+	b, err := json.Marshal(p)
+	if err != nil {
+		panic("topology: unmarshalable physical topology: " + err.Error())
+	}
+	return b
+}
+
+// DecodePhysical parses a topology encoded by Encode.
+func DecodePhysical(b []byte) (*Physical, error) {
+	var p Physical
+	if err := json.Unmarshal(b, &p); err != nil {
+		return nil, fmt.Errorf("topology: decode physical: %w", err)
+	}
+	return &p, nil
+}

@@ -1,0 +1,246 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+
+	"typhoon/internal/tuple"
+)
+
+// wordCount builds the canonical Fig 2 topology.
+func wordCount(t *testing.T) *Logical {
+	t.Helper()
+	b := NewBuilder("wordcount", 1)
+	b.Source("input", "sentences", 1)
+	b.Node("split", "splitter", 2).ShuffleFrom("input")
+	b.Node("count", "counter", 2).FieldsFrom("split", 0).Stateful()
+	b.Node("agg", "aggregator", 1).GlobalFrom("count")
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestBuilderWordCount(t *testing.T) {
+	l := wordCount(t)
+	if len(l.Nodes) != 4 || len(l.Edges) != 3 {
+		t.Fatalf("nodes=%d edges=%d", len(l.Nodes), len(l.Edges))
+	}
+	if !l.Node("input").Source || l.Node("split").Source {
+		t.Fatal("source flags wrong")
+	}
+	if !l.Node("count").Stateful {
+		t.Fatal("stateful flag lost")
+	}
+	e := l.InEdges("count")
+	if len(e) != 1 || e[0].Policy != Fields || !reflect.DeepEqual(e[0].HashFields, []int{0}) {
+		t.Fatalf("count in-edges = %+v", e)
+	}
+	if len(l.OutEdges("agg")) != 0 {
+		t.Fatal("agg should be a sink")
+	}
+}
+
+func TestValidateRejectsBadTopologies(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() *Builder
+	}{
+		{"no nodes", func() *Builder { return NewBuilder("x", 1) }},
+		{"no source", func() *Builder {
+			b := NewBuilder("x", 1)
+			b.Node("a", "l", 1)
+			return b
+		}},
+		{"duplicate node", func() *Builder {
+			b := NewBuilder("x", 1)
+			b.Source("a", "l", 1)
+			b.Node("a", "l", 1)
+			return b
+		}},
+		{"zero parallelism", func() *Builder {
+			b := NewBuilder("x", 1)
+			b.Source("a", "l", 0)
+			return b
+		}},
+		{"empty logic", func() *Builder {
+			b := NewBuilder("x", 1)
+			b.Source("a", "", 1)
+			return b
+		}},
+		{"unknown edge target", func() *Builder {
+			b := NewBuilder("x", 1)
+			b.Source("a", "l", 1)
+			b.Node("b", "l", 1).ShuffleFrom("ghost")
+			return b
+		}},
+		{"fields without hash fields", func() *Builder {
+			b := NewBuilder("x", 1)
+			b.Source("a", "l", 1)
+			b.Node("b", "l", 1).FieldsFrom("a")
+			return b
+		}},
+		{"cycle", func() *Builder {
+			b := NewBuilder("x", 1)
+			b.Source("a", "l", 1)
+			b.Node("b", "l", 1).ShuffleFrom("a")
+			b.Node("c", "l", 1).ShuffleFrom("b")
+			// back edge c -> b
+			nb := &NodeBuilder{b: b, name: "b"}
+			nb.ShuffleFrom("c")
+			return b
+		}},
+	}
+	for _, c := range cases {
+		if _, err := c.mk().Build(); err == nil {
+			t.Errorf("%s: Build succeeded, want error", c.name)
+		}
+	}
+	if (&Logical{Name: "", Nodes: []NodeSpec{{Name: "a", Logic: "l", Parallelism: 1, Source: true}}}).Validate() == nil {
+		t.Error("empty topology name accepted")
+	}
+}
+
+func TestLogicalEncodeDecodeRoundTrip(t *testing.T) {
+	l := wordCount(t)
+	l.Generation = 3
+	out, err := DecodeLogical(l.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(l, out) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", l, out)
+	}
+	if _, err := DecodeLogical([]byte("{bad")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	l := wordCount(t)
+	c := l.Clone()
+	c.Nodes[0].Parallelism = 99
+	c.Edges[1].HashFields = append(c.Edges[1].HashFields, 7)
+	if l.Nodes[0].Parallelism == 99 {
+		t.Fatal("node slice shared")
+	}
+	for _, e := range l.Edges {
+		if len(e.HashFields) > 1 {
+			t.Fatal("hash fields shared")
+		}
+	}
+}
+
+func samplePhysical() *Physical {
+	return &Physical{
+		App: 1, Name: "wordcount", Generation: 1, NextWorker: 8,
+		Workers: []Assignment{
+			{Worker: 1, Node: "input", Index: 0, Host: "h1", Port: 1},
+			{Worker: 2, Node: "split", Index: 0, Host: "h1", Port: 2},
+			{Worker: 3, Node: "split", Index: 1, Host: "h2", Port: 1},
+			{Worker: 4, Node: "count", Index: 0, Host: "h2", Port: 2},
+			{Worker: 5, Node: "count", Index: 1, Host: "h3", Port: 1},
+			{Worker: 6, Node: "agg", Index: 0, Host: "h3", Port: 2},
+		},
+	}
+}
+
+func TestPhysicalAccessors(t *testing.T) {
+	p := samplePhysical()
+	if p.Worker(3) == nil || p.Worker(3).Node != "split" {
+		t.Fatal("Worker lookup failed")
+	}
+	if p.Worker(99) != nil {
+		t.Fatal("ghost worker found")
+	}
+	inst := p.Instances("count")
+	if len(inst) != 2 || inst[0].Worker != 4 || inst[1].Worker != 5 {
+		t.Fatalf("instances = %+v", inst)
+	}
+	hosts := p.Hosts()
+	if !reflect.DeepEqual(hosts, []string{"h1", "h2", "h3"}) {
+		t.Fatalf("hosts = %v", hosts)
+	}
+	c := p.Clone()
+	c.Workers[0].Host = "elsewhere"
+	if p.Workers[0].Host != "h1" {
+		t.Fatal("clone not deep")
+	}
+}
+
+func TestPhysicalEncodeDecodeRoundTrip(t *testing.T) {
+	p := samplePhysical()
+	out, err := DecodePhysical(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, out) {
+		t.Fatal("round trip mismatch")
+	}
+	if _, err := DecodePhysical([]byte("nope")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+func TestRoutesFor(t *testing.T) {
+	l := wordCount(t)
+	p := samplePhysical()
+	routes := RoutesFor(l, p, "split")
+	if len(routes) != 1 {
+		t.Fatalf("routes = %+v", routes)
+	}
+	r := routes[0]
+	if r.Edge.Policy != Fields || !reflect.DeepEqual(r.NextHops, []WorkerID{4, 5}) {
+		t.Fatalf("route = %+v", r)
+	}
+	if routes := RoutesFor(l, p, "agg"); len(routes) != 0 {
+		t.Fatal("sink should have no routes")
+	}
+	// Instances ordering must be respected even if assignment order differs.
+	p.Workers[3], p.Workers[4] = p.Workers[4], p.Workers[3]
+	r = RoutesFor(l, p, "split")[0]
+	if !reflect.DeepEqual(r.NextHops, []WorkerID{4, 5}) {
+		t.Fatalf("next hops not index-sorted: %v", r.NextHops)
+	}
+}
+
+func TestPredecessorsAndSuccessors(t *testing.T) {
+	l := wordCount(t)
+	p := samplePhysical()
+	pred := Predecessors(l, p, "count")
+	if len(pred) != 2 || pred[0].Node != "split" {
+		t.Fatalf("pred = %+v", pred)
+	}
+	succ := Successors(l, p, "split")
+	if len(succ) != 2 || succ[0].Node != "count" {
+		t.Fatalf("succ = %+v", succ)
+	}
+	if len(Predecessors(l, p, "input")) != 0 {
+		t.Fatal("source has no predecessors")
+	}
+}
+
+func TestOnStreamRetargetsEdge(t *testing.T) {
+	b := NewBuilder("s", 1)
+	b.Source("a", "l", 1)
+	b.Node("b", "l", 1).ShuffleFrom("a").OnStream(tuple.SignalStream)
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Edges[0].Stream != tuple.SignalStream {
+		t.Fatal("OnStream not applied")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for p := Shuffle; p <= Direct; p++ {
+		if p.String() == "" {
+			t.Fatal("empty policy string")
+		}
+	}
+	if RoutingPolicy(99).String() == "" {
+		t.Fatal("unknown policy string")
+	}
+}

@@ -1,0 +1,166 @@
+package tuple
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// Wire layout of an encoded tuple (little endian):
+//
+//	stream   uint16
+//	id       uint64
+//	root     uint64
+//	nvalues  uint16
+//	values   nvalues × (kind uint8, payload)
+//
+// String/bytes payloads are length-prefixed with uint32. The layout mirrors
+// the "tuple length / stream ID / list of objects" format of Fig 5; the
+// per-tuple length prefix itself is added by the packetizer (or by the
+// baseline transport), not here, because the two transports frame tuples
+// differently.
+
+// EncodedSize returns the exact number of bytes Encode will produce.
+func EncodedSize(t Tuple) int {
+	n := 2 + 8 + 8 + 2
+	for _, v := range t.Values {
+		n += 1 + v.encodedSize()
+	}
+	return n
+}
+
+// AppendEncode appends the binary encoding of t to dst and returns the
+// extended slice. It performs real byte-level work proportional to the
+// payload size, which is what makes per-destination serialization in the
+// baseline measurably expensive.
+func AppendEncode(dst []byte, t Tuple) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(t.Stream))
+	dst = binary.LittleEndian.AppendUint64(dst, t.ID)
+	dst = binary.LittleEndian.AppendUint64(dst, t.Root)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(t.Values)))
+	for _, v := range t.Values {
+		dst = append(dst, byte(v.kind))
+		switch v.kind {
+		case KindNil:
+		case KindBool:
+			if v.num != 0 {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+			}
+		case KindInt64, KindFloat64:
+			dst = binary.LittleEndian.AppendUint64(dst, v.num)
+		case KindString:
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(v.str)))
+			dst = append(dst, v.str...)
+		case KindBytes:
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(v.raw)))
+			dst = append(dst, v.raw...)
+		}
+	}
+	return dst
+}
+
+// Encode returns the binary encoding of t in a fresh slice.
+func Encode(t Tuple) []byte {
+	return AppendEncode(make([]byte, 0, EncodedSize(t)), t)
+}
+
+// Decode parses one tuple from the front of buf and returns it together
+// with the number of bytes consumed.
+func Decode(buf []byte) (Tuple, int, error) {
+	if len(buf) < 20 {
+		return Tuple{}, 0, ErrTruncated
+	}
+	t := Tuple{
+		Stream: StreamID(binary.LittleEndian.Uint16(buf)),
+		ID:     binary.LittleEndian.Uint64(buf[2:]),
+		Root:   binary.LittleEndian.Uint64(buf[10:]),
+	}
+	n := int(binary.LittleEndian.Uint16(buf[18:]))
+	off := 20
+	if n > 0 {
+		t.Values = make([]Value, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		if off >= len(buf) {
+			return Tuple{}, 0, ErrTruncated
+		}
+		kind := Kind(buf[off])
+		off++
+		switch kind {
+		case KindNil:
+			t.Values = append(t.Values, Nil())
+		case KindBool:
+			if off+1 > len(buf) {
+				return Tuple{}, 0, ErrTruncated
+			}
+			t.Values = append(t.Values, Bool(buf[off] != 0))
+			off++
+		case KindInt64:
+			if off+8 > len(buf) {
+				return Tuple{}, 0, ErrTruncated
+			}
+			t.Values = append(t.Values, Int(int64(binary.LittleEndian.Uint64(buf[off:]))))
+			off += 8
+		case KindFloat64:
+			if off+8 > len(buf) {
+				return Tuple{}, 0, ErrTruncated
+			}
+			t.Values = append(t.Values, Value{kind: KindFloat64, num: binary.LittleEndian.Uint64(buf[off:])})
+			off += 8
+		case KindString:
+			s, m, err := decodeBlob(buf[off:])
+			if err != nil {
+				return Tuple{}, 0, err
+			}
+			t.Values = append(t.Values, String(string(s)))
+			off += m
+		case KindBytes:
+			s, m, err := decodeBlob(buf[off:])
+			if err != nil {
+				return Tuple{}, 0, err
+			}
+			b := make([]byte, len(s))
+			copy(b, s)
+			t.Values = append(t.Values, Bytes(b))
+			off += m
+		default:
+			return Tuple{}, 0, ErrBadKind
+		}
+	}
+	return t, off, nil
+}
+
+func decodeBlob(buf []byte) ([]byte, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, ErrTruncated
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	if len(buf) < 4+n {
+		return nil, 0, ErrTruncated
+	}
+	return buf[4 : 4+n], 4 + n, nil
+}
+
+// HashFields computes a stable non-cryptographic hash over the selected
+// field indices, used by key-based (fields) routing. Out-of-range indices
+// hash as the nil value, matching the behaviour of hashing a missing key.
+func HashFields(t Tuple, fields []int) uint64 {
+	h := fnv.New64a()
+	var scratch [8]byte
+	for _, idx := range fields {
+		v := t.Field(idx)
+		scratch[0] = byte(v.kind)
+		_, _ = h.Write(scratch[:1])
+		switch v.kind {
+		case KindString:
+			_, _ = h.Write([]byte(v.str))
+		case KindBytes:
+			_, _ = h.Write(v.raw)
+		default:
+			binary.LittleEndian.PutUint64(scratch[:], v.num)
+			_, _ = h.Write(scratch[:])
+		}
+	}
+	return h.Sum64()
+}

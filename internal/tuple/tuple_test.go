@@ -1,0 +1,225 @@
+package tuple
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Int(-42), KindInt64},
+		{Float(3.5), KindFloat64},
+		{Bool(true), KindBool},
+		{String("hello"), KindString},
+		{Bytes([]byte{1, 2, 3}), KindBytes},
+		{Nil(), KindNil},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("kind = %v, want %v", c.v.Kind(), c.kind)
+		}
+	}
+	if Int(-42).AsInt() != -42 {
+		t.Error("AsInt round trip failed")
+	}
+	if Float(3.5).AsFloat() != 3.5 {
+		t.Error("AsFloat round trip failed")
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Error("AsBool round trip failed")
+	}
+	if String("hello").AsString() != "hello" {
+		t.Error("AsString round trip failed")
+	}
+	if !bytes.Equal(Bytes([]byte{1, 2, 3}).AsBytes(), []byte{1, 2, 3}) {
+		t.Error("AsBytes round trip failed")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !Int(7).Equal(Int(7)) {
+		t.Error("equal ints not Equal")
+	}
+	if Int(7).Equal(Int(8)) {
+		t.Error("different ints Equal")
+	}
+	if Int(1).Equal(Bool(true)) {
+		t.Error("different kinds Equal")
+	}
+	if !Bytes([]byte("ab")).Equal(Bytes([]byte("ab"))) {
+		t.Error("equal bytes not Equal")
+	}
+	if !Nil().Equal(Nil()) {
+		t.Error("nil not Equal nil")
+	}
+}
+
+func TestTupleFieldOutOfRange(t *testing.T) {
+	tp := New(Int(1))
+	if tp.Field(5).Kind() != KindNil {
+		t.Error("out-of-range field should be nil value")
+	}
+	if tp.Field(-1).Kind() != KindNil {
+		t.Error("negative field should be nil value")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := Tuple{
+		Stream: 7,
+		ID:     0xDEADBEEF,
+		Root:   0xCAFE,
+		Values: []Value{
+			Int(-1), Float(math.Pi), Bool(true), Bool(false),
+			String("word"), Bytes([]byte{0, 255, 128}), Nil(),
+		},
+	}
+	enc := Encode(in)
+	if len(enc) != EncodedSize(in) {
+		t.Fatalf("EncodedSize = %d, actual %d", EncodedSize(in), len(enc))
+	}
+	out, n, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if n != len(enc) {
+		t.Fatalf("Decode consumed %d of %d bytes", n, len(enc))
+	}
+	if !in.Equal(out) {
+		t.Fatalf("round trip mismatch:\n in=%v\nout=%v", in, out)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	in := New(String("hello world"), Int(5))
+	enc := Encode(in)
+	for i := 0; i < len(enc); i++ {
+		if _, _, err := Decode(enc[:i]); err == nil {
+			t.Fatalf("Decode of %d/%d bytes should fail", i, len(enc))
+		}
+	}
+}
+
+func TestDecodeBadKind(t *testing.T) {
+	in := New(Int(1))
+	enc := Encode(in)
+	enc[20] = 0x7F // corrupt the kind tag of the first value
+	if _, _, err := Decode(enc); err != ErrBadKind {
+		t.Fatalf("err = %v, want ErrBadKind", err)
+	}
+}
+
+func TestDecodeConsumesExactly(t *testing.T) {
+	a := New(Int(1), String("x"))
+	b := OnStream(3, Float(2.5))
+	buf := AppendEncode(Encode(a), b)
+	outA, n, err := Decode(buf)
+	if err != nil || !outA.Equal(a) {
+		t.Fatalf("first decode: %v %v", outA, err)
+	}
+	outB, m, err := Decode(buf[n:])
+	if err != nil || !outB.Equal(b) {
+		t.Fatalf("second decode: %v %v", outB, err)
+	}
+	if n+m != len(buf) {
+		t.Fatalf("consumed %d, want %d", n+m, len(buf))
+	}
+}
+
+// genTuple builds a random but valid tuple for property tests.
+func genTuple(r *rand.Rand) Tuple {
+	n := r.Intn(8)
+	tp := Tuple{Stream: StreamID(r.Intn(1 << 16)), ID: r.Uint64(), Root: r.Uint64()}
+	for i := 0; i < n; i++ {
+		switch r.Intn(6) {
+		case 0:
+			tp.Values = append(tp.Values, Int(r.Int63()-r.Int63()))
+		case 1:
+			tp.Values = append(tp.Values, Float(r.NormFloat64()))
+		case 2:
+			tp.Values = append(tp.Values, Bool(r.Intn(2) == 0))
+		case 3:
+			b := make([]byte, r.Intn(64))
+			r.Read(b)
+			tp.Values = append(tp.Values, String(string(b)))
+		case 4:
+			b := make([]byte, r.Intn(64))
+			r.Read(b)
+			tp.Values = append(tp.Values, Bytes(b))
+		case 5:
+			tp.Values = append(tp.Values, Nil())
+		}
+	}
+	return tp
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := genTuple(r)
+		out, n, err := Decode(Encode(in))
+		return err == nil && n == EncodedSize(in) && in.Equal(out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyHashDeterministic(t *testing.T) {
+	f := func(seed int64, rawFields []uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		tp := genTuple(r)
+		fields := make([]int, len(rawFields))
+		for i, f := range rawFields {
+			fields[i] = int(f % 10)
+		}
+		return HashFields(tp, fields) == HashFields(tp, fields)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashFieldsSelectivity(t *testing.T) {
+	a := New(String("apple"), Int(1))
+	b := New(String("apple"), Int(2))
+	c := New(String("banana"), Int(1))
+	if HashFields(a, []int{0}) != HashFields(b, []int{0}) {
+		t.Error("hash over field 0 should ignore field 1")
+	}
+	if HashFields(a, []int{0}) == HashFields(c, []int{0}) {
+		t.Error("different keys should (overwhelmingly) hash differently")
+	}
+	// Hashing over both fields distinguishes a and b.
+	if HashFields(a, []int{0, 1}) == HashFields(b, []int{0, 1}) {
+		t.Error("hash over both fields should differ")
+	}
+}
+
+func TestStreamPredicates(t *testing.T) {
+	if !ControlStream.IsControl() || DefaultStream.IsControl() {
+		t.Error("IsControl wrong")
+	}
+	if !SignalStream.IsSignal() || ControlStream.IsSignal() {
+		t.Error("IsSignal wrong")
+	}
+}
+
+func TestTupleStringRendering(t *testing.T) {
+	s := New(Int(1), String("a")).String()
+	if s == "" || !reflect.DeepEqual(s, s) {
+		t.Error("String should render")
+	}
+	for _, v := range []Value{Int(1), Float(1), Bool(true), String("x"), Bytes(nil), Nil(), {kind: 99}} {
+		if v.String() == "" {
+			t.Errorf("empty String() for %v", v.Kind())
+		}
+	}
+}

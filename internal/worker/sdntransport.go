@@ -1,0 +1,207 @@
+package worker
+
+import (
+	"sync/atomic"
+	"time"
+
+	"typhoon/internal/packet"
+	"typhoon/internal/switchfabric"
+	"typhoon/internal/topology"
+	"typhoon/internal/tuple"
+)
+
+// SDNTransport is the Typhoon I/O layer of §3.3.1: it converts tuples to
+// custom Ethernet frames and exchanges them with the host's software SDN
+// switch through ring-buffer ports.
+//
+// The decisive property for one-to-many routing (Fig 9) is implemented
+// here: a broadcast destination costs exactly one serialization and one
+// frame regardless of fan-out, because replication happens in the switch.
+type SDNTransport struct {
+	app  uint16
+	self topology.WorkerID
+	port *switchfabric.Port
+
+	pktz  *packet.Packetizer
+	dpktz *packet.Depacketizer
+
+	batch      atomic.Int64
+	sinceFlush int
+
+	// inQueue holds decoded tuples not yet handed to the worker.
+	inQueue []tuple.Tuple
+
+	tuplesSent     atomic.Uint64
+	serializations atomic.Uint64
+	framesSent     atomic.Uint64
+	dropped        atomic.Uint64
+	tuplesReceived atomic.Uint64
+	closed         atomic.Bool
+}
+
+// SDNTransportConfig tunes an SDNTransport.
+type SDNTransportConfig struct {
+	// BatchSize is the number of tuples accumulated before frames are
+	// flushed to the switch (the configurable batching knob of Fig 8).
+	BatchSize int
+	// MaxPayload caps frame payload size.
+	MaxPayload int
+}
+
+// DefaultBatchSize matches the batch size used by most of the paper's SDN
+// control-plane experiments (§6.2).
+const DefaultBatchSize = 100
+
+// NewSDNTransport attaches a transport for worker self to a switch port.
+func NewSDNTransport(app uint16, self topology.WorkerID, port *switchfabric.Port, cfg SDNTransportConfig) *SDNTransport {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	t := &SDNTransport{
+		app:   app,
+		self:  self,
+		port:  port,
+		pktz:  packet.NewPacketizer(packet.WorkerAddr(app, uint32(self)), cfg.MaxPayload),
+		dpktz: packet.NewDepacketizer(),
+	}
+	t.batch.Store(int64(cfg.BatchSize))
+	return t
+}
+
+// Addr returns this worker's data-plane address.
+func (t *SDNTransport) Addr() packet.Addr { return packet.WorkerAddr(t.app, uint32(t.self)) }
+
+// Send implements Transport. The tuple is serialized exactly once; unicast
+// fan-out reuses the encoded bytes per destination frame, and broadcast
+// emits a single frame the switch replicates.
+func (t *SDNTransport) Send(d Destination, in tuple.Tuple) error {
+	enc := tuple.Encode(in)
+	t.serializations.Add(1)
+	switch {
+	case d.Broadcast, d.SDNBalanced:
+		t.writeFrames(t.pktz.Add(packet.Broadcast, enc))
+		t.tuplesSent.Add(1)
+	default:
+		for _, id := range d.Workers {
+			t.writeFrames(t.pktz.Add(packet.WorkerAddr(t.app, uint32(id)), enc))
+			t.tuplesSent.Add(1)
+		}
+	}
+	t.sinceFlush++
+	if int64(t.sinceFlush) >= t.batch.Load() {
+		return t.Flush()
+	}
+	return nil
+}
+
+// SendControl implements Transport: the tuple is addressed to the
+// controller pseudo-address and flushed immediately (statistics replies
+// should not sit in a batch).
+func (t *SDNTransport) SendControl(in tuple.Tuple) error {
+	enc := tuple.Encode(in)
+	t.serializations.Add(1)
+	t.writeFrames(t.pktz.Add(packet.ControllerAddr, enc))
+	t.tuplesSent.Add(1)
+	return t.Flush()
+}
+
+// Flush implements Transport.
+func (t *SDNTransport) Flush() error {
+	t.sinceFlush = 0
+	t.writeFrames(t.pktz.FlushAll())
+	return nil
+}
+
+// writeFrames pushes frames into the switch ingress ring with bounded
+// backpressure: a full ring is retried briefly (modelling the DPDK TX ring)
+// before the frame is dropped, the loss mode §8 discusses.
+func (t *SDNTransport) writeFrames(frames [][]byte) {
+	for _, f := range frames {
+		ok := t.port.WriteFrame(f)
+		for retries := 0; !ok && retries < 200 && !t.port.Closed(); retries++ {
+			time.Sleep(50 * time.Microsecond)
+			ok = t.port.WriteFrame(f)
+		}
+		if ok {
+			t.framesSent.Add(1)
+		} else {
+			t.dropped.Add(1)
+		}
+	}
+}
+
+// Recv implements Transport: frames are read from the switch in batches,
+// depacketized, and deserialized into tuples.
+func (t *SDNTransport) Recv(max int, wait time.Duration) ([]tuple.Tuple, error) {
+	if max <= 0 {
+		max = 256
+	}
+	if len(t.inQueue) == 0 {
+		frames, err := t.port.ReadBatch(nil, max, wait)
+		if err != nil {
+			return nil, errTransportClosed
+		}
+		for _, fr := range frames {
+			ins, err := t.dpktz.Feed(fr)
+			if err != nil {
+				t.dropped.Add(1)
+				continue
+			}
+			for _, in := range ins {
+				tp, _, err := tuple.Decode(in.Data)
+				if err != nil {
+					t.dropped.Add(1)
+					continue
+				}
+				t.inQueue = append(t.inQueue, tp)
+			}
+		}
+	}
+	n := len(t.inQueue)
+	if n == 0 {
+		return nil, nil
+	}
+	if n > max {
+		n = max
+	}
+	out := make([]tuple.Tuple, n)
+	copy(out, t.inQueue[:n])
+	t.inQueue = t.inQueue[n:]
+	t.tuplesReceived.Add(uint64(n))
+	return out, nil
+}
+
+// SetBatchSize implements Transport.
+func (t *SDNTransport) SetBatchSize(n int) {
+	if n > 0 {
+		t.batch.Store(int64(n))
+	}
+}
+
+// BatchSize returns the current batch threshold.
+func (t *SDNTransport) BatchSize() int { return int(t.batch.Load()) }
+
+// InQueueLen implements Transport: decoded tuples awaiting dispatch plus
+// frames queued in the switch port.
+func (t *SDNTransport) InQueueLen() int { return len(t.inQueue) + t.port.QueueLen() }
+
+// Stats implements Transport.
+func (t *SDNTransport) Stats() TransportStats {
+	return TransportStats{
+		TuplesSent:     t.tuplesSent.Load(),
+		Serializations: t.serializations.Load(),
+		FramesSent:     t.framesSent.Load(),
+		Dropped:        t.dropped.Load(),
+		TuplesReceived: t.tuplesReceived.Load(),
+	}
+}
+
+// Close implements Transport. The switch port itself is owned by the
+// worker agent, which removes it (triggering the PortStatus event).
+func (t *SDNTransport) Close() error {
+	t.closed.Store(true)
+	return nil
+}
+
+var _ Transport = (*SDNTransport)(nil)
+var _ Transport = (*ChanTransport)(nil)

@@ -1,0 +1,225 @@
+package worker
+
+import (
+	"testing"
+	"time"
+
+	"typhoon/internal/openflow"
+	"typhoon/internal/packet"
+	"typhoon/internal/switchfabric"
+	"typhoon/internal/topology"
+	"typhoon/internal/tuple"
+)
+
+// newSwitchPair wires src worker 1 and sink workers over one switch with
+// unicast and broadcast rules installed.
+func newSwitchEnv(t *testing.T, sinks int) (*switchfabric.Switch, *SDNTransport, []*SDNTransport) {
+	t.Helper()
+	sw := switchfabric.New("h1", 1, switchfabric.Options{RingCapacity: 4096})
+	sw.Start()
+	t.Cleanup(sw.Stop)
+
+	srcAddr := packet.WorkerAddr(1, 1)
+	srcPort, err := sw.AddPort("w1", srcAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcTr := NewSDNTransport(1, 1, srcPort, SDNTransportConfig{BatchSize: 1})
+
+	var sinkTrs []*SDNTransport
+	var outs []openflow.Action
+	for i := 0; i < sinks; i++ {
+		id := topology.WorkerID(2 + i)
+		addr := packet.WorkerAddr(1, uint32(id))
+		p, err := sw.AddPort("w", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sinkTrs = append(sinkTrs, NewSDNTransport(1, id, p, SDNTransportConfig{BatchSize: 1}))
+		outs = append(outs, openflow.Output(p.No()))
+		// Unicast rule src -> sink.
+		if err := sw.ApplyFlowMod(openflow.FlowMod{
+			Command: openflow.FlowAdd, Priority: 100,
+			Match: openflow.Match{
+				Fields: openflow.FieldInPort | openflow.FieldDlDst | openflow.FieldEtherType,
+				InPort: srcPort.No(), DlDst: addr, EtherType: packet.EtherType,
+			},
+			Actions: []openflow.Action{openflow.Output(p.No())},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Broadcast rule src -> all sinks.
+	if err := sw.ApplyFlowMod(openflow.FlowMod{
+		Command: openflow.FlowAdd, Priority: 100,
+		Match: openflow.Match{
+			Fields: openflow.FieldInPort | openflow.FieldDlDst | openflow.FieldEtherType,
+			InPort: srcPort.No(), DlDst: packet.Broadcast, EtherType: packet.EtherType,
+		},
+		Actions: outs,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return sw, srcTr, sinkTrs
+}
+
+func recvN(t *testing.T, tr *SDNTransport, n int) []tuple.Tuple {
+	t.Helper()
+	var out []tuple.Tuple
+	deadline := time.Now().Add(5 * time.Second)
+	for len(out) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d of %d", len(out), n)
+		}
+		got, err := tr.Recv(64, 100*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, got...)
+	}
+	return out
+}
+
+func TestSDNTransportUnicast(t *testing.T) {
+	_, src, sinks := newSwitchEnv(t, 1)
+	for i := 0; i < 50; i++ {
+		err := src.Send(Destination{Workers: []topology.WorkerID{2}}, tuple.New(tuple.Int(int64(i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = src.Flush()
+	got := recvN(t, sinks[0], 50)
+	for i, tp := range got {
+		if tp.Field(0).AsInt() != int64(i) {
+			t.Fatalf("got[%d] = %v (order broken)", i, tp)
+		}
+	}
+}
+
+func TestSDNTransportBroadcastSingleSerialization(t *testing.T) {
+	_, src, sinks := newSwitchEnv(t, 4)
+	const n = 20
+	for i := 0; i < n; i++ {
+		err := src.Send(Destination{
+			Workers:   []topology.WorkerID{2, 3, 4, 5},
+			Broadcast: true,
+		}, tuple.New(tuple.String("fanout"), tuple.Int(int64(i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = src.Flush()
+	for _, sink := range sinks {
+		recvN(t, sink, n)
+	}
+	s := src.Stats()
+	if s.Serializations != n {
+		t.Fatalf("serializations = %d, want %d (one per tuple regardless of fan-out)", s.Serializations, n)
+	}
+	if s.FramesSent != n {
+		t.Fatalf("frames = %d, want %d (switch replicates)", s.FramesSent, n)
+	}
+}
+
+func TestSDNTransportBatching(t *testing.T) {
+	_, src, sinks := newSwitchEnv(t, 1)
+	src.SetBatchSize(10)
+	if src.BatchSize() != 10 {
+		t.Fatal("batch size not applied")
+	}
+	for i := 0; i < 9; i++ {
+		_ = src.Send(Destination{Workers: []topology.WorkerID{2}}, tuple.New(tuple.Int(int64(i))))
+	}
+	// Below the batch threshold nothing should be on the wire yet.
+	if got, _ := sinks[0].Recv(64, 50*time.Millisecond); len(got) != 0 {
+		t.Fatalf("premature flush: %d tuples", len(got))
+	}
+	_ = src.Send(Destination{Workers: []topology.WorkerID{2}}, tuple.New(tuple.Int(9)))
+	recvN(t, sinks[0], 10)
+}
+
+func TestSDNTransportControlPath(t *testing.T) {
+	sw, src, _ := newSwitchEnv(t, 1)
+	srcPort := sw.Port(1)
+	// Install the worker→controller rule of Table 3.
+	if err := sw.ApplyFlowMod(openflow.FlowMod{
+		Command: openflow.FlowAdd, Priority: 200,
+		Match: openflow.Match{
+			Fields: openflow.FieldInPort | openflow.FieldDlDst | openflow.FieldEtherType,
+			InPort: srcPort.No(), DlDst: packet.ControllerAddr, EtherType: packet.EtherType,
+		},
+		Actions: []openflow.Action{openflow.Output(openflow.PortController)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sink := &recordingSink{packetIn: make(chan []byte, 4)}
+	sw.SetController(sink)
+	if err := src.SendControl(tuple.OnStream(tuple.ControlStream, tuple.String("METRIC_RESP"))); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case data := <-sink.packetIn:
+		f, err := packet.Decode(data)
+		if err != nil || !f.Dst.IsController() {
+			t.Fatalf("frame: %+v err=%v", f, err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no PacketIn at controller")
+	}
+}
+
+type recordingSink struct{ packetIn chan []byte }
+
+func (r *recordingSink) PacketIn(m openflow.PacketIn) {
+	select {
+	case r.packetIn <- m.Data:
+	default:
+	}
+}
+func (r *recordingSink) PortStatus(openflow.PortStatus)   {}
+func (r *recordingSink) FlowRemoved(openflow.FlowRemoved) {}
+
+func TestSDNTransportLargeTupleSegmentation(t *testing.T) {
+	_, src, sinks := newSwitchEnv(t, 1)
+	big := make([]byte, 3*packet.DefaultMaxPayload)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := src.Send(Destination{Workers: []topology.WorkerID{2}}, tuple.New(tuple.Bytes(big))); err != nil {
+		t.Fatal(err)
+	}
+	_ = src.Flush()
+	got := recvN(t, sinks[0], 1)
+	if b := got[0].Field(0).AsBytes(); len(b) != len(big) || b[1234] != big[1234] {
+		t.Fatal("segmented tuple mangled")
+	}
+	if src.Stats().FramesSent < 3 {
+		t.Fatalf("frames = %d, want >= 3", src.Stats().FramesSent)
+	}
+}
+
+func TestSDNTransportClosedPort(t *testing.T) {
+	sw, src, _ := newSwitchEnv(t, 1)
+	if err := sw.RemovePort(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Recv(1, 50*time.Millisecond); err == nil {
+		t.Fatal("Recv on removed port should fail")
+	}
+	if src.InQueueLen() != 0 {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestWorkerOverSDNTransport(t *testing.T) {
+	// End-to-end: real workers over a real switch.
+	_, srcTr, sinkTrs := newSwitchEnv(t, 1)
+	sink := &collector{}
+	startWorker(t, Config{App: 1, ID: 2, Node: "sink"}, sink, sinkTrs[0])
+	startWorker(t, Config{
+		App: 1, ID: 1, Node: "src", Source: true, BatchSize: 10,
+		Routes: []topology.Route{dataRoute(2, topology.Shuffle)},
+	}, &seqSource{limit: 500}, srcTr)
+	waitFor(t, 10*time.Second, func() bool { return sink.count() == 500 })
+}

@@ -1,0 +1,519 @@
+package worker
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"typhoon/internal/control"
+	"typhoon/internal/metrics"
+	"typhoon/internal/topology"
+	"typhoon/internal/tuple"
+)
+
+// Config describes one worker instance.
+type Config struct {
+	App   uint16
+	ID    topology.WorkerID
+	Node  string
+	Index int
+	// Logic names the registered computation-logic factory.
+	Logic string
+	// Source marks spout workers.
+	Source bool
+	// Stateful marks workers with flushable in-memory state (Table 4).
+	Stateful bool
+	// Routes is the initial routing table.
+	Routes []topology.Route
+	// Subscriptions lists the data streams this worker accepts; nil
+	// accepts every stream (signal and control streams are always
+	// handled).
+	Subscriptions []tuple.StreamID
+	// Acking enables guaranteed processing: emissions are tracked through
+	// the acker and sources replay expired tuples.
+	Acking bool
+	// MaxPending caps in-flight tracked source tuples (backpressure).
+	MaxPending int
+	// AckTimeout is how long a tracked tuple may stay incomplete before
+	// the source replays it.
+	AckTimeout time.Duration
+	// BatchSize is the initial I/O batch threshold.
+	BatchSize int
+	// FlushInterval bounds how long tuples may sit in the egress batch.
+	FlushInterval time.Duration
+	// RateLimit is the initial input rate (tuples/sec); <= 0 unlimited.
+	RateLimit float64
+	// StartInactive launches source workers throttled; the SDN controller
+	// activates them once flow rules are in place (deployment step v of
+	// §3.2 and the ACTIVATE tuple of Table 2).
+	StartInactive bool
+	// StatsInterval makes the worker statistics reporter (Fig 4) push
+	// unsolicited METRIC_RESP tuples to the controller this often; zero
+	// disables pushing (metrics then flow only on METRIC_REQ).
+	StatsInterval time.Duration
+	// Env is the shared environment passed to components.
+	Env *SharedEnv
+	// OnExit, when set, is invoked once when the worker stops, with nil
+	// on graceful shutdown or the failure error on a crash.
+	OnExit func(id topology.WorkerID, err error)
+}
+
+// Stats is a snapshot of a worker's internal counters (METRIC_RESP data).
+type Stats struct {
+	Processed uint64
+	Emitted   uint64
+	Completed uint64
+	Replayed  uint64
+	Filtered  uint64
+	QueueLen  int
+	ProcNanos uint64
+}
+
+type pendingEntry struct {
+	stream   tuple.StreamID
+	values   []tuple.Value
+	emitted  time.Time
+	attempts int
+}
+
+// Worker is one running worker instance. All processing happens on a
+// single goroutine, matching the single-threaded executor model the paper's
+// prototype inherits from Storm.
+type Worker struct {
+	cfg  Config
+	comp Component
+	tr   Transport
+	rt   *Router
+	ctx  *Context
+	rate *RateLimiter
+
+	active  atomic.Bool
+	stopped atomic.Bool
+	stopCh  chan struct{}
+	done    chan struct{}
+	exitErr error
+	exitMu  sync.Mutex
+
+	// Framework-layer state for guaranteed processing.
+	rng     *rand.Rand
+	curRoot uint64
+	curXor  uint64
+	anchor  bool
+	pending map[uint64]*pendingEntry
+
+	// CompleteLatencies records end-to-end tuple latency observed at the
+	// source when acking is enabled (Figs 8c/8d are its CDF).
+	CompleteLatencies *metrics.Latencies
+
+	processed atomic.Uint64
+	emitted   atomic.Uint64
+	completed atomic.Uint64
+	replayed  atomic.Uint64
+	filtered  atomic.Uint64
+	procNanos atomic.Uint64
+
+	subs map[tuple.StreamID]bool
+}
+
+// New builds a worker from config, instantiating its logic and binding it
+// to a transport. Call Start to begin processing.
+func New(cfg Config, tr Transport) (*Worker, error) {
+	comp, err := NewLogic(cfg.Logic)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Source {
+		if _, ok := comp.(Spout); !ok {
+			return nil, fmt.Errorf("worker: logic %q is not a Spout", cfg.Logic)
+		}
+	} else if _, ok := comp.(Bolt); !ok {
+		return nil, fmt.Errorf("worker: logic %q is not a Bolt", cfg.Logic)
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 10000
+	}
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = 5 * time.Second
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = time.Millisecond
+	}
+	w := &Worker{
+		cfg:               cfg,
+		comp:              comp,
+		tr:                tr,
+		rt:                NewRouter(cfg.Routes),
+		rate:              NewRateLimiter(cfg.RateLimit),
+		stopCh:            make(chan struct{}),
+		done:              make(chan struct{}),
+		rng:               rand.New(rand.NewSource(int64(cfg.ID)*2654435761 + 1)),
+		pending:           make(map[uint64]*pendingEntry),
+		CompleteLatencies: metrics.NewLatencies(0),
+	}
+	if cfg.BatchSize > 0 {
+		tr.SetBatchSize(cfg.BatchSize)
+	}
+	if len(cfg.Subscriptions) > 0 {
+		w.subs = make(map[tuple.StreamID]bool, len(cfg.Subscriptions))
+		for _, s := range cfg.Subscriptions {
+			w.subs[s] = true
+		}
+	}
+	w.ctx = &Context{em: w, id: uint32(cfg.ID), node: cfg.Node, index: cfg.Index, shared: cfg.Env}
+	w.active.Store(!cfg.StartInactive)
+	return w, nil
+}
+
+// ID returns the worker's physical ID.
+func (w *Worker) ID() topology.WorkerID { return w.cfg.ID }
+
+// Node returns the logical node name.
+func (w *Worker) Node() string { return w.cfg.Node }
+
+// Router exposes the routing table (tests and the in-process controller
+// use it; production reconfiguration goes through ROUTING control tuples).
+func (w *Worker) Router() *Router { return w.rt }
+
+// Transport exposes the underlying transport.
+func (w *Worker) Transport() Transport { return w.tr }
+
+// Start launches the worker goroutine.
+func (w *Worker) Start() {
+	go w.run()
+}
+
+// Stop requests a graceful shutdown and waits for the loop to exit.
+func (w *Worker) Stop() {
+	if w.stopped.CompareAndSwap(false, true) {
+		close(w.stopCh)
+	}
+	<-w.done
+}
+
+// Wait blocks until the worker exits (crash or Stop).
+func (w *Worker) Wait() { <-w.done }
+
+// ExitErr returns the failure that stopped the worker, or nil.
+func (w *Worker) ExitErr() error {
+	w.exitMu.Lock()
+	defer w.exitMu.Unlock()
+	return w.exitErr
+}
+
+// Activate unthrottles a source worker (ACTIVATE control tuple, or the
+// manager's activation path in the baseline).
+func (w *Worker) Activate() { w.active.Store(true) }
+
+// Deactivate throttles a source worker.
+func (w *Worker) Deactivate() { w.active.Store(false) }
+
+// StatsSnapshot returns current worker statistics.
+func (w *Worker) StatsSnapshot() Stats {
+	return Stats{
+		Processed: w.processed.Load(),
+		Emitted:   w.emitted.Load(),
+		Completed: w.completed.Load(),
+		Replayed:  w.replayed.Load(),
+		Filtered:  w.filtered.Load(),
+		QueueLen:  w.tr.InQueueLen(),
+		ProcNanos: w.procNanos.Load(),
+	}
+}
+
+func (w *Worker) run() {
+	var failure error
+	defer func() {
+		_ = w.comp.Close(w.ctx)
+		_ = w.tr.Flush()
+		_ = w.tr.Close()
+		w.exitMu.Lock()
+		w.exitErr = failure
+		w.exitMu.Unlock()
+		close(w.done)
+		if w.cfg.OnExit != nil {
+			w.cfg.OnExit(w.cfg.ID, failure)
+		}
+	}()
+	if err := w.comp.Open(w.ctx); err != nil {
+		failure = fmt.Errorf("worker %d: open: %w", w.cfg.ID, err)
+		return
+	}
+	spout, _ := w.comp.(Spout)
+	bolt, _ := w.comp.(Bolt)
+
+	lastFlush := time.Now()
+	lastReplayScan := time.Now()
+	lastStats := time.Now()
+	idleSpins := 0
+	for {
+		select {
+		case <-w.stopCh:
+			return
+		default:
+		}
+
+		// Receive phase. Sources poll; bolts block briefly.
+		wait := time.Duration(0)
+		if spout == nil {
+			wait = time.Millisecond
+		}
+		tuples, err := w.tr.Recv(256, wait)
+		if err != nil {
+			return // transport closed underneath us (port removed)
+		}
+		worked := len(tuples) > 0
+		for _, t := range tuples {
+			if err := w.dispatch(bolt, t); err != nil {
+				failure = err
+				return
+			}
+		}
+
+		// Emission phase for sources.
+		if spout != nil && w.active.Load() && len(w.pending) < w.cfg.MaxPending {
+			if w.rate.Allow() {
+				did, err := spout.Next(w.ctx)
+				if err != nil {
+					failure = fmt.Errorf("worker %d: next: %w", w.cfg.ID, err)
+					return
+				}
+				worked = worked || did
+			}
+		}
+
+		now := time.Now()
+		if now.Sub(lastFlush) >= w.cfg.FlushInterval {
+			_ = w.tr.Flush()
+			lastFlush = now
+		}
+		if w.cfg.Acking && w.cfg.Source && now.Sub(lastReplayScan) >= w.cfg.AckTimeout/4 {
+			w.replayExpired(now)
+			lastReplayScan = now
+		}
+		if w.cfg.StatsInterval > 0 && now.Sub(lastStats) >= w.cfg.StatsInterval {
+			w.pushStats()
+			lastStats = now
+		}
+		if worked {
+			idleSpins = 0
+		} else {
+			idleSpins++
+			if idleSpins > 64 {
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}
+}
+
+// dispatch routes one incoming tuple to the right layer.
+func (w *Worker) dispatch(bolt Bolt, t tuple.Tuple) error {
+	switch {
+	case t.Stream.IsControl():
+		w.handleControl(t)
+		return nil
+	case t.Stream == tuple.CompleteStream:
+		w.handleComplete(t)
+		return nil
+	case t.Stream.IsSignal():
+		// Signals reach the application layer (Listing 2).
+		if bolt == nil {
+			return nil
+		}
+		return w.execute(bolt, t)
+	default:
+		if w.subs != nil && !w.subs[t.Stream] {
+			w.filtered.Add(1)
+			return nil
+		}
+		if bolt == nil {
+			w.filtered.Add(1)
+			return nil
+		}
+		for !w.rate.Allow() {
+			time.Sleep(100 * time.Microsecond)
+		}
+		return w.execute(bolt, t)
+	}
+}
+
+func (w *Worker) execute(bolt Bolt, t tuple.Tuple) error {
+	w.anchor = w.cfg.Acking && t.Root != 0
+	w.curRoot = t.Root
+	w.curXor = t.ID
+	start := time.Now()
+	err := bolt.Execute(w.ctx, t)
+	w.procNanos.Add(uint64(time.Since(start)))
+	w.processed.Add(1)
+	if err != nil {
+		w.anchor = false
+		return fmt.Errorf("worker %d (%s): execute: %w", w.cfg.ID, w.cfg.Node, err)
+	}
+	if w.anchor {
+		w.sendAck(1, w.curRoot, w.curXor, 0)
+	}
+	w.anchor = false
+	return nil
+}
+
+// InQueueLen reports the worker's input backlog (Context.QueueLen).
+func (w *Worker) InQueueLen() int { return w.tr.InQueueLen() }
+
+// Emit implements Emitter.
+func (w *Worker) Emit(values ...tuple.Value) { w.EmitOn(tuple.DefaultStream, values...) }
+
+// EmitOn implements Emitter.
+func (w *Worker) EmitOn(s tuple.StreamID, values ...tuple.Value) {
+	t := tuple.OnStream(s, values...)
+	dests := w.rt.Route(t)
+	if len(dests) == 0 {
+		// No subscribers: the tuple is dropped and, crucially, never
+		// joins a tuple tree (an unconsumable edge would otherwise keep
+		// the tree from completing).
+		return
+	}
+	if w.anchor {
+		// Anchored emission: child edge ID joins the XOR of the tree.
+		t.Root = w.curRoot
+		t.ID = w.nonZeroRand()
+		w.curXor ^= t.ID
+	} else if w.cfg.Acking && w.cfg.Source && !isFrameworkStream(s) {
+		root := w.nonZeroRand()
+		t.Root, t.ID = root, root
+		w.pending[root] = &pendingEntry{
+			stream:  s,
+			values:  values,
+			emitted: time.Now(),
+		}
+		w.sendAck(0, root, root, uint64(w.cfg.ID))
+	}
+	for _, d := range dests {
+		_ = w.tr.Send(d, t)
+		w.emitted.Add(1)
+	}
+}
+
+func (w *Worker) send(t tuple.Tuple) {
+	for _, d := range w.rt.Route(t) {
+		_ = w.tr.Send(d, t)
+		w.emitted.Add(1)
+	}
+}
+
+// sendAck emits an acker tuple: kind 0 = INIT (with source worker), kind 1
+// = ACK. Acker tuples travel on tuple.AckStream and are routed by the
+// root's hash so a given tuple tree always meets the same acker.
+func (w *Worker) sendAck(kind int64, root, xor, src uint64) {
+	at := tuple.OnStream(tuple.AckStream,
+		tuple.Int(kind), tuple.Int(int64(root)), tuple.Int(int64(xor)), tuple.Int(int64(src)))
+	w.send(at)
+}
+
+func (w *Worker) handleComplete(t tuple.Tuple) {
+	root := uint64(t.Field(1).AsInt())
+	e := w.pending[root]
+	if e == nil {
+		return
+	}
+	delete(w.pending, root)
+	w.completed.Add(1)
+	w.CompleteLatencies.Record(time.Since(e.emitted))
+}
+
+func (w *Worker) replayExpired(now time.Time) {
+	const maxAttempts = 5
+	for root, e := range w.pending {
+		if now.Sub(e.emitted) < w.cfg.AckTimeout {
+			continue
+		}
+		delete(w.pending, root)
+		if e.attempts+1 >= maxAttempts {
+			continue
+		}
+		w.replayed.Add(1)
+		newRoot := w.nonZeroRand()
+		t := tuple.OnStream(e.stream, e.values...)
+		t.Root, t.ID = newRoot, newRoot
+		w.pending[newRoot] = &pendingEntry{
+			stream:   e.stream,
+			values:   e.values,
+			emitted:  now,
+			attempts: e.attempts + 1,
+		}
+		w.sendAck(0, newRoot, newRoot, uint64(w.cfg.ID))
+		w.send(t)
+	}
+}
+
+func (w *Worker) handleControl(t tuple.Tuple) {
+	kind, err := control.DecodeKind(t)
+	if err != nil {
+		return
+	}
+	switch kind {
+	case control.KindRouting:
+		var r control.Routing
+		if control.DecodePayload(t, &r) == nil {
+			w.rt.Update(r.Routes)
+		}
+	case control.KindSignal:
+		// Forward to the application layer as a flush signal.
+		if bolt, ok := w.comp.(Bolt); ok {
+			_ = w.execute(bolt, control.NewSignal())
+		}
+	case control.KindMetricReq:
+		var req control.MetricReq
+		_ = control.DecodePayload(t, &req)
+		w.sendMetrics(req.Token)
+	case control.KindInputRate:
+		var r control.InputRate
+		if control.DecodePayload(t, &r) == nil {
+			w.rate.SetRate(r.TuplesPerSec)
+		}
+	case control.KindActivate:
+		w.active.Store(true)
+	case control.KindDeactivate:
+		w.active.Store(false)
+	case control.KindBatchSize:
+		var b control.BatchSize
+		if control.DecodePayload(t, &b) == nil {
+			w.tr.SetBatchSize(b.Size)
+		}
+	}
+}
+
+// pushStats is the worker statistics reporter of Fig 4: unsolicited
+// metrics toward the controller so overload is visible even when the
+// worker's ingress path is congested.
+func (w *Worker) pushStats() { w.sendMetrics(0) }
+
+func (w *Worker) sendMetrics(token uint64) {
+	s := w.StatsSnapshot()
+	resp := control.MetricResp{
+		Token:     token,
+		Worker:    w.cfg.ID,
+		Node:      w.cfg.Node,
+		QueueLen:  s.QueueLen,
+		Processed: s.Processed,
+		Emitted:   s.Emitted,
+		Dropped:   w.tr.Stats().Dropped,
+		ProcNanos: s.ProcNanos,
+	}
+	_ = w.tr.SendControl(control.Encode(control.KindMetricResp, resp))
+}
+
+func (w *Worker) nonZeroRand() uint64 {
+	for {
+		if v := w.rng.Uint64(); v != 0 {
+			return v
+		}
+	}
+}
+
+// isFrameworkStream reports whether a stream is owned by the framework
+// (never tracked for guaranteed processing).
+func isFrameworkStream(s tuple.StreamID) bool {
+	return s == tuple.AckStream || s == tuple.CompleteStream ||
+		s.IsControl() || s.IsSignal()
+}

@@ -1,0 +1,353 @@
+package workload
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"typhoon/internal/kafkasim"
+	"typhoon/internal/kvstore"
+	"typhoon/internal/tuple"
+	"typhoon/internal/worker"
+)
+
+// captureEmitter records emissions.
+type captureEmitter struct{ out []tuple.Tuple }
+
+func (c *captureEmitter) Emit(values ...tuple.Value) { c.EmitOn(tuple.DefaultStream, values...) }
+func (c *captureEmitter) EmitOn(s tuple.StreamID, values ...tuple.Value) {
+	c.out = append(c.out, tuple.OnStream(s, values...))
+}
+
+func newCtx(t *testing.T, id uint32, node string, env *worker.SharedEnv) (*worker.Context, *captureEmitter) {
+	t.Helper()
+	cap := &captureEmitter{}
+	return worker.NewContext(cap, id, node, 0, env), cap
+}
+
+func baseEnv(stats *Stats, cfg *Config) *worker.SharedEnv {
+	env := worker.NewSharedEnv()
+	if stats != nil {
+		env.Set(EnvStats, stats)
+	}
+	if cfg != nil {
+		env.Set(EnvConfig, cfg)
+	}
+	return env
+}
+
+func TestSplitterSplitsSentences(t *testing.T) {
+	env := baseEnv(NewStats(time.Second), NewConfig())
+	ctx, cap := newCtx(t, 1, "split", env)
+	s := &Splitter{}
+	if err := s.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Execute(ctx, tuple.New(tuple.String("a b c"))); err != nil {
+		t.Fatal(err)
+	}
+	if len(cap.out) != 3 || cap.out[0].Field(0).AsString() != "a" {
+		t.Fatalf("out = %v", cap.out)
+	}
+	// Signals pass through without splitting.
+	if err := s.Execute(ctx, tuple.OnStream(tuple.SignalStream)); err != nil {
+		t.Fatal(err)
+	}
+	if len(cap.out) != 3 {
+		t.Fatal("signal produced output")
+	}
+}
+
+func TestCounterFlushesOnSignal(t *testing.T) {
+	stats := NewStats(time.Second)
+	env := baseEnv(stats, NewConfig())
+	ctx, cap := newCtx(t, 2, "count", env)
+	c := &Counter{}
+	if err := c.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"x", "y", "x"} {
+		c.Execute(ctx, tuple.New(tuple.String(w)))
+	}
+	if c.CacheSize() != 2 || len(cap.out) != 0 {
+		t.Fatalf("cache=%d out=%d", c.CacheSize(), len(cap.out))
+	}
+	// The Listing 2 pattern: SIGNAL flushes the in-memory cache.
+	c.Execute(ctx, tuple.OnStream(tuple.SignalStream))
+	if c.CacheSize() != 0 || len(cap.out) != 2 {
+		t.Fatalf("after signal: cache=%d out=%d", c.CacheSize(), len(cap.out))
+	}
+	counts := map[string]int64{}
+	for _, o := range cap.out {
+		counts[o.Field(0).AsString()] = o.Field(1).AsInt()
+	}
+	if counts["x"] != 2 || counts["y"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if stats.Counter("count.flushes").Value() != 1 {
+		t.Fatal("flush not counted")
+	}
+}
+
+func TestFaultySplitterArming(t *testing.T) {
+	cfg := NewConfig()
+	env := baseEnv(NewStats(time.Second), cfg)
+	ctx, _ := newCtx(t, 3, "split", env)
+	f := &FaultySplitter{}
+	if err := f.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Execute(ctx, tuple.New(tuple.String("ok"))); err != nil {
+		t.Fatal("disarmed splitter crashed")
+	}
+	cfg.Set(CfgFaultArmed, 1)
+	cfg.Set(CfgFaultIndex, 0)
+	if err := f.Execute(ctx, tuple.New(tuple.String("boom"))); err == nil {
+		t.Fatal("armed splitter survived")
+	}
+	// Other instance indices are unaffected.
+	cfg.Set(CfgFaultIndex, 5)
+	if err := f.Execute(ctx, tuple.New(tuple.String("ok"))); err != nil {
+		t.Fatal("wrong instance crashed")
+	}
+}
+
+func TestSeqSourcePacingAndLimit(t *testing.T) {
+	cfg := NewConfig()
+	cfg.Set(CfgSeqLimit, 3)
+	env := baseEnv(NewStats(time.Second), cfg)
+	ctx, cap := newCtx(t, 4, "src", env)
+	s := &SeqSource{}
+	if err := s.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.Next(ctx)
+	}
+	if len(cap.out) != 3 {
+		t.Fatalf("limit not enforced: %d", len(cap.out))
+	}
+	for i, o := range cap.out {
+		if o.Field(0).AsInt() != int64(i) {
+			t.Fatalf("sequence broken at %d", i)
+		}
+	}
+}
+
+func TestSentenceSourceRateLimit(t *testing.T) {
+	cfg := NewConfig()
+	cfg.Set(CfgSourceRate, 100)
+	env := baseEnv(NewStats(time.Second), cfg)
+	ctx, cap := newCtx(t, 5, "src", env)
+	s := &SentenceSource{}
+	if err := s.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		s.Next(ctx)
+	}
+	// 100/s over 0.3s ≈ 30 tuples; allow generous slack.
+	if n := len(cap.out); n < 10 || n > 80 {
+		t.Fatalf("paced source emitted %d in 300ms", n)
+	}
+}
+
+func TestSeqCheckerDetectsGaps(t *testing.T) {
+	stats := NewStats(time.Second)
+	env := baseEnv(stats, NewConfig())
+	ctx, _ := newCtx(t, 6, "sink", env)
+	c := &SeqChecker{}
+	if err := c.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, seq := range []int64{0, 1, 2, 5, 6} {
+		c.Execute(ctx, tuple.New(tuple.Int(seq)))
+	}
+	if stats.Counter("seq.seen").Value() != 5 {
+		t.Fatal("seen count")
+	}
+	if stats.Counter("seq.gaps").Value() != 1 {
+		t.Fatalf("gaps = %d", stats.Counter("seq.gaps").Value())
+	}
+}
+
+func TestTappableSourceEmitsDebugCopies(t *testing.T) {
+	cfg := NewConfig()
+	env := baseEnv(NewStats(time.Second), cfg)
+	ctx, cap := newCtx(t, 7, "src", env)
+	s := &TappableSeqSource{}
+	if err := s.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	s.Next(ctx)
+	if len(cap.out) != 1 {
+		t.Fatalf("untapped emissions = %d", len(cap.out))
+	}
+	cfg.Set(CfgDebugTap, 1)
+	// The tap flag is re-read every 512 tuples.
+	for i := 0; i < 600; i++ {
+		s.Next(ctx)
+	}
+	var tapped int
+	for _, o := range cap.out {
+		if o.Stream == DebugTapStream {
+			tapped++
+		}
+	}
+	if tapped == 0 {
+		t.Fatal("no debug copies after arming the tap")
+	}
+}
+
+// --- Yahoo pipeline components -------------------------------------------
+
+func yahooEnv(t *testing.T) (*worker.SharedEnv, *kafkasim.Log, *kvstore.Store) {
+	t.Helper()
+	env := baseEnv(NewStats(time.Second), NewConfig())
+	log := kafkasim.New(2)
+	kv := kvstore.New()
+	env.Set(EnvKafka, log)
+	env.Set(EnvKV, kv)
+	return env, log, kv
+}
+
+func TestYahooEndToEndComponents(t *testing.T) {
+	env, log, kv := yahooEnv(t)
+	gen := NewAdEventGen(1, 3, 2)
+	gen.PrepopulateCampaigns(kv)
+	now := time.Now()
+	gen.Produce(log, 50, now)
+
+	// Kafka client drains the log.
+	kctx, kcap := newCtx(t, 1, "kafka", env)
+	kc := &KafkaClient{}
+	if err := kc.Open(kctx); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if did, _ := kc.Next(kctx); !did {
+			break
+		}
+	}
+	if len(kcap.out) != 50 {
+		t.Fatalf("kafka emitted %d", len(kcap.out))
+	}
+
+	// Parse → filter(view) → projection → join → agg.
+	pctx, pcap := newCtx(t, 2, "parse", env)
+	p := &Parse{}
+	p.Open(pctx)
+	for _, raw := range kcap.out {
+		p.Execute(pctx, raw)
+	}
+	if len(pcap.out) != 50 {
+		t.Fatalf("parse emitted %d", len(pcap.out))
+	}
+
+	fctx, fcap := newCtx(t, 3, "filter", env)
+	f := &Filter{allow: map[string]bool{"view": true}}
+	f.Open(fctx)
+	for _, tp := range pcap.out {
+		f.Execute(fctx, tp)
+	}
+	if len(fcap.out) == 0 || len(fcap.out) >= 50 {
+		t.Fatalf("filter passed %d of 50", len(fcap.out))
+	}
+
+	jctx, jcap := newCtx(t, 4, "join", env)
+	j := &Join{}
+	if err := j.Open(jctx); err != nil {
+		t.Fatal(err)
+	}
+	proj := &Projection{}
+	prctx, prcap := newCtx(t, 5, "projection", env)
+	for _, tp := range fcap.out {
+		proj.Execute(prctx, tp)
+	}
+	for _, tp := range prcap.out {
+		j.Execute(jctx, tp)
+	}
+	if len(jcap.out) != len(fcap.out) {
+		t.Fatalf("join emitted %d of %d", len(jcap.out), len(fcap.out))
+	}
+
+	actx, _ := newCtx(t, 6, "agg", env)
+	a := &AggStore{}
+	if err := a.Open(actx); err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range jcap.out {
+		a.Execute(actx, tp)
+	}
+	a.Execute(actx, tuple.OnStream(tuple.SignalStream)) // flush
+	if kv.SumCounters("window:") != int64(len(jcap.out)) {
+		t.Fatalf("windows hold %d of %d", kv.SumCounters("window:"), len(jcap.out))
+	}
+}
+
+func TestParseDropsMalformedEvents(t *testing.T) {
+	env, _, _ := yahooEnv(t)
+	ctx, cap := newCtx(t, 1, "parse", env)
+	p := &Parse{}
+	p.Open(ctx)
+	if err := p.Execute(ctx, tuple.New(tuple.Bytes([]byte("{nope")))); err != nil {
+		t.Fatal("malformed input must not crash the worker")
+	}
+	if len(cap.out) != 0 {
+		t.Fatal("malformed input produced output")
+	}
+}
+
+func TestJoinMissesUnknownAds(t *testing.T) {
+	env, _, _ := yahooEnv(t)
+	ctx, cap := newCtx(t, 1, "join", env)
+	j := &Join{}
+	if err := j.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	j.Execute(ctx, tuple.New(tuple.String("ghost-ad"), tuple.Int(1)))
+	if len(cap.out) != 0 {
+		t.Fatal("unknown ad joined")
+	}
+}
+
+func TestAdEventGenProducesValidJSON(t *testing.T) {
+	gen := NewAdEventGen(7, 5, 4)
+	var ev AdEvent
+	if err := json.Unmarshal(gen.Next(time.Now()), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.AdID == "" || ev.EventType == "" || ev.EventTime == 0 {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+func TestStatsRegistry(t *testing.T) {
+	s := NewStats(time.Second)
+	s.Counter("a").Inc()
+	if s.Counter("a").Value() != 1 {
+		t.Fatal("counter identity")
+	}
+	s.Timeline("t").Add(time.Now(), 1)
+	found := false
+	for _, n := range s.Names() {
+		if n == "t" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("timeline not listed")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := NewConfig()
+	if c.Get("missing", 42) != 42 {
+		t.Fatal("default not returned")
+	}
+	c.Set("k", 7)
+	if c.Get("k", 0) != 7 {
+		t.Fatal("set/get")
+	}
+}

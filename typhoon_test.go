@@ -1,0 +1,107 @@
+package typhoon
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// facade smoke tests: the public API alone is enough to build, run and
+// reconfigure a topology.
+
+type apiSource struct{ n int64 }
+
+func (s *apiSource) Open(*Context) error  { return nil }
+func (s *apiSource) Close(*Context) error { return nil }
+func (s *apiSource) Next(ctx *Context) (bool, error) {
+	ctx.Emit(Int(s.n), String("payload"))
+	s.n++
+	return true, nil
+}
+
+var apiSeen atomic.Int64
+
+type apiSink struct{}
+
+func (apiSink) Open(*Context) error  { return nil }
+func (apiSink) Close(*Context) error { return nil }
+func (apiSink) Execute(_ *Context, in Tuple) error {
+	if in.Stream == 0 {
+		apiSeen.Add(1)
+	}
+	return nil
+}
+
+func TestPublicAPIPipeline(t *testing.T) {
+	RegisterSpout("api-test/src", func() Spout { return &apiSource{} })
+	RegisterBolt("api-test/sink", func() Bolt { return apiSink{} })
+
+	cluster, err := NewCluster(Config{Hosts: []string{"h1", "h2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	b := NewTopology("api", 1)
+	b.Source("src", "api-test/src", 1)
+	b.Node("sink", "api-test/sink", 2).ShuffleFrom("src")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Submit(topo, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for apiSeen.Load() < 1000 {
+		if time.Now().After(deadline) {
+			t.Fatalf("saw %d tuples", apiSeen.Load())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Runtime reconfiguration through the facade.
+	if err := cluster.Manager.SetParallelism("api", "sink", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Manager.WaitReady("api", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cluster.WorkersOf("api", "sink")); got == 0 {
+		t.Fatal("no sink workers after reconfiguration")
+	}
+}
+
+func TestPublicAPIBaselineMode(t *testing.T) {
+	RegisterSpout("api-test/src2", func() Spout { return &apiSource{} })
+	RegisterBolt("api-test/sink2", func() Bolt { return apiSink{} })
+	cluster, err := NewCluster(Config{Mode: ModeStorm, Hosts: []string{"h1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	b := NewTopology("api2", 2)
+	b.Source("src", "api-test/src2", 1)
+	b.Node("sink", "api-test/sink2", 1).ShuffleFrom("src")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := apiSeen.Load()
+	if err := cluster.Submit(topo, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for apiSeen.Load() < before+500 {
+		if time.Now().After(deadline) {
+			t.Fatal("baseline pipeline stalled")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestValueConstructors(t *testing.T) {
+	tp := Tuple{Values: []Value{Int(1), Float(2.5), Bool(true), String("s"), Bytes([]byte{1})}}
+	if tp.Field(0).AsInt() != 1 || tp.Field(3).AsString() != "s" {
+		t.Fatal("facade value constructors broken")
+	}
+}
