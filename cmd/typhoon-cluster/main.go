@@ -1,16 +1,21 @@
 // Command typhoon-cluster starts an emulated Typhoon cluster, optionally
 // submits a demo word-count topology, and serves the central coordinator
 // over TCP so typhoon-ctl can inspect and reconfigure it from another
-// process.
+// process. The observability endpoint (-metrics) exposes the cluster's
+// metric registry in Prometheus text format, the live top table, sampled
+// tuple-path traces, and net/http/pprof.
 //
 //	typhoon-cluster -hosts 3 -listen 127.0.0.1:7000 -demo
 //	typhoon-ctl -coordinator 127.0.0.1:7000 list
+//	typhoon-ctl top
+//	curl http://127.0.0.1:9090/metrics
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -23,10 +28,12 @@ import (
 
 func main() {
 	var (
-		hosts  = flag.Int("hosts", 3, "number of emulated compute hosts")
-		listen = flag.String("listen", "127.0.0.1:7000", "coordinator TCP listen address")
-		mode   = flag.String("mode", "typhoon", "data plane: typhoon or storm")
-		demo   = flag.Bool("demo", false, "submit a demo word-count topology")
+		hosts      = flag.Int("hosts", 3, "number of emulated compute hosts")
+		listen     = flag.String("listen", "127.0.0.1:7000", "coordinator TCP listen address")
+		mode       = flag.String("mode", "typhoon", "data plane: typhoon or storm")
+		demo       = flag.Bool("demo", false, "submit a demo word-count topology")
+		metrics    = flag.String("metrics", "127.0.0.1:9090", "observability HTTP listen address (empty disables)")
+		traceEvery = flag.Int("trace-every", 0, "sample one in N frames for tuple-path tracing (0 = default, negative disables)")
 	)
 	flag.Parse()
 
@@ -38,7 +45,7 @@ func main() {
 	if *mode == "storm" {
 		m = typhoon.ModeStorm
 	}
-	cluster, err := typhoon.NewCluster(typhoon.Config{Mode: m, Hosts: names})
+	cluster, err := typhoon.NewCluster(typhoon.Config{Mode: m, Hosts: names, TraceEvery: *traceEvery})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,6 +57,24 @@ func main() {
 	}
 	defer srv.Close()
 	fmt.Printf("cluster up: %d hosts (%s mode), coordinator at %s\n", *hosts, *mode, srv.Addr())
+
+	if cluster.Controller != nil {
+		// The live debugger doubles as the consumer of sampled tuple-path
+		// traces alongside its packet-mirroring taps.
+		dbg := typhoon.NewLiveDebugger()
+		dbg.AttachTraceLog(cluster.Obs.Traces)
+		cluster.Controller.AddApp(dbg)
+	}
+	if *metrics != "" {
+		obsSrv := &http.Server{Addr: *metrics, Handler: cluster.ObserveHandler()}
+		go func() {
+			if err := obsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("observability endpoint: %v", err)
+			}
+		}()
+		defer obsSrv.Close()
+		fmt.Printf("observability at http://%s/metrics (top: /api/top, traces: /api/traces, pprof: /debug/pprof/)\n", *metrics)
+	}
 
 	stats := workload.NewStats(time.Second)
 	cluster.Env.Set(workload.EnvStats, stats)

@@ -1,17 +1,24 @@
 // Command typhoon-ctl inspects and reconfigures a running cluster through
 // its coordinator's TCP endpoint — the dynamic topology manager operations
-// of §3.2 from another process.
+// of §3.2 from another process — and observes it through the cluster's
+// observability HTTP endpoint.
 //
 //	typhoon-ctl -coordinator 127.0.0.1:7000 list
 //	typhoon-ctl -coordinator 127.0.0.1:7000 describe wordcount
 //	typhoon-ctl -coordinator 127.0.0.1:7000 scale wordcount split 4
 //	typhoon-ctl -coordinator 127.0.0.1:7000 swap wordcount split workload/splitter
 //	typhoon-ctl -coordinator 127.0.0.1:7000 kill wordcount
+//	typhoon-ctl -metrics-addr 127.0.0.1:9090 metrics
+//	typhoon-ctl -metrics-addr 127.0.0.1:9090 top
+//	typhoon-ctl -metrics-addr 127.0.0.1:9090 trace
 //
 // Reconfigurations work because the streaming manager's logic runs against
 // the coordinator API: this binary embeds a manager speaking to the remote
 // store, and the cluster's controller and agents converge on the updated
-// global state exactly as for in-process requests.
+// global state exactly as for in-process requests. The observability
+// subcommands poll typhoon-cluster's -metrics endpoint; every /api/top
+// request makes the controller issue a METRIC_REQ sweep through the
+// control-tuple path, so the rendered table is live.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
 	"typhoon/internal/coordinator"
 	"typhoon/internal/manager"
@@ -27,11 +35,28 @@ import (
 
 func main() {
 	addr := flag.String("coordinator", "127.0.0.1:7000", "coordinator TCP address")
+	metricsAddr := flag.String("metrics-addr", "127.0.0.1:9090", "cluster observability HTTP address")
+	once := flag.Bool("once", false, "top: print one snapshot instead of refreshing")
+	interval := flag.Duration("interval", 2*time.Second, "top: refresh period")
+	count := flag.Int("n", 10, "trace: number of recent traces to show")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 	}
+
+	switch args[0] {
+	case "metrics":
+		runMetrics(*metricsAddr)
+		return
+	case "top":
+		runTop(*metricsAddr, *interval, *once)
+		return
+	case "trace":
+		runTrace(*metricsAddr, *count)
+		return
+	}
+
 	cli, err := coordinator.Dial(*addr)
 	if err != nil {
 		fatal(err)
@@ -106,7 +131,7 @@ func need(args []string, n int) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: typhoon-ctl -coordinator addr {list | describe T | scale T NODE N | swap T NODE LOGIC | kill T}")
+	fmt.Fprintln(os.Stderr, "usage: typhoon-ctl [flags] {list | describe T | scale T NODE N | swap T NODE LOGIC | kill T | metrics | top | trace}")
 	os.Exit(2)
 }
 

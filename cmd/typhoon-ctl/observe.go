@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"text/tabwriter"
+	"time"
+
+	"typhoon/internal/observe"
+	"typhoon/internal/packet"
+)
+
+// runMetrics dumps the cluster's Prometheus exposition to stdout.
+func runMetrics(addr string) {
+	body, err := httpGet("http://" + addr + "/metrics")
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(body)
+}
+
+// runTop renders the live cluster table, refreshing until interrupted.
+// Every request makes the controller issue a METRIC_REQ sweep, so the
+// worker rows track the data plane live.
+func runTop(addr string, interval time.Duration, once bool) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	for {
+		snap, err := fetchTop(addr)
+		if err != nil {
+			fatal(err)
+		}
+		if !once {
+			fmt.Print("\033[2J\033[H") // clear screen, cursor home
+		}
+		printTop(snap)
+		if once {
+			return
+		}
+		select {
+		case <-sig:
+			return
+		case <-time.After(interval):
+		}
+	}
+}
+
+func fetchTop(addr string) (observe.TopSnapshot, error) {
+	var snap observe.TopSnapshot
+	body, err := httpGet("http://" + addr + "/api/top")
+	if err != nil {
+		return snap, err
+	}
+	err = json.Unmarshal(body, &snap)
+	return snap, err
+}
+
+func printTop(snap observe.TopSnapshot) {
+	fmt.Printf("typhoon top — %s\n\n", snap.At.Format(time.TimeOnly))
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SWITCH\tPORTS\tRULES\tRX\tTX\tFWD\tREPL\tDROP")
+	for _, s := range snap.Switches {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			s.Host, s.Ports, s.Rules, s.RxFrames, s.TxFrames, s.Forwarded, s.Replicated, s.Dropped)
+	}
+	fmt.Fprintln(tw, "\t\t\t\t\t\t\t")
+	fmt.Fprintln(tw, "TOPO\tNODE\tWORKER\tHOST\tQUEUE\tPROC\tEMIT\tDROP\tAGE")
+	for _, w := range snap.Workers {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%d\t%d\t%d\t%d\t%.1fs\n",
+			w.Topo, w.Node, w.Worker, w.Host, w.QueueLen, w.Processed, w.Emitted, w.Dropped, w.AgeSecs)
+	}
+	tw.Flush()
+}
+
+// runTrace prints recent completed tuple-path traces, one hop chain per
+// trace: spout emit → switch ingress → rule match → egress/tunnel →
+// sink dequeue.
+func runTrace(addr string, n int) {
+	body, err := httpGet(fmt.Sprintf("http://%s/api/traces?n=%d", addr, n))
+	if err != nil {
+		fatal(err)
+	}
+	var traces []observe.TraceRecord
+	if err := json.Unmarshal(body, &traces); err != nil {
+		fatal(err)
+	}
+	if len(traces) == 0 {
+		fmt.Println("no traces recorded yet (is the topology running and tracing enabled?)")
+		return
+	}
+	for _, tr := range traces {
+		fmt.Printf("trace %d  e2e %.3fms  completed %s\n",
+			tr.ID, tr.E2ESeconds()*1e3, tr.CompletedAt.Format(time.TimeOnly))
+		var base int64
+		for _, h := range tr.Hops {
+			if base == 0 {
+				base = h.At
+			}
+			fmt.Printf("  +%8.3fms  %-10s actor=%d detail=%d\n",
+				float64(h.At-base)/1e6, packet.HopKind(h.Kind).String(), h.Actor, h.Detail)
+		}
+	}
+}
+
+func httpGet(url string) ([]byte, error) {
+	cl := &http.Client{Timeout: 10 * time.Second}
+	resp, err := cl.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("cannot reach observability endpoint (%w); is typhoon-cluster running with -metrics?", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("observability endpoint returned %s", resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}

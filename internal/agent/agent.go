@@ -53,6 +53,9 @@ type Options struct {
 	// (the stable-update procedure of §3.5).
 	DrainDelay time.Duration
 	// RestartDelay spaces Storm-style local restarts of crashed workers.
+	// It is the base delay: consecutive quick crashes back off
+	// exponentially (up to 64×), so a crash-looping worker's heartbeats
+	// go stale and the manager can reschedule it elsewhere.
 	RestartDelay time.Duration
 	// DefaultBatchSize is the initial I/O batch size for workers.
 	DefaultBatchSize int
@@ -63,6 +66,12 @@ type Options struct {
 	AckTimeout time.Duration
 	// OnWorkerCrash, when set, observes crashes (tests, fault stats).
 	OnWorkerCrash func(topo string, id topology.WorkerID, err error)
+	// FrameSampler, when set, selects emitted frames to carry a tuple-path
+	// trace annex (SDN mode; typically the host's *observe.Sampler).
+	FrameSampler worker.FrameSampler
+	// TraceSink, when set, receives completed trace annexes extracted by
+	// this host's worker transports (typically observe.TraceLog.Record).
+	TraceSink func(packet.TraceAnnex)
 }
 
 // Info is the agent registration record kept in the coordinator
@@ -91,7 +100,10 @@ type Agent struct {
 
 	mu      sync.Mutex
 	workers map[string]map[topology.WorkerID]*running // topo -> id -> worker
-	stopped bool
+	// crashStreaks counts consecutive quick crashes per topo/worker for
+	// restart backoff; a healthy run (uptime ≥ 10×RestartDelay) resets it.
+	crashStreaks map[string]int
+	stopped      bool
 
 	stopCh chan struct{}
 	wg     sync.WaitGroup
@@ -121,9 +133,10 @@ func New(opts Options) (*Agent, error) {
 		opts.StatsInterval = 500 * time.Millisecond
 	}
 	return &Agent{
-		opts:    opts,
-		workers: make(map[string]map[topology.WorkerID]*running),
-		stopCh:  make(chan struct{}),
+		opts:         opts,
+		crashStreaks: make(map[string]int),
+		workers:      make(map[string]map[topology.WorkerID]*running),
+		stopCh:       make(chan struct{}),
 	}, nil
 }
 
@@ -179,6 +192,22 @@ func (a *Agent) Stop() {
 	for _, r := range all {
 		a.stopWorker(r)
 	}
+}
+
+// WorkerCount reports live (non-crashed) workers across all topologies on
+// this host — the agent's row in the observability registry.
+func (a *Agent) WorkerCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, m := range a.workers {
+		for _, r := range m {
+			if !r.crashed {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // RunningWorkers reports the live worker IDs for a topology (tests).
@@ -399,6 +428,8 @@ func (a *Agent) launch(l *topology.Logical, p *topology.Physical, as topology.As
 		port = pt
 		tr = worker.NewSDNTransport(l.App, as.Worker, pt, worker.SDNTransportConfig{
 			BatchSize: a.opts.DefaultBatchSize,
+			Sampler:   a.opts.FrameSampler,
+			TraceSink: a.opts.TraceSink,
 		})
 		if err := a.publishPort(l.Name, as.Worker, pt.No()); err != nil {
 			a.opts.Switch.RemovePort(pt.No())
@@ -486,7 +517,9 @@ func (a *Agent) publishPort(name string, id topology.WorkerID, portNo uint32) er
 // handleCrash implements the Storm recovery behaviour both systems share
 // (§6.2): the dead worker's port disappears (emitting the PortStatus event
 // Typhoon's fault detector reacts to), its heartbeats stop (so the manager
-// eventually reschedules it), and the agent keeps restarting it locally.
+// eventually reschedules it), and the agent restarts it locally with
+// exponential backoff — without backoff a crash-looping worker would write
+// a fresh heartbeat on every restart and never look dead to the manager.
 func (a *Agent) handleCrash(topoName string, id topology.WorkerID, err error) {
 	a.mu.Lock()
 	r := a.workers[topoName][id]
@@ -497,6 +530,16 @@ func (a *Agent) handleCrash(topoName string, id topology.WorkerID, err error) {
 	r.crashed = true
 	port := r.port
 	r.port = nil
+	key := crashKey(topoName, id)
+	if time.Since(r.started) >= 10*a.opts.RestartDelay {
+		a.crashStreaks[key] = 0 // healthy run: not a crash loop
+	}
+	a.crashStreaks[key]++
+	shift := a.crashStreaks[key] - 1
+	if shift > 6 {
+		shift = 6
+	}
+	delay := a.opts.RestartDelay << shift
 	a.mu.Unlock()
 
 	if port != nil {
@@ -506,17 +549,21 @@ func (a *Agent) handleCrash(topoName string, id topology.WorkerID, err error) {
 		a.opts.OnWorkerCrash(topoName, id, err)
 	}
 
-	// Local restart after a delay, if the assignment still names us.
+	// Local restart after the backoff, if the assignment still names us.
 	a.wg.Add(1)
 	go func() {
 		defer a.wg.Done()
 		select {
 		case <-a.stopCh:
 			return
-		case <-time.After(a.opts.RestartDelay):
+		case <-time.After(delay):
 		}
 		a.syncTopology(topoName)
 	}()
+}
+
+func crashKey(topo string, id topology.WorkerID) string {
+	return topo + "/" + strconv.FormatUint(uint64(id), 10)
 }
 
 // drainAndStop waits for the drain window, then stops a de-assigned
@@ -537,6 +584,7 @@ func (a *Agent) drainAndStop(name string, r *running) {
 	}
 	a.mu.Lock()
 	delete(a.workers[name], r.w.ID())
+	delete(a.crashStreaks, crashKey(name, r.w.ID()))
 	a.mu.Unlock()
 	a.stopWorker(r)
 }

@@ -21,23 +21,50 @@ import (
 // Kind names a control tuple type (Table 2).
 type Kind string
 
-// Control tuple kinds.
+// Control tuple kinds. Each comment names the payload struct, who emits the
+// tuple, and who consumes it; "controller → worker" kinds ride PACKET_OUT
+// through the switch onto the worker's port, "worker → controller" kinds are
+// punted to the controller by the control-stream flow rule and dispatched to
+// apps via App.OnControlTuple.
 const (
-	// KindRouting updates a worker's routing state (§3.3.2).
+	// KindRouting updates a worker's routing state (§3.3.2). Payload
+	// Routing. Emitted by the controller's reconfiguration sync and the
+	// fault-detector app; consumed by the worker framework layer, which
+	// swaps its routing table atomically between tuples.
 	KindRouting Kind = "ROUTING"
 	// KindSignal makes stateful workers flush their in-memory cache (§3.5).
+	// No payload. Emitted by the controller during stable stateful
+	// reconfiguration; consumed by the worker, which forwards a signal
+	// tuple to the application layer (Listing 2's isSignalTuple pattern).
 	KindSignal Kind = "SIGNAL"
-	// KindMetricReq requests a worker's internal statistics.
+	// KindMetricReq requests a worker's internal statistics. Payload
+	// MetricReq. Emitted by the auto-scaler and metrics-collector apps;
+	// consumed by the worker framework layer, which answers with a
+	// KindMetricResp carrying the request's token.
 	KindMetricReq Kind = "METRIC_REQ"
 	// KindMetricResp carries a worker's statistics to the controller.
+	// Payload MetricResp. Emitted by workers — both as the answer to
+	// KindMetricReq and unsolicited every StatsInterval (Fig 4's worker
+	// statistics reporter); consumed by the auto-scaler and the
+	// metrics-collector, which caches the rows behind /api/top and the
+	// typhoon_worker_* metrics.
 	KindMetricResp Kind = "METRIC_RESP"
-	// KindInputRate throttles a worker's input processing rate.
+	// KindInputRate throttles a worker's input processing rate. Payload
+	// InputRate. Emitted by controller apps (experiments use it to shape
+	// load); consumed by the worker's input loop.
 	KindInputRate Kind = "INPUT_RATE"
-	// KindActivate unthrottles the first workers of a topology.
+	// KindActivate unthrottles the first workers of a topology. No
+	// payload. Emitted by the controller once rules for a new generation
+	// are installed, so sources only emit into a programmed data plane;
+	// consumed by source workers started inactive.
 	KindActivate Kind = "ACTIVATE"
-	// KindDeactivate throttles the first workers of a topology.
+	// KindDeactivate throttles the first workers of a topology. No
+	// payload. Emitted by the controller ahead of disruptive
+	// reconfigurations; consumed by source workers.
 	KindDeactivate Kind = "DEACTIVATE"
-	// KindBatchSize adjusts the I/O layer batch size.
+	// KindBatchSize adjusts the I/O layer batch size. Payload BatchSize.
+	// Emitted by controller apps tuning the latency/throughput trade-off
+	// of Fig 8; consumed by the worker's transport.
 	KindBatchSize Kind = "BATCH_SIZE"
 )
 

@@ -49,22 +49,23 @@ func (f *FaultDetector) OnPortStatus(c *Controller, host string, ev openflow.Por
 	if ev.Addr == zero {
 		return
 	}
-	// Identify the victim from its data-plane address.
+	// Identify the victim from its data-plane address; snapshot the
+	// topology views under the lock (SyncTopology swaps them).
 	c.mu.Lock()
 	var topoName string
-	var ts *topoState
+	var l *topology.Logical
+	var p *topology.Physical
 	for name, cand := range c.topos {
 		if cand.logical != nil && cand.logical.App == ev.Addr.App() {
-			topoName, ts = name, cand
+			topoName, l, p = name, cand.logical, cand.physical
 			break
 		}
 	}
 	c.mu.Unlock()
-	if ts == nil {
+	if l == nil || p == nil {
 		return
 	}
 	victim := topology.WorkerID(ev.Addr.Worker())
-	l, p := ts.logical, ts.physical
 	as := p.Worker(victim)
 	if as == nil {
 		return // expected removal: worker no longer assigned

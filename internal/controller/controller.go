@@ -475,13 +475,20 @@ func (c *Controller) syncAll() {
 // SendControlTuple delivers a control tuple to a worker through the data
 // plane (PACKET_OUT → switch → worker port), per §3.3.2.
 func (c *Controller) SendControlTuple(topoName string, id topology.WorkerID, ct tuple.Tuple) error {
+	// Snapshot the topology views under the lock: SyncTopology swaps
+	// ts.logical/ts.physical concurrently.
 	c.mu.Lock()
 	ts := c.topos[topoName]
+	var l *topology.Logical
+	var p *topology.Physical
+	if ts != nil {
+		l, p = ts.logical, ts.physical
+	}
 	c.mu.Unlock()
-	if ts == nil {
+	if l == nil || p == nil {
 		return fmt.Errorf("controller: unknown topology %q", topoName)
 	}
-	as := ts.physical.Worker(id)
+	as := p.Worker(id)
 	if as == nil {
 		return fmt.Errorf("controller: unknown worker %d", id)
 	}
@@ -492,7 +499,7 @@ func (c *Controller) SendControlTuple(topoName string, id topology.WorkerID, ct 
 	if dp == nil {
 		return fmt.Errorf("controller: no datapath for host %s", as.Host)
 	}
-	dst := packet.WorkerAddr(ts.logical.App, uint32(id))
+	dst := packet.WorkerAddr(l.App, uint32(id))
 	frame := packet.EncodeTuples(dst, packet.ControllerAddr, [][]byte{tuple.Encode(ct)})
 	_, err := dp.conn.Send(openflow.PacketOut{
 		InPort:  openflow.PortController,

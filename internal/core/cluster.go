@@ -17,6 +17,7 @@ import (
 	"typhoon/internal/controller"
 	"typhoon/internal/coordinator"
 	"typhoon/internal/manager"
+	"typhoon/internal/observe"
 	"typhoon/internal/paths"
 	"typhoon/internal/scheduler"
 	"typhoon/internal/storm"
@@ -67,6 +68,10 @@ type Config struct {
 	RuleIdleTimeout time.Duration
 	// OnWorkerCrash observes worker crashes (experiments).
 	OnWorkerCrash func(topo string, id topology.WorkerID, err error)
+	// TraceEvery samples one in N emitted frames for tuple-path tracing
+	// (Typhoon mode). Zero selects observe.DefaultTraceEvery; negative
+	// disables tracing.
+	TraceEvery int
 }
 
 // Host is one emulated compute host.
@@ -91,6 +96,8 @@ type Cluster struct {
 	Controller *controller.Controller
 	// Env is the shared environment handed to computation logic.
 	Env *worker.SharedEnv
+	// Obs is the cluster-wide observability layer (always non-nil).
+	Obs *Observability
 
 	hosts    map[string]*Host
 	fabric   *tunnelFabric
@@ -112,6 +119,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		cfg:   cfg,
 		Store: coordinator.NewStore(),
 		Env:   worker.NewSharedEnv(),
+		Obs:   newObservability(cfg.TraceEvery),
 		hosts: make(map[string]*Host),
 	}
 
@@ -123,6 +131,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		c.Controller = ctl
+		c.Obs.Registry.GaugeFunc("typhoon_controller_datapaths",
+			"Switches connected to the SDN controller.", nil,
+			func() float64 { return float64(len(ctl.Datapaths())) })
+		c.Obs.Collector = controller.NewMetricsCollector()
+		c.Obs.Collector.Register(c.Obs.Registry)
+		ctl.AddApp(c.Obs.Collector)
 		if err := ctl.Start(); err != nil {
 			return nil, err
 		}
@@ -159,6 +173,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			})
 			sw.Start()
 			h.Switch = sw
+			c.Obs.registerSwitch(sw)
 			tport, err := sw.AddTunnelPort("tun0")
 			if err != nil {
 				c.Stop()
@@ -178,6 +193,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			h.ofAgent = ofa
 			agentOpts.Mode = agent.ModeSDN
 			agentOpts.Switch = sw
+			agentOpts.FrameSampler = c.Obs.Sampler
+			agentOpts.TraceSink = c.Obs.Traces.Record
 		} else {
 			agentOpts.Mode = agent.ModeStorm
 			agentOpts.StormNet = c.stormNet
@@ -192,6 +209,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		h.Agent = ag
+		c.Obs.Registry.GaugeFunc("typhoon_agent_workers",
+			"Live workers managed by the host's agent.",
+			observe.Labels{"host": name},
+			func() float64 { return float64(ag.WorkerCount()) })
 		c.hosts[name] = h
 	}
 	c.Manager.Start()

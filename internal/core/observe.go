@@ -1,0 +1,126 @@
+package core
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"typhoon/internal/controller"
+	"typhoon/internal/observe"
+	"typhoon/internal/switchfabric"
+)
+
+// Observability bundles the cluster-wide observability layer: the metric
+// registry every component registers into, the frame sampler that selects
+// tuple-path traces, and the ring of completed traces.
+type Observability struct {
+	// Registry is the cluster's hierarchical metric registry.
+	Registry *observe.Registry
+	// Sampler selects emitted frames to carry a trace annex (Typhoon mode).
+	Sampler *observe.Sampler
+	// Traces holds recently completed tuple-path traces.
+	Traces *observe.TraceLog
+	// Collector is the controller-side metrics app (nil in Storm mode).
+	Collector *controller.MetricsCollector
+}
+
+// newObservability builds the layer with the e2e latency histogram and the
+// trace accounting pre-registered.
+func newObservability(traceEvery int) *Observability {
+	if traceEvery == 0 {
+		traceEvery = observe.DefaultTraceEvery
+	}
+	o := &Observability{
+		Registry: observe.NewRegistry(),
+		Sampler:  observe.NewSampler(traceEvery),
+		Traces:   observe.NewTraceLog(0),
+	}
+	o.Traces.SetLatencyHistogram(o.Registry.Histogram(
+		"typhoon_trace_e2e_seconds",
+		"Emit-to-dequeue span of sampled tuple-path traces.",
+		nil, nil))
+	o.Registry.CounterFunc("typhoon_traces_recorded_total",
+		"Completed tuple-path traces recorded (including evicted).",
+		nil, o.Traces.Total)
+	return o
+}
+
+// registerSwitch adds a collector exposing one switch's counters, rule and
+// port population, and per-port egress queues.
+func (o *Observability) registerSwitch(sw *switchfabric.Switch) {
+	host := observe.Labels{"host": sw.Name()}
+	o.Registry.AddCollector(func(emit func(observe.Sample)) {
+		cnt := sw.CountersSnapshot()
+		counter := func(name, help string, v uint64) {
+			emit(observe.Sample{Name: name, Kind: observe.KindCounter, Help: help,
+				Labels: host, Value: float64(v)})
+		}
+		counter("typhoon_switch_rx_frames_total", "Frames accepted from attached devices.", cnt.RxFrames)
+		counter("typhoon_switch_tx_frames_total", "Frames delivered toward attached devices.", cnt.TxFrames)
+		counter("typhoon_switch_forwarded_frames_total", "Frame deliveries made by the pipeline.", cnt.Forwarded)
+		counter("typhoon_switch_replicated_frames_total", "Extra copies beyond the first delivery (switch-level fan-out).", cnt.Replicated)
+		counter("typhoon_switch_dropped_frames_total", "Frames lost to table misses and full rings.", cnt.Dropped)
+		ports := sw.Ports()
+		emit(observe.Sample{Name: "typhoon_switch_flow_rules", Kind: observe.KindGauge,
+			Help: "Installed flow rules.", Labels: host, Value: float64(sw.RuleCount())})
+		emit(observe.Sample{Name: "typhoon_switch_ports", Kind: observe.KindGauge,
+			Help: "Attached switch ports.", Labels: host, Value: float64(len(ports))})
+		for _, pi := range ports {
+			p := sw.Port(pi.No)
+			if p == nil {
+				continue
+			}
+			emit(observe.Sample{Name: "typhoon_switch_port_queue_frames", Kind: observe.KindGauge,
+				Help:   "Frames queued toward the port's device.",
+				Labels: observe.Labels{"host": sw.Name(), "port": strconv.FormatUint(uint64(pi.No), 10)},
+				Value:  float64(p.QueueLen())})
+		}
+	})
+}
+
+// TopSnapshot assembles the live cluster table: per-switch frame counters
+// and the controller's cached per-worker statistics.
+func (c *Cluster) TopSnapshot() observe.TopSnapshot {
+	snap := observe.TopSnapshot{At: time.Now()}
+	for _, name := range c.cfg.Hosts {
+		h := c.hosts[name]
+		if h == nil || h.Switch == nil {
+			continue
+		}
+		cnt := h.Switch.CountersSnapshot()
+		snap.Switches = append(snap.Switches, observe.SwitchRow{
+			Host:       name,
+			DPID:       h.Switch.DatapathID(),
+			Ports:      len(h.Switch.Ports()),
+			Rules:      h.Switch.RuleCount(),
+			RxFrames:   cnt.RxFrames,
+			TxFrames:   cnt.TxFrames,
+			Forwarded:  cnt.Forwarded,
+			Replicated: cnt.Replicated,
+			Dropped:    cnt.Dropped,
+		})
+	}
+	if c.Obs.Collector != nil {
+		snap.Workers = c.Obs.Collector.Rows()
+	}
+	return snap
+}
+
+// ObserveHandler returns the cluster's observability HTTP handler: the
+// /metrics Prometheus exposition, the JSON /api/* endpoints, and pprof.
+// Requesting /api/top triggers a METRIC_REQ sweep through the control-tuple
+// path so worker rows are fresh.
+func (c *Cluster) ObserveHandler() http.Handler {
+	var poll func()
+	if c.Obs.Collector != nil && c.Controller != nil {
+		ctl := c.Controller
+		poll = func() { c.Obs.Collector.Poll(ctl) }
+	}
+	return observe.Handler(observe.ServerOptions{
+		Registry:    c.Obs.Registry,
+		Traces:      c.Obs.Traces,
+		Top:         c.TopSnapshot,
+		Poll:        poll,
+		EnablePprof: true,
+	})
+}

@@ -59,6 +59,36 @@ func TestTimelineRates(t *testing.T) {
 	}
 }
 
+// TestTimelineBucketCap pins the fix for unbounded bucket growth: one
+// far-future sample must not allocate buckets out to its index.
+func TestTimelineBucketCap(t *testing.T) {
+	start := time.Unix(1000, 0)
+	tl := NewTimelineCapped(start, time.Second, 10)
+	tl.Add(start.Add(5*time.Second), 1)
+	tl.Add(start.Add(1000*time.Hour), 7) // beyond the cap: dropped
+	tl.Add(start.Add(9*time.Second), 2)  // last valid bucket
+	tl.Add(start.Add(10*time.Second), 3) // first invalid bucket
+	s := tl.Series()
+	if len(s) != 10 {
+		t.Fatalf("retained %d buckets, want 10", len(s))
+	}
+	if s[5] != 1 || s[9] != 2 {
+		t.Fatalf("series = %v", s)
+	}
+	if tl.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tl.Dropped())
+	}
+	// Default constructor gets the week-long default cap.
+	def := NewTimeline(start, time.Second)
+	def.Add(start.Add(1000000*time.Hour), 1)
+	if got := len(def.Series()); got != 0 {
+		t.Fatalf("default timeline grew %d buckets from one far-future sample", got)
+	}
+	if def.Dropped() != 1 {
+		t.Fatalf("default dropped = %d", def.Dropped())
+	}
+}
+
 func TestLatenciesQuantiles(t *testing.T) {
 	l := NewLatencies(0)
 	for i := 1; i <= 100; i++ {

@@ -1,0 +1,74 @@
+package observe
+
+import (
+	"sync"
+)
+
+// DefLatencyBuckets are the default histogram bounds in seconds, tuned for
+// intra-cluster tuple latencies (tens of microseconds) up to control-plane
+// round trips (seconds).
+var DefLatencyBuckets = []float64{
+	0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// Histogram is a fixed-bucket latency/size distribution. Unlike
+// metrics.Latencies (reservoir sampling for offline CDF extraction), a
+// Histogram is mergeable and scrape-friendly: constant memory, cumulative
+// bucket exposition.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // upper bounds, ascending
+	counts []uint64  // per-bucket (non-cumulative) counts
+	sum    float64
+	count  uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b))}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sum += v
+	h.count++
+	for i, ub := range h.bounds {
+		if v <= ub {
+			h.counts[i]++
+			return
+		}
+	}
+	// Beyond the last bound: only +Inf (the total count) covers it.
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	// Buckets are the upper bounds.
+	Buckets []float64 `json:"buckets"`
+	// Counts are per-bucket (non-cumulative) observation counts.
+	Counts []uint64 `json:"counts"`
+	// Sum is the sum of all observed values.
+	Sum float64 `json:"sum"`
+	// Count is the total number of observations.
+	Count uint64 `json:"count"`
+}
+
+// Snapshot copies the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Buckets: append([]float64(nil), h.bounds...),
+		Counts:  append([]uint64(nil), h.counts...),
+		Sum:     h.sum,
+		Count:   h.count,
+	}
+	return s
+}

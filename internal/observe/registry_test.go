@@ -1,0 +1,199 @@
+package observe
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"typhoon/internal/packet"
+)
+
+// TestRegistryConcurrency hammers registration, instrument updates and
+// scraping from parallel goroutines; run with -race.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const workers = 8
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			labels := Labels{"worker": fmt.Sprint(i)}
+			for j := 0; j < 200; j++ {
+				c := r.Counter("typhoon_test_ops_total", "ops", labels)
+				c.Inc()
+				g := r.Gauge("typhoon_test_queue", "queue", labels)
+				g.Set(float64(j))
+				h := r.Histogram("typhoon_test_latency_seconds", "lat", labels, nil)
+				h.Observe(float64(j) / 1000)
+				r.GaugeFunc("typhoon_test_live", "live", labels, func() float64 { return 1 })
+			}
+		}(i)
+	}
+	// Concurrent scrapers.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				var sb strings.Builder
+				if err := r.WritePrometheus(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Every worker's counter must have exactly its 200 increments.
+	for i := 0; i < workers; i++ {
+		c := r.Counter("typhoon_test_ops_total", "ops", Labels{"worker": fmt.Sprint(i)})
+		if c.Value() != 200 {
+			t.Fatalf("worker %d counter = %d, want 200", i, c.Value())
+		}
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition format byte for byte.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("typhoon_switch_tx_frames_total", "Frames delivered to ports.", Labels{"host": "h1"}).Add(42)
+	r.Counter("typhoon_switch_tx_frames_total", "Frames delivered to ports.", Labels{"host": "h2"}).Add(7)
+	r.Gauge("typhoon_worker_queue_frames", "Worker input backlog.", Labels{"host": "h1", "worker": "3"}).Set(5)
+	r.GaugeFunc("typhoon_controller_datapaths", "Connected switches.", nil, func() float64 { return 2 })
+	h := r.Histogram("typhoon_trace_e2e_seconds", "Emit-to-dequeue trace span.", nil, []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.002)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP typhoon_controller_datapaths Connected switches.
+# TYPE typhoon_controller_datapaths gauge
+typhoon_controller_datapaths 2
+# HELP typhoon_switch_tx_frames_total Frames delivered to ports.
+# TYPE typhoon_switch_tx_frames_total counter
+typhoon_switch_tx_frames_total{host="h1"} 42
+typhoon_switch_tx_frames_total{host="h2"} 7
+# HELP typhoon_trace_e2e_seconds Emit-to-dequeue trace span.
+# TYPE typhoon_trace_e2e_seconds histogram
+typhoon_trace_e2e_seconds_bucket{le="0.001"} 1
+typhoon_trace_e2e_seconds_bucket{le="0.01"} 2
+typhoon_trace_e2e_seconds_bucket{le="+Inf"} 3
+typhoon_trace_e2e_seconds_sum 5.0025
+typhoon_trace_e2e_seconds_count 3
+# HELP typhoon_worker_queue_frames Worker input backlog.
+# TYPE typhoon_worker_queue_frames gauge
+typhoon_worker_queue_frames{host="h1",worker="3"} 5
+`
+	if sb.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+func TestRegistryUnregister(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("typhoon_x_total", "x", Labels{"worker": "1"}).Inc()
+	r.Counter("typhoon_x_total", "x", Labels{"worker": "2"}).Inc()
+	r.Unregister("typhoon_x_total", Labels{"worker": "1"})
+	var sb strings.Builder
+	_ = r.WritePrometheus(&sb)
+	if strings.Contains(sb.String(), `worker="1"`) {
+		t.Fatal("unregistered series still exposed")
+	}
+	if !strings.Contains(sb.String(), `worker="2"`) {
+		t.Fatal("surviving series lost")
+	}
+}
+
+func TestCollectorAndHandler(t *testing.T) {
+	r := NewRegistry()
+	r.AddCollector(func(emit func(Sample)) {
+		emit(Sample{
+			Name: "typhoon_switch_port_queue_frames", Kind: KindGauge,
+			Help:   "Frames queued toward the port's device.",
+			Labels: Labels{"host": "h1", "port": "1"}, Value: 9,
+		})
+	})
+	srv := httptest.NewServer(Handler(ServerOptions{Registry: r, EnablePprof: true}))
+	defer srv.Close()
+
+	body := httpGet(t, srv.URL+"/metrics")
+	if !strings.Contains(body, `typhoon_switch_port_queue_frames{host="h1",port="1"} 9`) {
+		t.Fatalf("collector sample missing from scrape:\n%s", body)
+	}
+	if !strings.Contains(httpGet(t, srv.URL+"/debug/pprof/cmdline"), "") {
+		t.Fatal("pprof route missing")
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestTraceLogRing(t *testing.T) {
+	l := NewTraceLog(4)
+	for i := 1; i <= 6; i++ {
+		l.Record(packet.TraceAnnex{ID: uint64(i), Hops: []packet.TraceHop{
+			{Kind: packet.HopEmit, At: 100},
+			{Kind: packet.HopDequeue, At: 100 + int64(i)*1000},
+		}})
+	}
+	if l.Total() != 6 {
+		t.Fatalf("total = %d", l.Total())
+	}
+	recent := l.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("retained %d traces", len(recent))
+	}
+	// Most recent first: IDs 6,5,4,3.
+	for i, want := range []uint64{6, 5, 4, 3} {
+		if recent[i].ID != want {
+			t.Fatalf("recent[%d].ID = %d, want %d", i, recent[i].ID, want)
+		}
+	}
+	if got := recent[0].E2ESeconds(); got <= 0 {
+		t.Fatalf("e2e span = %v", got)
+	}
+	if got := l.Recent(2); len(got) != 2 || got[0].ID != 6 {
+		t.Fatalf("Recent(2) = %+v", got)
+	}
+}
+
+func TestSampler(t *testing.T) {
+	s := NewSampler(4)
+	hits := 0
+	for i := 0; i < 40; i++ {
+		if _, ok := s.Sample(); ok {
+			hits++
+		}
+	}
+	if hits != 10 {
+		t.Fatalf("sampled %d of 40 with period 4", hits)
+	}
+	var disabled *Sampler
+	if _, ok := disabled.Sample(); ok {
+		t.Fatal("nil sampler sampled")
+	}
+	if _, ok := NewSampler(0).Sample(); ok {
+		t.Fatal("disabled sampler sampled")
+	}
+}

@@ -1,0 +1,110 @@
+package observe
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// SwitchRow is one switch's line in the cluster top view.
+type SwitchRow struct {
+	Host       string `json:"host"`
+	DPID       uint64 `json:"dpid"`
+	Ports      int    `json:"ports"`
+	Rules      int    `json:"rules"`
+	RxFrames   uint64 `json:"rxFrames"`
+	TxFrames   uint64 `json:"txFrames"`
+	Forwarded  uint64 `json:"forwarded"`
+	Replicated uint64 `json:"replicated"`
+	Dropped    uint64 `json:"dropped"`
+}
+
+// WorkerRow is one worker's line in the cluster top view, derived from the
+// controller's METRIC_RESP cache.
+type WorkerRow struct {
+	Topo      string  `json:"topo"`
+	Node      string  `json:"node"`
+	Worker    uint32  `json:"worker"`
+	Host      string  `json:"host"`
+	QueueLen  int     `json:"queueLen"`
+	Processed uint64  `json:"processed"`
+	Emitted   uint64  `json:"emitted"`
+	Dropped   uint64  `json:"dropped"`
+	ProcSecs  float64 `json:"procSecs"`
+	// AgeSecs is how stale this row is (time since the METRIC_RESP).
+	AgeSecs float64 `json:"ageSecs"`
+}
+
+// TopSnapshot is the live cluster table served at /api/top.
+type TopSnapshot struct {
+	At       time.Time   `json:"at"`
+	Switches []SwitchRow `json:"switches"`
+	Workers  []WorkerRow `json:"workers"`
+}
+
+// ServerOptions wires the pieces the HTTP endpoint exposes.
+type ServerOptions struct {
+	// Registry backs /metrics and /api/metrics.
+	Registry *Registry
+	// Traces backs /api/traces; nil disables the route.
+	Traces *TraceLog
+	// Top builds the /api/top table; nil disables the route.
+	Top func() TopSnapshot
+	// Poll, when set, is invoked before Top on /api/top requests — the
+	// hook the cluster uses to issue a METRIC_REQ sweep through the
+	// control-tuple path so the next scrape is fresh.
+	Poll func()
+	// EnablePprof adds net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+}
+
+// Handler assembles the observability HTTP mux:
+//
+//	/metrics          Prometheus text exposition
+//	/api/metrics      the same samples as JSON
+//	/api/top          live cluster table (switches + workers)
+//	/api/traces?n=N   recent completed tuple-path traces
+//	/debug/pprof/*    standard Go profiling endpoints
+func Handler(o ServerOptions) http.Handler {
+	mux := http.NewServeMux()
+	if o.Registry != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = o.Registry.WritePrometheus(w)
+		})
+		mux.HandleFunc("/api/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, o.Registry.Snapshot())
+		})
+	}
+	if o.Traces != nil {
+		mux.HandleFunc("/api/traces", func(w http.ResponseWriter, r *http.Request) {
+			n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+			writeJSON(w, o.Traces.Recent(n))
+		})
+	}
+	if o.Top != nil {
+		mux.HandleFunc("/api/top", func(w http.ResponseWriter, _ *http.Request) {
+			if o.Poll != nil {
+				o.Poll()
+			}
+			writeJSON(w, o.Top())
+		})
+	}
+	if o.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

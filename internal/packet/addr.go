@@ -6,6 +6,12 @@
 // small tuples into shared frames and segments large tuples across frames,
 // and a Depacketizer that reverses both, mirroring the southbound transport
 // library of the prototype.
+//
+// Frames can additionally carry an optional tuple-path trace annex (see
+// trace.go) between the header and the payload: sampled frames accumulate a
+// hop record at every stage they traverse — emission, switch ingress, rule
+// match, egress or tunnel, controller punt, worker dequeue — which the
+// observability layer (internal/observe) collects into end-to-end traces.
 package packet
 
 import (

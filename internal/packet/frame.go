@@ -7,14 +7,17 @@ import (
 )
 
 // HeaderLen is the size of the frame header: dst(6) src(6) ethertype(2)
-// flags(1) — the flags byte distinguishes multiplexed-tuple payloads from
-// segment payloads.
+// flags(1) — the low flag bits distinguish multiplexed-tuple payloads from
+// segment payloads; the high bit marks an optional trace annex (trace.go)
+// between the header and the payload.
 const HeaderLen = 6 + 6 + 2 + 1
 
-// Frame payload flavours.
+// Frame payload flavours (low bits of the flags byte).
 const (
 	flagTuples  = 0x00 // payload is a sequence of length-prefixed tuples
 	flagSegment = 0x01 // payload is one fragment of a segmented tuple
+
+	flagKindMask = 0x7F // payload flavour bits (flagTraced is the high bit)
 )
 
 // segHeaderLen is the extra header inside segment payloads:
@@ -37,6 +40,8 @@ type Frame struct {
 	// Tuples holds the encoded bytes of each multiplexed tuple. The slices
 	// alias the decode buffer.
 	Tuples [][]byte
+	// Trace is the decoded trace annex of a sampled frame, nil otherwise.
+	Trace *TraceAnnex
 }
 
 // Segment describes one fragment of a tuple too large for a single frame.
@@ -129,7 +134,22 @@ func Decode(raw []byte) (Frame, error) {
 	}
 	flags := raw[14]
 	body := raw[HeaderLen:]
-	switch flags {
+	if flags&flagTraced != 0 {
+		if len(body) < 2 {
+			return Frame{}, ErrCorruptFrame
+		}
+		n := int(binary.LittleEndian.Uint16(body))
+		if n > len(body)-2 {
+			return Frame{}, ErrCorruptFrame
+		}
+		annex, err := decodeTraceAnnex(body[2 : 2+n])
+		if err != nil {
+			return Frame{}, ErrCorruptFrame
+		}
+		f.Trace = &annex
+		body = body[2+n:]
+	}
+	switch flags & flagKindMask {
 	case flagTuples:
 		for len(body) > 0 {
 			if len(body) < 4 {

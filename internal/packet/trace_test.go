@@ -1,0 +1,114 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+
+	"typhoon/internal/tuple"
+)
+
+func TestTraceAnnexRoundTrip(t *testing.T) {
+	src, dst := WorkerAddr(1, 10), WorkerAddr(1, 20)
+	enc := tuple.Encode(tuple.New(tuple.String("hello"), tuple.Int(7)))
+	raw := EncodeTuples(dst, src, [][]byte{enc})
+	if Traced(raw) {
+		t.Fatal("fresh frame should be untraced")
+	}
+
+	traced := WithTrace(raw, TraceAnnex{ID: 0xDEAD, Hops: []TraceHop{
+		{Kind: HopEmit, Actor: 10, Detail: 1, At: 100},
+	}})
+	if !Traced(traced) {
+		t.Fatal("WithTrace did not mark the frame")
+	}
+	if Traced(raw) {
+		t.Fatal("WithTrace mutated the input frame")
+	}
+
+	// Append the hops a one-switch path records.
+	hops := []TraceHop{
+		{Kind: HopSwitchIn, Actor: 1, Detail: 3, At: 200},
+		{Kind: HopMatch, Actor: 1, Detail: 100, At: 300},
+		{Kind: HopEgress, Actor: 1, Detail: 4, At: 400},
+		{Kind: HopDequeue, Actor: 20, Detail: 1, At: 500},
+	}
+	for _, h := range hops {
+		traced = AppendTraceHop(traced, h)
+	}
+
+	annex, ok := ExtractTrace(traced)
+	if !ok {
+		t.Fatal("ExtractTrace failed")
+	}
+	if annex.ID != 0xDEAD {
+		t.Fatalf("trace ID = %#x", annex.ID)
+	}
+	want := append([]TraceHop{{Kind: HopEmit, Actor: 10, Detail: 1, At: 100}}, hops...)
+	if len(annex.Hops) != len(want) {
+		t.Fatalf("got %d hops, want %d", len(annex.Hops), len(want))
+	}
+	for i, h := range annex.Hops {
+		if h != want[i] {
+			t.Fatalf("hop %d = %+v, want %+v", i, h, want[i])
+		}
+	}
+
+	// The payload must still decode to the original tuples.
+	f, err := Decode(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Trace == nil || f.Trace.ID != 0xDEAD || len(f.Trace.Hops) != len(want) {
+		t.Fatalf("Decode trace = %+v", f.Trace)
+	}
+	if len(f.Tuples) != 1 || !bytes.Equal(f.Tuples[0], enc) {
+		t.Fatal("payload corrupted by trace annex")
+	}
+	if f.Dst != dst || f.Src != src {
+		t.Fatal("addresses corrupted by trace annex")
+	}
+}
+
+func TestTraceAnnexHopCap(t *testing.T) {
+	raw := EncodeTuples(WorkerAddr(1, 2), WorkerAddr(1, 1), [][]byte{tuple.Encode(tuple.New(tuple.Int(1)))})
+	traced := WithTrace(raw, TraceAnnex{ID: 1})
+	for i := 0; i < MaxTraceHops+10; i++ {
+		traced = AppendTraceHop(traced, TraceHop{Kind: HopSwitchIn, Actor: uint64(i)})
+	}
+	annex, ok := ExtractTrace(traced)
+	if !ok {
+		t.Fatal("ExtractTrace failed")
+	}
+	if len(annex.Hops) != MaxTraceHops {
+		t.Fatalf("hop cap not enforced: %d hops", len(annex.Hops))
+	}
+	if _, err := Decode(traced); err != nil {
+		t.Fatalf("capped frame no longer decodes: %v", err)
+	}
+}
+
+func TestTracedFrameThroughDepacketizer(t *testing.T) {
+	src, dst := WorkerAddr(2, 1), WorkerAddr(2, 2)
+	enc := tuple.Encode(tuple.New(tuple.String("x")))
+	raw := WithTrace(EncodeTuples(dst, src, [][]byte{enc}), TraceAnnex{ID: 9})
+
+	d := NewDepacketizer()
+	ins, err := d.Feed(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 1 || !bytes.Equal(ins[0].Data, enc) {
+		t.Fatalf("depacketizer on traced frame: %+v", ins)
+	}
+}
+
+func TestAppendTraceHopOnUntracedFrame(t *testing.T) {
+	raw := EncodeTuples(WorkerAddr(1, 2), WorkerAddr(1, 1), [][]byte{tuple.Encode(tuple.New(tuple.Int(1)))})
+	out := AppendTraceHop(raw, TraceHop{Kind: HopSwitchIn})
+	if !bytes.Equal(out, raw) {
+		t.Fatal("AppendTraceHop changed an untraced frame")
+	}
+	if _, ok := ExtractTrace(raw); ok {
+		t.Fatal("ExtractTrace on untraced frame")
+	}
+}

@@ -58,6 +58,26 @@ type Switch struct {
 	wg       sync.WaitGroup
 
 	rxDropsNoMatch atomic.Uint64
+	forwarded      atomic.Uint64
+	replicated     atomic.Uint64
+}
+
+// Counters is a switch-level snapshot of frame accounting, the per-switch
+// rows of the cluster observability layer.
+type Counters struct {
+	// RxFrames counts frames accepted from attached devices (all ports).
+	RxFrames uint64
+	// TxFrames counts frames delivered toward attached devices.
+	TxFrames uint64
+	// Forwarded counts frame deliveries made by the pipeline (equals
+	// TxFrames plus controller punts).
+	Forwarded uint64
+	// Replicated counts extra copies beyond the first delivery of a frame
+	// (GroupAll broadcast, multi-output rules, mirror taps).
+	Replicated uint64
+	// Dropped counts frames lost in this switch: table misses, full egress
+	// rings, and full ingress rings.
+	Dropped uint64
 }
 
 type group struct {
@@ -298,7 +318,12 @@ func (s *Switch) Inject(po openflow.PacketOut) error {
 	if len(po.Data) == 0 {
 		return fmt.Errorf("switchfabric: empty packet-out")
 	}
-	s.execute(po.InPort, po.Data, po.Actions, 0)
+	if n := s.execute(po.InPort, po.Data, po.Actions, 0); n > 0 {
+		s.forwarded.Add(uint64(n))
+		if n > 1 {
+			s.replicated.Add(uint64(n - 1))
+		}
+	}
 	return nil
 }
 
@@ -331,6 +356,23 @@ func (s *Switch) RuleCount() int { return s.flows.len() }
 // NoMatchDrops reports frames dropped due to table miss.
 func (s *Switch) NoMatchDrops() uint64 { return s.rxDropsNoMatch.Load() }
 
+// CountersSnapshot aggregates the switch's frame accounting across ports.
+func (s *Switch) CountersSnapshot() Counters {
+	var c Counters
+	c.Forwarded = s.forwarded.Load()
+	c.Replicated = s.replicated.Load()
+	c.Dropped = s.rxDropsNoMatch.Load()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, p := range s.ports {
+		rs := p.rx.Stats()
+		c.RxFrames += p.rxPackets.Load()
+		c.TxFrames += p.txPackets.Load()
+		c.Dropped += rs.Dropped + p.txDropped.Load()
+	}
+	return c
+}
+
 // pump moves frames from a port's RX ring through the pipeline.
 func (s *Switch) pump(p *Port) {
 	defer s.wg.Done()
@@ -356,6 +398,12 @@ func (s *Switch) process(in *Port, frame []byte) {
 	}
 	in.rxPackets.Add(1)
 	in.rxBytes.Add(uint64(len(frame)))
+	if packet.Traced(frame) {
+		frame = packet.AppendTraceHop(frame, packet.TraceHop{
+			Kind: packet.HopSwitchIn, Actor: s.dpid, Detail: in.no,
+			At: time.Now().UnixNano(),
+		})
+	}
 	etherType := binary.BigEndian.Uint16(frame[12:14])
 	r := s.flows.lookup(in.no, src, dst, etherType)
 	if r == nil {
@@ -363,15 +411,30 @@ func (s *Switch) process(in *Port, frame []byte) {
 		return
 	}
 	r.touch(len(frame))
-	s.execute(in.no, frame, r.actions, 0)
+	if packet.Traced(frame) {
+		frame = packet.AppendTraceHop(frame, packet.TraceHop{
+			Kind: packet.HopMatch, Actor: s.dpid, Detail: uint32(r.priority),
+			At: time.Now().UnixNano(),
+		})
+	}
+	n := s.execute(in.no, frame, r.actions, 0)
+	if n > 0 {
+		s.forwarded.Add(uint64(n))
+		if n > 1 {
+			s.replicated.Add(uint64(n - 1))
+		}
+	}
 }
 
-// execute runs an action list on a frame. depth guards group recursion.
-func (s *Switch) execute(inPort uint32, frame []byte, actions []openflow.Action, depth int) {
+// execute runs an action list on a frame and returns the number of copies
+// actually delivered (ports plus controller punts). depth guards group
+// recursion.
+func (s *Switch) execute(inPort uint32, frame []byte, actions []openflow.Action, depth int) int {
 	if depth > 2 {
-		return
+		return 0
 	}
 	tunDst := ""
+	delivered := 0
 	for _, a := range actions {
 		switch a.Type {
 		case openflow.ActSetTunnelDst:
@@ -383,55 +446,79 @@ func (s *Switch) execute(inPort uint32, frame []byte, actions []openflow.Action,
 			packet.RewriteDst(cp, a.Addr)
 			frame = cp
 		case openflow.ActOutput:
-			s.deliver(a.Port, frame, tunDst)
+			delivered += s.deliver(a.Port, frame, tunDst)
 		case openflow.ActGroup:
-			s.executeGroup(inPort, frame, a.Group, depth+1)
+			delivered += s.executeGroup(inPort, frame, a.Group, depth+1)
 		}
 	}
+	return delivered
 }
 
-func (s *Switch) executeGroup(inPort uint32, frame []byte, id uint32, depth int) {
+func (s *Switch) executeGroup(inPort uint32, frame []byte, id uint32, depth int) int {
 	s.mu.RLock()
 	g := s.groups[id]
 	s.mu.RUnlock()
 	if g == nil {
-		return
+		return 0
 	}
 	switch g.typ {
 	case openflow.GroupSelect:
 		if g.total == 0 {
-			return
+			return 0
 		}
 		// Weighted round robin over cumulative weights.
 		slot := uint32(g.next.Add(1)-1) % g.total
 		for i, cum := range g.weights {
 			if slot < cum {
-				s.execute(inPort, frame, g.buckets[i].Actions, depth)
-				return
+				return s.execute(inPort, frame, g.buckets[i].Actions, depth)
 			}
 		}
 	case openflow.GroupAll:
+		delivered := 0
 		for _, b := range g.buckets {
-			s.execute(inPort, frame, b.Actions, depth)
+			delivered += s.execute(inPort, frame, b.Actions, depth)
 		}
+		return delivered
 	}
+	return 0
 }
 
-func (s *Switch) deliver(portNo uint32, frame []byte, tunDst string) {
+// deliver sends one copy of a frame toward a port (or the controller) and
+// reports how many copies were actually delivered (0 or 1).
+func (s *Switch) deliver(portNo uint32, frame []byte, tunDst string) int {
 	if portNo == openflow.PortController {
 		s.mu.RLock()
 		sink := s.sink
 		s.mu.RUnlock()
-		if sink != nil {
-			sink.PacketIn(openflow.PacketIn{InPort: portNo, Reason: openflow.ReasonAction, Data: frame})
+		if sink == nil {
+			return 0
 		}
-		return
+		if packet.Traced(frame) {
+			frame = packet.AppendTraceHop(frame, packet.TraceHop{
+				Kind: packet.HopController, Actor: s.dpid, Detail: portNo,
+				At: time.Now().UnixNano(),
+			})
+		}
+		sink.PacketIn(openflow.PacketIn{InPort: portNo, Reason: openflow.ReasonAction, Data: frame})
+		return 1
 	}
 	s.mu.RLock()
 	p := s.ports[portNo]
 	s.mu.RUnlock()
 	if p == nil {
-		return
+		return 0
+	}
+	if packet.Traced(frame) {
+		kind := packet.HopEgress
+		if p.tunnel {
+			kind = packet.HopTunnel
+		}
+		// AppendTraceHop copies, so replicated deliveries that alias this
+		// frame each record their own egress hop.
+		frame = packet.AppendTraceHop(frame, packet.TraceHop{
+			Kind: kind, Actor: s.dpid, Detail: portNo,
+			At: time.Now().UnixNano(),
+		})
 	}
 	out := frame
 	if p.tunnel {
@@ -440,9 +527,10 @@ func (s *Switch) deliver(portNo uint32, frame []byte, tunDst string) {
 	if p.tx.TryEnqueue(out) {
 		p.txPackets.Add(1)
 		p.txBytes.Add(uint64(len(out)))
-	} else {
-		p.txDropped.Add(1)
+		return 1
 	}
+	p.txDropped.Add(1)
+	return 0
 }
 
 func (s *Switch) idleScanner() {

@@ -28,8 +28,14 @@ type SDNTransport struct {
 	batch      atomic.Int64
 	sinceFlush int
 
-	// inQueue holds decoded tuples not yet handed to the worker.
+	// inQueue holds decoded tuples not yet handed to the worker. Only the
+	// worker goroutine touches the slice; inLen mirrors its length so
+	// InQueueLen can be read from other goroutines (stats, auto-scaler).
 	inQueue []tuple.Tuple
+	inLen   atomic.Int64
+
+	sampler FrameSampler
+	sink    func(packet.TraceAnnex)
 
 	tuplesSent     atomic.Uint64
 	serializations atomic.Uint64
@@ -39,6 +45,15 @@ type SDNTransport struct {
 	closed         atomic.Bool
 }
 
+// FrameSampler decides which emitted frames carry a tuple-path trace annex
+// and allocates trace IDs. *observe.Sampler satisfies it; the indirection
+// keeps the worker package free of an observe dependency.
+type FrameSampler interface {
+	// Sample reports whether the next frame should be traced and, if so,
+	// returns its trace ID.
+	Sample() (uint64, bool)
+}
+
 // SDNTransportConfig tunes an SDNTransport.
 type SDNTransportConfig struct {
 	// BatchSize is the number of tuples accumulated before frames are
@@ -46,6 +61,11 @@ type SDNTransportConfig struct {
 	BatchSize int
 	// MaxPayload caps frame payload size.
 	MaxPayload int
+	// Sampler, when set, selects emitted frames to carry a trace annex.
+	Sampler FrameSampler
+	// TraceSink, when set, receives completed trace annexes extracted from
+	// frames this transport dequeues.
+	TraceSink func(packet.TraceAnnex)
 }
 
 // DefaultBatchSize matches the batch size used by most of the paper's SDN
@@ -58,11 +78,13 @@ func NewSDNTransport(app uint16, self topology.WorkerID, port *switchfabric.Port
 		cfg.BatchSize = DefaultBatchSize
 	}
 	t := &SDNTransport{
-		app:   app,
-		self:  self,
-		port:  port,
-		pktz:  packet.NewPacketizer(packet.WorkerAddr(app, uint32(self)), cfg.MaxPayload),
-		dpktz: packet.NewDepacketizer(),
+		app:     app,
+		self:    self,
+		port:    port,
+		pktz:    packet.NewPacketizer(packet.WorkerAddr(app, uint32(self)), cfg.MaxPayload),
+		dpktz:   packet.NewDepacketizer(),
+		sampler: cfg.Sampler,
+		sink:    cfg.TraceSink,
 	}
 	t.batch.Store(int64(cfg.BatchSize))
 	return t
@@ -117,6 +139,14 @@ func (t *SDNTransport) Flush() error {
 // before the frame is dropped, the loss mode §8 discusses.
 func (t *SDNTransport) writeFrames(frames [][]byte) {
 	for _, f := range frames {
+		if t.sampler != nil {
+			if id, ok := t.sampler.Sample(); ok {
+				f = packet.WithTrace(f, packet.TraceAnnex{ID: id, Hops: []packet.TraceHop{{
+					Kind: packet.HopEmit, Actor: uint64(t.self), Detail: uint32(t.app),
+					At: time.Now().UnixNano(),
+				}}})
+			}
+		}
 		ok := t.port.WriteFrame(f)
 		for retries := 0; !ok && retries < 200 && !t.port.Closed(); retries++ {
 			time.Sleep(50 * time.Microsecond)
@@ -142,6 +172,15 @@ func (t *SDNTransport) Recv(max int, wait time.Duration) ([]tuple.Tuple, error) 
 			return nil, errTransportClosed
 		}
 		for _, fr := range frames {
+			if t.sink != nil && packet.Traced(fr) {
+				done := packet.AppendTraceHop(fr, packet.TraceHop{
+					Kind: packet.HopDequeue, Actor: uint64(t.self), Detail: uint32(t.app),
+					At: time.Now().UnixNano(),
+				})
+				if annex, ok := packet.ExtractTrace(done); ok {
+					t.sink(annex)
+				}
+			}
 			ins, err := t.dpktz.Feed(fr)
 			if err != nil {
 				t.dropped.Add(1)
@@ -156,6 +195,7 @@ func (t *SDNTransport) Recv(max int, wait time.Duration) ([]tuple.Tuple, error) 
 				t.inQueue = append(t.inQueue, tp)
 			}
 		}
+		t.inLen.Store(int64(len(t.inQueue)))
 	}
 	n := len(t.inQueue)
 	if n == 0 {
@@ -167,6 +207,7 @@ func (t *SDNTransport) Recv(max int, wait time.Duration) ([]tuple.Tuple, error) 
 	out := make([]tuple.Tuple, n)
 	copy(out, t.inQueue[:n])
 	t.inQueue = t.inQueue[n:]
+	t.inLen.Store(int64(len(t.inQueue)))
 	t.tuplesReceived.Add(uint64(n))
 	return out, nil
 }
@@ -183,7 +224,7 @@ func (t *SDNTransport) BatchSize() int { return int(t.batch.Load()) }
 
 // InQueueLen implements Transport: decoded tuples awaiting dispatch plus
 // frames queued in the switch port.
-func (t *SDNTransport) InQueueLen() int { return len(t.inQueue) + t.port.QueueLen() }
+func (t *SDNTransport) InQueueLen() int { return int(t.inLen.Load()) + t.port.QueueLen() }
 
 // Stats implements Transport.
 func (t *SDNTransport) Stats() TransportStats {

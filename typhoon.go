@@ -153,6 +153,9 @@ type (
 	LiveDebugger = controller.LiveDebugger
 	// LoadBalancer adjusts SDN select-group weights.
 	LoadBalancer = controller.LoadBalancer
+	// MetricsCollector caches worker statistics for the observability
+	// layer (a cluster adds one automatically in Typhoon mode).
+	MetricsCollector = controller.MetricsCollector
 )
 
 // App constructors.
