@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"typhoon/internal/chaos"
+	"typhoon/internal/topology"
+)
+
+// runChaos drives the cluster's fault-injection engine over the
+// observability endpoint's /api/chaos route. Positional operands come
+// first, option flags after:
+//
+//	typhoon-ctl chaos partition h1 h2 -for 5s
+//	typhoon-ctl chaos crash wordcount 3
+//	typhoon-ctl chaos log
+func runChaos(addr string, args []string) {
+	if len(args) == 0 {
+		chaosUsage()
+	}
+	verb, rest := args[0], args[1:]
+	if verb == "log" {
+		runChaosLog(addr)
+		return
+	}
+
+	// Split "chaos VERB POS... -flag..." into positionals and flags.
+	var pos []string
+	for len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+		pos, rest = append(pos, rest[0]), rest[1:]
+	}
+	fs := flag.NewFlagSet("chaos "+verb, flag.ExitOnError)
+	dur := fs.Duration("for", 0, "bounded fault window; reverses automatically")
+	drop := fs.Float64("drop", 0, "netem: drop probability in [0,1]")
+	latency := fs.Duration("latency", 0, "netem: fixed one-way frame delay")
+	jitter := fs.Duration("jitter", 0, "netem: random extra delay bound")
+	delay := fs.Duration("delay", 0, "slow / packet-out-delay: per-operation delay")
+	fs.Parse(rest)
+
+	s := chaos.Spec{Duration: *dur}
+	switch verb {
+	case "partition":
+		needChaos(pos, 2, "chaos partition HOST PEER [-for D]")
+		s.Kind, s.Host, s.Peer = chaos.KindPartition, pos[0], pos[1]
+	case "heal":
+		s.Kind = chaos.KindHeal
+		if len(pos) == 2 {
+			s.Host, s.Peer = pos[0], pos[1]
+		} else if len(pos) != 0 {
+			needChaos(pos, 2, "chaos heal [HOST PEER]")
+		}
+	case "netem":
+		needChaos(pos, 2, "chaos netem HOST PEER [-drop P] [-latency D] [-jitter D]")
+		s.Kind, s.Host, s.Peer = chaos.KindNetem, pos[0], pos[1]
+		s.DropRate, s.Latency, s.Jitter = *drop, *latency, *jitter
+	case "crash":
+		needChaos(pos, 2, "chaos crash TOPO WORKER")
+		s.Kind, s.Topo, s.Worker = chaos.KindWorkerCrash, pos[0], chaosWorkerID(pos[1])
+	case "hang":
+		needChaos(pos, 2, "chaos hang TOPO WORKER -for D")
+		s.Kind, s.Topo, s.Worker = chaos.KindWorkerHang, pos[0], chaosWorkerID(pos[1])
+	case "slow":
+		needChaos(pos, 2, "chaos slow TOPO WORKER [-delay D]")
+		s.Kind, s.Topo, s.Worker = chaos.KindWorkerSlow, pos[0], chaosWorkerID(pos[1])
+		s.Delay = *delay
+	case "port-down":
+		needChaos(pos, 2, "chaos port-down TOPO WORKER")
+		s.Kind, s.Topo, s.Worker = chaos.KindPortDown, pos[0], chaosWorkerID(pos[1])
+	case "wipe-flows":
+		needChaos(pos, 1, "chaos wipe-flows HOST")
+		s.Kind, s.Host = chaos.KindWipeFlows, pos[0]
+	case "outage":
+		s.Kind = chaos.KindControllerOutage
+	case "restore":
+		s.Kind = chaos.KindControllerRestore
+	case "packet-out-delay":
+		s.Kind, s.Delay = chaos.KindPacketOutDelay, *delay
+	default:
+		chaosUsage()
+	}
+	if err := s.Validate(); err != nil {
+		fatal(err)
+	}
+
+	body, err := json.Marshal(s)
+	if err != nil {
+		fatal(err)
+	}
+	cl := &http.Client{Timeout: 10 * time.Second}
+	resp, err := cl.Post("http://"+addr+"/api/chaos", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatal(fmt.Errorf("cannot reach chaos endpoint (%w); is typhoon-cluster running with -metrics?", err))
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("chaos endpoint returned %s: %s", resp.Status, strings.TrimSpace(string(out))))
+	}
+	var applied struct {
+		Applied string `json:"applied"`
+	}
+	if err := json.Unmarshal(out, &applied); err != nil || applied.Applied == "" {
+		fmt.Println(strings.TrimSpace(string(out)))
+		return
+	}
+	fmt.Println("injected:", applied.Applied)
+}
+
+// runChaosLog prints the engine's injection record, oldest first.
+func runChaosLog(addr string) {
+	body, err := httpGet("http://" + addr + "/api/chaos")
+	if err != nil {
+		fatal(err)
+	}
+	var log []chaos.Injection
+	if err := json.Unmarshal(body, &log); err != nil {
+		fatal(err)
+	}
+	if len(log) == 0 {
+		fmt.Println("no injections recorded")
+		return
+	}
+	for _, inj := range log {
+		fmt.Printf("%s  %s", inj.At.Format(time.TimeOnly), inj.Spec)
+		if inj.Detail != "" {
+			fmt.Printf("  (%s)", inj.Detail)
+		}
+		fmt.Println()
+	}
+}
+
+func chaosWorkerID(s string) topology.WorkerID {
+	n, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		fatal(fmt.Errorf("bad worker id %q: %w", s, err))
+	}
+	return topology.WorkerID(n)
+}
+
+func needChaos(pos []string, n int, usage string) {
+	if len(pos) != n {
+		fmt.Fprintln(os.Stderr, "usage: typhoon-ctl [flags]", usage)
+		os.Exit(2)
+	}
+}
+
+func chaosUsage() {
+	fmt.Fprintln(os.Stderr, `usage: typhoon-ctl [flags] chaos VERB ...
+verbs:
+  partition HOST PEER [-for D]                   cut both tunnel directions
+  heal [HOST PEER]                               lift one partition, or all impairments
+  netem HOST PEER [-drop P] [-latency D] [-jitter D]
+                                                 degrade a link without cutting it
+  crash TOPO WORKER                              kill one worker (agent restarts it)
+  hang TOPO WORKER -for D                        stall a worker's execute loop
+  slow TOPO WORKER [-delay D]                    per-tuple delay (0 restores)
+  port-down TOPO WORKER                          remove the worker's switch port (§4 fast path)
+  wipe-flows HOST                                clear a switch's flow table
+  outage [-for D]                                take the SDN controller offline
+  restore                                        bring the controller back
+  packet-out-delay [-delay D]                    delay controller PacketOut operations
+  log                                            print the injection record`)
+	os.Exit(2)
+}

@@ -11,6 +11,9 @@
 //	typhoon-ctl -metrics-addr 127.0.0.1:9090 metrics
 //	typhoon-ctl -metrics-addr 127.0.0.1:9090 top
 //	typhoon-ctl -metrics-addr 127.0.0.1:9090 trace
+//	typhoon-ctl -metrics-addr 127.0.0.1:9090 chaos partition h1 h2 -for 5s
+//	typhoon-ctl -metrics-addr 127.0.0.1:9090 chaos crash wordcount 3
+//	typhoon-ctl -metrics-addr 127.0.0.1:9090 chaos log
 //
 // Reconfigurations work because the streaming manager's logic runs against
 // the coordinator API: this binary embeds a manager speaking to the remote
@@ -54,6 +57,9 @@ func main() {
 		return
 	case "trace":
 		runTrace(*metricsAddr, *count)
+		return
+	case "chaos":
+		runChaos(*metricsAddr, args[1:])
 		return
 	}
 
@@ -131,7 +137,7 @@ func need(args []string, n int) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: typhoon-ctl [flags] {list | describe T | scale T NODE N | swap T NODE LOGIC | kill T | metrics | top | trace}")
+	fmt.Fprintln(os.Stderr, "usage: typhoon-ctl [flags] {list | describe T | scale T NODE N | swap T NODE LOGIC | kill T | metrics | top | trace | chaos ...}")
 	os.Exit(2)
 }
 

@@ -234,6 +234,27 @@ func (a *Agent) Worker(topo string, id topology.WorkerID) *worker.Worker {
 	return nil
 }
 
+// DropWorkerPort removes a running worker's switch port out from under it
+// (chaos port-down fault). The removal emits the PortStatus event of §4
+// for the fault detector, and the worker's transport collapses beneath it,
+// taking the ordinary crash-restart path.
+func (a *Agent) DropWorkerPort(topo string, id topology.WorkerID) error {
+	if a.opts.Mode != ModeSDN {
+		return fmt.Errorf("agent: port faults need the SDN data plane")
+	}
+	a.mu.Lock()
+	r := a.workers[topo][id]
+	var port *switchfabric.Port
+	if r != nil && !r.crashed {
+		port = r.port
+	}
+	a.mu.Unlock()
+	if port == nil {
+		return fmt.Errorf("agent: worker %s/%d has no live port on %s", topo, id, a.opts.Host)
+	}
+	return a.opts.Switch.RemovePort(port.No())
+}
+
 func (a *Agent) watchLoop(events <-chan coordinator.Event, cancel func()) {
 	defer a.wg.Done()
 	defer cancel()

@@ -1,0 +1,93 @@
+package agent
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"typhoon/internal/coordinator"
+	"typhoon/internal/paths"
+	"typhoon/internal/switchfabric"
+	"typhoon/internal/topology"
+	"typhoon/internal/worker"
+	"typhoon/internal/workload"
+)
+
+// TestAgentCrashRestartBackoff drives a worker through a crash loop and
+// asserts consecutive local restarts space out exponentially: the gap
+// between crash N and crash N+1 must be at least RestartDelay<<(N-1), so a
+// crash-looping worker's heartbeats go stale and the manager can
+// reschedule it.
+func TestAgentCrashRestartBackoff(t *testing.T) {
+	const restartDelay = 60 * time.Millisecond
+
+	store := coordinator.NewStore()
+	sw := switchfabric.New("h1", 1, switchfabric.Options{})
+	sw.Start()
+	t.Cleanup(sw.Stop)
+	env := worker.NewSharedEnv()
+	env.Set(workload.EnvStats, workload.NewStats(time.Second))
+	env.Set(workload.EnvConfig, workload.NewConfig())
+
+	var mu sync.Mutex
+	var crashes []time.Time
+	a, err := New(Options{
+		Host: "h1", Mode: ModeSDN, KV: store, Switch: sw, Env: env,
+		HeartbeatInterval: 50 * time.Millisecond,
+		RestartDelay:      restartDelay,
+		OnWorkerCrash: func(topo string, id topology.WorkerID, err error) {
+			mu.Lock()
+			crashes = append(crashes, time.Now())
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Stop)
+
+	l, p := testTopology(t)
+	store.Put(paths.Logical(l.Name), l.Encode())
+	store.Put(paths.Physical(l.Name), p.Encode())
+	waitFor(t, 5*time.Second, "workers running", func() bool {
+		return len(a.RunningWorkers("agenttest")) == 2
+	})
+
+	// Fail the sink worker as soon as each incarnation comes up, four
+	// crashes in a row (each incarnation is a distinct *worker.Worker).
+	const sink = topology.WorkerID(2)
+	var prev *worker.Worker
+	for i := 0; i < 4; i++ {
+		var w *worker.Worker
+		waitFor(t, 5*time.Second, fmt.Sprintf("incarnation %d", i+1), func() bool {
+			w = a.Worker("agenttest", sink)
+			return w != nil && w != prev
+		})
+		prev = w
+		w.Fail(fmt.Errorf("test crash %d", i+1))
+		waitFor(t, 5*time.Second, fmt.Sprintf("crash %d observed", i+1), func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return len(crashes) >= i+1
+		})
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(crashes) < 4 {
+		t.Fatalf("crashes = %d, want 4", len(crashes))
+	}
+	// After crash N the restart waits RestartDelay<<(N-1) (quick crashes
+	// never reset the streak), so that much time must separate the crashes.
+	for i := 1; i < 4; i++ {
+		gap := crashes[i].Sub(crashes[i-1])
+		want := restartDelay << (i - 1)
+		if gap < want {
+			t.Fatalf("crash gap %d = %v, want at least %v (exponential backoff)", i, gap, want)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Event schedules one fault at an offset from plan start.
+type Event struct {
+	// After is the delay from plan start to injection.
+	After time.Duration `json:"after"`
+	// Spec is the fault to inject.
+	Spec Spec `json:"spec"`
+}
+
+// Plan is an ordered, clock-driven fault schedule. The zero Plan injects
+// nothing; a cluster built with one starts executing it immediately.
+type Plan struct {
+	// Seed drives every random decision the subsystem makes (netem drop
+	// sampling, jitter). A fixed seed reproduces the exact fault pattern.
+	Seed int64 `json:"seed"`
+	// Events fire in After order.
+	Events []Event `json:"events"`
+}
+
+// Empty reports whether the plan schedules nothing.
+func (p Plan) Empty() bool { return len(p.Events) == 0 }
+
+// Validate checks every scheduled spec.
+func (p Plan) Validate() error {
+	for i, ev := range p.Events {
+		if ev.After < 0 {
+			return fmt.Errorf("chaos: plan event %d has negative offset", i)
+		}
+		if err := ev.Spec.Validate(); err != nil {
+			return fmt.Errorf("chaos: plan event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// sorted returns the events ordered by After (stable for equal offsets).
+func (p Plan) sorted() []Event {
+	out := append([]Event(nil), p.Events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].After < out[j].After })
+	return out
+}
+
+// DecodePlan parses a JSON-encoded plan.
+func DecodePlan(raw []byte) (Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return Plan{}, fmt.Errorf("chaos: decode plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// Encode renders the plan as JSON.
+func (p Plan) Encode() []byte {
+	raw, _ := json.Marshal(p)
+	return raw
+}

@@ -13,6 +13,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"typhoon/internal/coordinator"
@@ -183,6 +184,14 @@ type Controller struct {
 	mgr    ManagerAPI
 	nextGp uint32
 
+	// outage simulates a controller failure (chaos): while set, switch
+	// events are discarded, reconciliation is suspended and PACKET_OUT
+	// fails — the data plane keeps forwarding on installed rules, which
+	// is the SDN degradation mode the paper's design implies.
+	outage atomic.Bool
+	// pktOutDelay delays every PACKET_OUT (chaos control-latency fault).
+	pktOutDelay atomic.Int64
+
 	stopOnce sync.Once
 	stopCh   chan struct{}
 	wg       sync.WaitGroup
@@ -268,6 +277,33 @@ func (c *Controller) Stop() {
 	}
 	c.mu.Unlock()
 	c.wg.Wait()
+}
+
+// BeginOutage starts a simulated controller outage (chaos). Switch events
+// are discarded, reconciliation halts, and PACKET_OUT fails until
+// EndOutage; installed flow rules keep the data plane forwarding.
+func (c *Controller) BeginOutage() {
+	c.outage.Store(true)
+}
+
+// EndOutage ends a simulated outage and immediately reconciles every
+// topology, reinstalling whatever drifted while the controller was "down".
+func (c *Controller) EndOutage() {
+	if c.outage.CompareAndSwap(true, false) {
+		c.syncAll()
+	}
+}
+
+// Outage reports whether a simulated controller outage is active.
+func (c *Controller) Outage() bool { return c.outage.Load() }
+
+// SetPacketOutDelay makes every subsequent PACKET_OUT wait d before being
+// sent (chaos control-plane latency fault). Zero restores normal behaviour.
+func (c *Controller) SetPacketOutDelay(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.pktOutDelay.Store(int64(d))
 }
 
 // Datapaths lists connected switch hosts.
@@ -379,16 +415,23 @@ func (c *Controller) serveDatapath(nc net.Conn) {
 				}
 			}
 		case openflow.PacketIn:
+			if c.outage.Load() {
+				continue // a dead controller loses the event
+			}
 			c.handlePacketIn(dp, m)
 		case openflow.PortStatus:
-			if dp != nil {
+			if dp != nil && !c.outage.Load() {
 				for _, app := range c.appsSnapshot() {
 					app.OnPortStatus(c, dp.host, m)
 				}
 			}
 		case openflow.FlowRemoved:
-			// Rules GC'd by idle timeout; reconciliation state follows on
-			// the next sync.
+			// A rule left the switch (idle timeout or chaos wipe): forget
+			// it from the reconciliation cache so the next sync reinstalls
+			// it instead of assuming it is still present.
+			if dp != nil {
+				c.invalidateRule(dp.host, m)
+			}
 		case openflow.Error:
 			// Switch rejected something; reconciliation retries on tick.
 		}
@@ -454,6 +497,9 @@ func (c *Controller) tickLoop() {
 		case <-c.stopCh:
 			return
 		case <-ticker.C:
+			if c.outage.Load() {
+				continue
+			}
 			c.syncAll()
 			for _, app := range c.appsSnapshot() {
 				app.OnTick(c)
@@ -475,6 +521,16 @@ func (c *Controller) syncAll() {
 // SendControlTuple delivers a control tuple to a worker through the data
 // plane (PACKET_OUT → switch → worker port), per §3.3.2.
 func (c *Controller) SendControlTuple(topoName string, id topology.WorkerID, ct tuple.Tuple) error {
+	if d := time.Duration(c.pktOutDelay.Load()); d > 0 {
+		select {
+		case <-time.After(d):
+		case <-c.stopCh:
+			return fmt.Errorf("controller: stopped")
+		}
+	}
+	if c.outage.Load() {
+		return fmt.Errorf("controller: outage in progress")
+	}
 	// Snapshot the topology views under the lock: SyncTopology swaps
 	// ts.logical/ts.physical concurrently.
 	c.mu.Lock()

@@ -32,6 +32,9 @@ type ruleKey struct {
 // §3.5 are injected (SIGNAL flushes for stateful nodes, ROUTING updates,
 // ACTIVATE for sources).
 func (c *Controller) SyncTopology(name string) {
+	if c.outage.Load() {
+		return // a dead controller reconciles nothing
+	}
 	c.syncMu.Lock()
 	defer c.syncMu.Unlock()
 	lraw, _, lerr := c.kv.Get(paths.Logical(name))
@@ -216,12 +219,22 @@ func (c *Controller) SyncTopology(name string) {
 		_, _ = c.kv.Put(paths.NetReady(name), []byte(strconv.FormatInt(l.Generation, 10)))
 	} else if adds > 0 {
 		// Port churn without a generation change (e.g. a crashed worker
-		// locally restarted on a fresh port): re-arm its routing and
-		// re-activate sources that restarted throttled.
+		// locally restarted on a fresh port): re-arm routing and re-activate
+		// sources that restarted throttled. Routing goes to every worker of
+		// the topology, not just the churned ones — the fault detector may
+		// have steered predecessors away from a worker that is now back, and
+		// only a full refresh re-includes it in their route tables.
 		if prevPhysical != nil {
+			churned := false
 			for _, as := range p.Workers {
 				prev := prevPhysical.Worker(as.Worker)
 				if prev == nil || prev.Port != as.Port || prev.Host != as.Host {
+					churned = true
+					break
+				}
+			}
+			if churned {
+				for _, as := range p.Workers {
 					routes := topology.RoutesFor(l, p, as.Node)
 					_ = c.SendControlTuple(name, as.Worker,
 						control.Encode(control.KindRouting, control.Routing{Routes: routes}))
@@ -230,6 +243,20 @@ func (c *Controller) SyncTopology(name string) {
 		}
 		c.activateSources(name, l, p)
 	}
+}
+
+// invalidateRule drops a removed rule from every topology's reconciliation
+// cache so the next SyncTopology reinstalls it (FlowRemoved handling: idle
+// expiry or a chaos flow-table wipe).
+func (c *Controller) invalidateRule(host string, fr openflow.FlowRemoved) {
+	key := ruleKey{host: host, match: fr.Match.String(), priority: fr.Priority}
+	c.mu.Lock()
+	for _, ts := range c.topos {
+		if _, ok := ts.installed[key]; ok {
+			delete(ts.installed, key)
+		}
+	}
+	c.mu.Unlock()
 }
 
 func (c *Controller) activateSources(name string, l *topology.Logical, p *topology.Physical) {

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"typhoon/internal/chaos"
+	"typhoon/internal/topology"
+)
+
+// chaosTarget adapts a Cluster to the chaos engine's Target interface,
+// giving the engine controlled reach into every layer of the deployment.
+type chaosTarget struct{ c *Cluster }
+
+// Netem implements chaos.Target. It is nil in Storm mode, where there is
+// no tunnel fabric to impair.
+func (t chaosTarget) Netem() *chaos.Netem { return t.c.netem }
+
+// CrashWorker implements chaos.Target.
+func (t chaosTarget) CrashWorker(topo string, id topology.WorkerID) error {
+	w := t.c.Worker(topo, id)
+	if w == nil {
+		return fmt.Errorf("core: no running worker %d in topology %q", id, topo)
+	}
+	w.Fail(fmt.Errorf("chaos: injected crash"))
+	return nil
+}
+
+// HangWorker implements chaos.Target.
+func (t chaosTarget) HangWorker(topo string, id topology.WorkerID, d time.Duration) error {
+	w := t.c.Worker(topo, id)
+	if w == nil {
+		return fmt.Errorf("core: no running worker %d in topology %q", id, topo)
+	}
+	w.Hang(d)
+	return nil
+}
+
+// SlowWorker implements chaos.Target.
+func (t chaosTarget) SlowWorker(topo string, id topology.WorkerID, d time.Duration) error {
+	w := t.c.Worker(topo, id)
+	if w == nil {
+		return fmt.Errorf("core: no running worker %d in topology %q", id, topo)
+	}
+	w.Slow(d)
+	return nil
+}
+
+// DropWorkerPort implements chaos.Target: it removes the worker's switch
+// port out from under it, firing the §4 PortStatus fast path.
+func (t chaosTarget) DropWorkerPort(topo string, id topology.WorkerID) error {
+	var lastErr error
+	for _, h := range t.c.hosts {
+		err := h.Agent.DropWorkerPort(topo, id)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("core: no hosts")
+	}
+	return fmt.Errorf("core: drop port of worker %d in %q: %w", id, topo, lastErr)
+}
+
+// WipeFlows implements chaos.Target.
+func (t chaosTarget) WipeFlows(host string) (int, error) {
+	h := t.c.hosts[host]
+	if h == nil {
+		return 0, fmt.Errorf("core: unknown host %q", host)
+	}
+	if h.Switch == nil {
+		return 0, fmt.Errorf("core: host %q has no SDN switch (Storm mode)", host)
+	}
+	return h.Switch.WipeFlows(), nil
+}
+
+// BeginControllerOutage implements chaos.Target.
+func (t chaosTarget) BeginControllerOutage() error {
+	if t.c.Controller == nil {
+		return fmt.Errorf("core: no SDN controller (Storm mode)")
+	}
+	t.c.Controller.BeginOutage()
+	return nil
+}
+
+// EndControllerOutage implements chaos.Target.
+func (t chaosTarget) EndControllerOutage() error {
+	if t.c.Controller == nil {
+		return fmt.Errorf("core: no SDN controller (Storm mode)")
+	}
+	t.c.Controller.EndOutage()
+	return nil
+}
+
+// SetPacketOutDelay implements chaos.Target.
+func (t chaosTarget) SetPacketOutDelay(d time.Duration) error {
+	if t.c.Controller == nil {
+		return fmt.Errorf("core: no SDN controller (Storm mode)")
+	}
+	t.c.Controller.SetPacketOutDelay(d)
+	return nil
+}

@@ -10,10 +10,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"typhoon/internal/agent"
+	"typhoon/internal/chaos"
 	"typhoon/internal/controller"
 	"typhoon/internal/coordinator"
 	"typhoon/internal/manager"
@@ -72,6 +74,9 @@ type Config struct {
 	// (Typhoon mode). Zero selects observe.DefaultTraceEvery; negative
 	// disables tracing.
 	TraceEvery int
+	// Chaos is an optional fault-injection plan executed once the cluster
+	// is up; its Seed drives the link impairment table.
+	Chaos chaos.Plan
 }
 
 // Host is one emulated compute host.
@@ -98,16 +103,28 @@ type Cluster struct {
 	Env *worker.SharedEnv
 	// Obs is the cluster-wide observability layer (always non-nil).
 	Obs *Observability
+	// Chaos is the fault-injection engine (always non-nil); use it to
+	// inject faults at runtime beyond any configured plan.
+	Chaos *chaos.Engine
 
 	hosts    map[string]*Host
 	fabric   *tunnelFabric
+	netem    *chaos.Netem
 	stormNet *storm.Network
 }
 
-// NewCluster builds and starts a cluster.
-func NewCluster(cfg Config) (*Cluster, error) {
-	if len(cfg.Hosts) == 0 {
-		return nil, fmt.Errorf("core: at least one host required")
+// NewCluster builds and starts a cluster from the given options. A plain
+// Config value is itself an Option, so both call styles work:
+//
+//	core.NewCluster(core.Config{Hosts: []string{"h1"}})
+//	core.NewCluster(core.WithHosts("h1"), core.WithMode(core.ModeTyphoon))
+func NewCluster(options ...Option) (*Cluster, error) {
+	var cfg Config
+	for _, o := range options {
+		o.apply(&cfg)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	if cfg.Scheduler == nil {
 		cfg.Scheduler = scheduler.RoundRobin{}
@@ -124,6 +141,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 
 	if cfg.Mode == ModeTyphoon {
+		c.netem = chaos.NewNetem(cfg.Chaos.Seed)
 		ctl, err := controller.New(c.Store, controller.Options{
 			RuleIdleTimeout: cfg.RuleIdleTimeout,
 		})
@@ -179,7 +197,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 				c.Stop()
 				return nil, err
 			}
-			tun, err := startTunnel(name, tport, c.fabric)
+			tun, err := startTunnel(name, tport, c.fabric, c.netem)
 			if err != nil {
 				c.Stop()
 				return nil, err
@@ -216,6 +234,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.hosts[name] = h
 	}
 	c.Manager.Start()
+	c.Chaos = chaos.NewEngine(chaosTarget{c}, c.Obs.Registry)
+	if !cfg.Chaos.Empty() {
+		if err := c.Chaos.RunPlan(cfg.Chaos); err != nil {
+			c.Stop()
+			return nil, err
+		}
+	}
 	return c, nil
 }
 
@@ -223,25 +248,35 @@ func NewCluster(cfg Config) (*Cluster, error) {
 func (c *Cluster) Host(name string) *Host { return c.hosts[name] }
 
 // Submit submits a topology and, in Typhoon mode, waits until the SDN
-// controller has programmed the data plane and activated the sources.
+// controller has programmed the data plane and activated the sources. It
+// is SubmitCtx with a timeout-derived context.
 func (c *Cluster) Submit(l *topology.Logical, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return c.SubmitCtx(ctx, l)
+}
+
+// SubmitCtx submits a topology and waits for data-plane readiness until
+// ctx is cancelled or its deadline passes, returning the context error
+// wrapped when the wait is cut short. The submission itself is not rolled
+// back on cancellation.
+func (c *Cluster) SubmitCtx(ctx context.Context, l *topology.Logical) error {
 	if err := c.Manager.Submit(l); err != nil {
 		return err
 	}
 	if c.Controller == nil {
 		// Baseline: wait for all workers, then activate the topology so
 		// throttled sources start emitting (no startup tuple loss).
-		if err := c.waitWorkersRunning(l.Name, timeout); err != nil {
+		if err := c.waitWorkersRunning(ctx, l.Name); err != nil {
 			return err
 		}
 		_, err := c.Store.Put(paths.Activated(l.Name), []byte("1"))
 		return err
 	}
-	return c.Manager.WaitReady(l.Name, timeout)
+	return c.Manager.WaitReadyCtx(ctx, l.Name)
 }
 
-func (c *Cluster) waitWorkersRunning(name string, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+func (c *Cluster) waitWorkersRunning(ctx context.Context, name string) error {
 	for {
 		_, p, err := c.Manager.Describe(name)
 		if err == nil {
@@ -253,10 +288,11 @@ func (c *Cluster) waitWorkersRunning(name string, timeout time.Duration) error {
 				return nil
 			}
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("core: topology %s workers not running", name)
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("core: topology %s workers not running: %w", name, ctx.Err())
+		case <-time.After(20 * time.Millisecond):
 		}
-		time.Sleep(20 * time.Millisecond)
 	}
 }
 
@@ -286,8 +322,28 @@ func (c *Cluster) WorkersOf(topo, node string) []*worker.Worker {
 	return out
 }
 
+// StopCtx tears the cluster down, abandoning the wait (but not the
+// teardown itself) when ctx is cancelled first. The teardown keeps running
+// in the background in that case.
+func (c *Cluster) StopCtx(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		c.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("core: stop: %w", ctx.Err())
+	}
+}
+
 // Stop tears the cluster down.
 func (c *Cluster) Stop() {
+	if c.Chaos != nil {
+		c.Chaos.Stop()
+	}
 	if c.Manager != nil {
 		c.Manager.Stop()
 	}

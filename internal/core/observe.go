@@ -116,11 +116,16 @@ func (c *Cluster) ObserveHandler() http.Handler {
 		ctl := c.Controller
 		poll = func() { c.Obs.Collector.Poll(ctl) }
 	}
+	var chaosHandler http.Handler
+	if c.Chaos != nil {
+		chaosHandler = c.Chaos.Handler()
+	}
 	return observe.Handler(observe.ServerOptions{
 		Registry:    c.Obs.Registry,
 		Traces:      c.Obs.Traces,
 		Top:         c.TopSnapshot,
 		Poll:        poll,
+		Chaos:       chaosHandler,
 		EnablePprof: true,
 	})
 }

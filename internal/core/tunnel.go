@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"typhoon/internal/chaos"
 	"typhoon/internal/switchfabric"
 )
 
@@ -43,11 +44,17 @@ type tunnelEndpoint struct {
 	host   string
 	port   *switchfabric.Port
 	fabric *tunnelFabric
-	ln     net.Listener
+	// netem is the chaos impairment table consulted per egress frame
+	// (nil-safe: a nil table is a perfect network).
+	netem *chaos.Netem
+	ln    net.Listener
 
-	mu    sync.Mutex
-	outs  map[string]*tunnelConn
-	incon map[net.Conn]struct{}
+	mu   sync.Mutex
+	outs map[string]*tunnelConn
+	// redial tracks per-peer dial backoff so an unreachable host does not
+	// cost a full dial timeout on every frame batch.
+	redial map[string]*redialState
+	incon  map[net.Conn]struct{}
 
 	closed chan struct{}
 	once   sync.Once
@@ -59,11 +66,25 @@ type tunnelConn struct {
 	bw *bufio.Writer
 }
 
+// redialState spaces reconnection attempts toward one unreachable peer.
+type redialState struct {
+	fails int
+	next  time.Time
+}
+
+// Tunnel redial backoff bounds: first retry after tunnelRedialBase,
+// doubling per consecutive failure up to tunnelRedialMax.
+const (
+	tunnelRedialBase = 50 * time.Millisecond
+	tunnelRedialMax  = 2 * time.Second
+)
+
 // maxTunnelFrame bounds one tunneled frame.
 const maxTunnelFrame = 1 << 20
 
-// startTunnel binds a host's tunnel endpoint and starts its pumps.
-func startTunnel(host string, port *switchfabric.Port, fabric *tunnelFabric) (*tunnelEndpoint, error) {
+// startTunnel binds a host's tunnel endpoint and starts its pumps. netem,
+// when non-nil, impairs egress frames (chaos link faults).
+func startTunnel(host string, port *switchfabric.Port, fabric *tunnelFabric, netem *chaos.Netem) (*tunnelEndpoint, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("core: tunnel listen: %w", err)
@@ -72,8 +93,10 @@ func startTunnel(host string, port *switchfabric.Port, fabric *tunnelFabric) (*t
 		host:   host,
 		port:   port,
 		fabric: fabric,
+		netem:  netem,
 		ln:     ln,
 		outs:   make(map[string]*tunnelConn),
+		redial: make(map[string]*redialState),
 		incon:  make(map[net.Conn]struct{}),
 		closed: make(chan struct{}),
 	}
@@ -118,6 +141,17 @@ func (t *tunnelEndpoint) egressLoop() {
 			if derr != nil || host == "" {
 				continue
 			}
+			// Chaos link impairment: drop or delay before the frame
+			// reaches TCP, exactly where a lossy physical link would.
+			if delay, drop := t.netem.Impair(t.host, host); drop {
+				continue
+			} else if delay > 0 {
+				select {
+				case <-t.closed:
+					return
+				case <-time.After(delay):
+				}
+			}
 			oc := t.connTo(host)
 			if oc == nil {
 				continue
@@ -143,17 +177,51 @@ func (t *tunnelEndpoint) egressLoop() {
 
 func (t *tunnelEndpoint) connTo(host string) *tunnelConn {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if oc, ok := t.outs[host]; ok {
+		t.mu.Unlock()
 		return oc
 	}
+	// Redial backoff: while a peer is unreachable, frames toward it are
+	// dropped cheaply instead of stalling the egress pump for a full dial
+	// timeout per batch.
+	if rs := t.redial[host]; rs != nil && time.Now().Before(rs.next) {
+		t.mu.Unlock()
+		return nil
+	}
 	addr, ok := t.fabric.lookup(host)
+	t.mu.Unlock()
 	if !ok {
 		return nil
 	}
+	// Dial outside the lock so a slow connect doesn't block dropConn or
+	// close; the race of two concurrent dials is benign (one wins below).
 	c, err := net.DialTimeout("tcp", addr, time.Second)
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if err != nil {
+		rs := t.redial[host]
+		if rs == nil {
+			rs = &redialState{}
+			t.redial[host] = rs
+		}
+		backoff := tunnelRedialBase << min(rs.fails, 5)
+		if backoff > tunnelRedialMax {
+			backoff = tunnelRedialMax
+		}
+		rs.fails++
+		rs.next = time.Now().Add(backoff)
 		return nil
+	}
+	delete(t.redial, host)
+	if oc, ok := t.outs[host]; ok {
+		_ = c.Close()
+		return oc
+	}
+	select {
+	case <-t.closed:
+		_ = c.Close()
+		return nil
+	default:
 	}
 	oc := &tunnelConn{c: c, bw: bufio.NewWriterSize(c, 128<<10)}
 	t.outs[host] = oc

@@ -10,6 +10,7 @@
 package manager
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"sync"
@@ -162,7 +163,15 @@ func (m *Manager) Describe(name string) (*topology.Logical, *topology.Physical, 
 // WaitReady blocks until the SDN controller reports rules installed for
 // the topology's current generation, or the timeout elapses.
 func (m *Manager) WaitReady(name string, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return m.WaitReadyCtx(ctx, name)
+}
+
+// WaitReadyCtx is WaitReady driven by a context: it returns nil once the
+// network is programmed for the current generation, or the context error
+// when ctx is cancelled or its deadline passes first.
+func (m *Manager) WaitReadyCtx(ctx context.Context, name string) error {
 	for {
 		l, _, err := m.Describe(name)
 		if err == nil {
@@ -173,10 +182,11 @@ func (m *Manager) WaitReady(name string, timeout time.Duration) error {
 				}
 			}
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("manager: topology %s not ready", name)
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("manager: topology %s not ready: %w", name, ctx.Err())
+		case <-time.After(20 * time.Millisecond):
 		}
-		time.Sleep(20 * time.Millisecond)
 	}
 }
 

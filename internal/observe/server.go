@@ -56,6 +56,9 @@ type ServerOptions struct {
 	// hook the cluster uses to issue a METRIC_REQ sweep through the
 	// control-tuple path so the next scrape is fresh.
 	Poll func()
+	// Chaos, when non-nil, is mounted at /api/chaos (fault injection
+	// over HTTP; GET lists injections, POST applies a fault spec).
+	Chaos http.Handler
 	// EnablePprof adds net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 }
@@ -66,6 +69,7 @@ type ServerOptions struct {
 //	/api/metrics      the same samples as JSON
 //	/api/top          live cluster table (switches + workers)
 //	/api/traces?n=N   recent completed tuple-path traces
+//	/api/chaos        fault injection (GET log, POST spec)
 //	/debug/pprof/*    standard Go profiling endpoints
 func Handler(o ServerOptions) http.Handler {
 	mux := http.NewServeMux()
@@ -91,6 +95,9 @@ func Handler(o ServerOptions) http.Handler {
 			}
 			writeJSON(w, o.Top())
 		})
+	}
+	if o.Chaos != nil {
+		mux.Handle("/api/chaos", o.Chaos)
 	}
 	if o.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

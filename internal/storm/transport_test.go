@@ -138,7 +138,9 @@ func TestControlPathIsNoop(t *testing.T) {
 	if err := a.SendControl(tuple.New()); err != nil {
 		t.Fatal(err)
 	}
-	a.SetBatchSize(100) // no-op, must not panic
+	if err := a.Reconfigure(tuple.New()); err != nil { // no-op, must not fail
+		t.Fatal(err)
+	}
 	if a.InQueueLen() != 0 {
 		t.Fatal("queue should be empty")
 	}

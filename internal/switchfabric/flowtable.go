@@ -124,6 +124,16 @@ func (t *flowTable) remove(m openflow.Match, priority uint16, strict bool) []*ru
 	return removed
 }
 
+// wipe removes every rule, returning the removed set (chaos flow-table
+// wipe; the switch notifies the controller so rules get reinstalled).
+func (t *flowTable) wipe() []*rule {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	removed := t.rules
+	t.rules = nil
+	return removed
+}
+
 // expire removes rules whose idle timeout elapsed, returning them.
 func (t *flowTable) expire(now time.Time) []*rule {
 	t.mu.Lock()

@@ -30,13 +30,39 @@ type ControllerSink interface {
 	FlowRemoved(openflow.FlowRemoved)
 }
 
-// Options configures a Switch.
+// Options configures a Switch. The zero value selects every default; it
+// also implements Option, so a literal can be passed straight to New
+// alongside (or instead of) With* options.
 type Options struct {
-	// RingCapacity sizes each port's RX and TX rings (frames).
+	// RingCapacity sizes each port's RX and TX rings (frames). Zero
+	// selects the ring package's default capacity.
 	RingCapacity int
 	// IdleScanInterval is how often idle timeouts are evaluated. Zero
 	// selects 50 ms.
 	IdleScanInterval time.Duration
+}
+
+// Option configures a Switch under construction. An Options literal is
+// itself an Option (it replaces the whole configuration), which keeps the
+// pre-options call style `New(name, dpid, Options{...})` compiling.
+type Option interface{ apply(*Options) }
+
+func (o Options) apply(dst *Options) { *dst = o }
+
+type optionFunc func(*Options)
+
+func (f optionFunc) apply(o *Options) { f(o) }
+
+// WithRingCapacity sizes each port's RX and TX rings in frames.
+// Default: the ring package's default capacity.
+func WithRingCapacity(n int) Option {
+	return optionFunc(func(o *Options) { o.RingCapacity = n })
+}
+
+// WithIdleScanInterval sets how often flow-rule idle timeouts are
+// evaluated. Default: 50 ms.
+func WithIdleScanInterval(d time.Duration) Option {
+	return optionFunc(func(o *Options) { o.IdleScanInterval = d })
 }
 
 // Switch is a host-local software SDN switch.
@@ -137,8 +163,13 @@ func (p *Port) Closed() bool { return p.rx.Closed() }
 // switch-side component of a worker's queue-status metric.
 func (p *Port) QueueLen() int { return p.tx.Len() }
 
-// New builds a switch named after its host with the given datapath ID.
-func New(name string, dpid uint64, opts Options) *Switch {
+// New builds a switch named after its host with the given datapath ID,
+// configured by options (see Options for the defaults).
+func New(name string, dpid uint64, options ...Option) *Switch {
+	var opts Options
+	for _, o := range options {
+		o.apply(&opts)
+	}
 	if opts.IdleScanInterval <= 0 {
 		opts.IdleScanInterval = 50 * time.Millisecond
 	}
@@ -350,6 +381,16 @@ func (s *Switch) PortStatsSnapshot() []openflow.PortStats {
 // FlowStatsSnapshot returns per-rule counters.
 func (s *Switch) FlowStatsSnapshot() []openflow.FlowStats { return s.flows.snapshot() }
 
+// WipeFlows destroys the entire flow table — the chaos subsystem's
+// switch-state fault. Unlike ordinary deletion, every wiped rule is
+// reported to the controller regardless of its FlagSendFlowRem flag, so
+// reconciliation knows its installed state is gone and reinstalls.
+func (s *Switch) WipeFlows() int {
+	removed := s.flows.wipe()
+	s.notify(removed, openflow.RemovedDelete, true)
+	return len(removed)
+}
+
 // RuleCount reports the number of installed rules.
 func (s *Switch) RuleCount() int { return s.flows.len() }
 
@@ -549,6 +590,12 @@ func (s *Switch) idleScanner() {
 }
 
 func (s *Switch) notifyRemoved(rules []*rule, reason openflow.FlowRemovedReason) {
+	s.notify(rules, reason, false)
+}
+
+// notify emits FlowRemoved events; forced bypasses the FlagSendFlowRem
+// opt-in (used when rules vanish behind the controller's back).
+func (s *Switch) notify(rules []*rule, reason openflow.FlowRemovedReason, forced bool) {
 	if len(rules) == 0 {
 		return
 	}
@@ -559,7 +606,7 @@ func (s *Switch) notifyRemoved(rules []*rule, reason openflow.FlowRemovedReason)
 		return
 	}
 	for _, r := range rules {
-		if r.flags&openflow.FlagSendFlowRem == 0 {
+		if !forced && r.flags&openflow.FlagSendFlowRem == 0 {
 			continue
 		}
 		sink.FlowRemoved(openflow.FlowRemoved{

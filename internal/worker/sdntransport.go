@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"typhoon/internal/control"
 	"typhoon/internal/packet"
 	"typhoon/internal/switchfabric"
 	"typhoon/internal/topology"
@@ -212,7 +213,23 @@ func (t *SDNTransport) Recv(max int, wait time.Duration) ([]tuple.Tuple, error) 
 	return out, nil
 }
 
-// SetBatchSize implements Transport.
+// Reconfigure implements Transport: BATCH_SIZE tuples adjust the egress
+// batch threshold; other kinds are ignored.
+func (t *SDNTransport) Reconfigure(in tuple.Tuple) error {
+	kind, err := control.DecodeKind(in)
+	if err != nil || kind != control.KindBatchSize {
+		return nil
+	}
+	var b control.BatchSize
+	if err := control.DecodePayload(in, &b); err != nil {
+		return err
+	}
+	t.SetBatchSize(b.Size)
+	return nil
+}
+
+// SetBatchSize adjusts the egress batch threshold directly (the
+// Reconfigure path decodes BATCH_SIZE tuples into this).
 func (t *SDNTransport) SetBatchSize(n int) {
 	if n > 0 {
 		t.batch.Store(int64(n))

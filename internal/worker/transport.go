@@ -34,9 +34,12 @@ type Transport interface {
 	Recv(max int, wait time.Duration) ([]tuple.Tuple, error)
 	// Flush pushes any batched tuples to the wire.
 	Flush() error
-	// SetBatchSize adjusts the egress batch threshold (BATCH_SIZE control
-	// tuple).
-	SetBatchSize(n int)
+	// Reconfigure applies a transport-level control tuple (BATCH_SIZE
+	// adjusts the egress batch threshold; future kinds slot in without
+	// widening this interface). Transports ignore kinds they do not
+	// understand and return nil; an error means the tuple was understood
+	// but malformed or inapplicable.
+	Reconfigure(t tuple.Tuple) error
 	// InQueueLen reports tuples/frames queued toward this worker, the
 	// queue-status metric the auto-scaler polls.
 	InQueueLen() int
@@ -198,8 +201,9 @@ func (t *ChanTransport) Recv(max int, wait time.Duration) ([]tuple.Tuple, error)
 // Flush implements Transport (no batching to flush).
 func (t *ChanTransport) Flush() error { return nil }
 
-// SetBatchSize implements Transport (ignored).
-func (t *ChanTransport) SetBatchSize(int) {}
+// Reconfigure implements Transport: the channel transport has no knobs,
+// so every control tuple is ignored.
+func (t *ChanTransport) Reconfigure(tuple.Tuple) error { return nil }
 
 // InQueueLen implements Transport.
 func (t *ChanTransport) InQueueLen() int { return len(t.inbox) }

@@ -96,6 +96,12 @@ type Worker struct {
 	exitErr error
 	exitMu  sync.Mutex
 
+	// Fault-injection hooks (internal/chaos): a pending induced failure,
+	// a one-shot stall, and a per-tuple slowdown in nanoseconds.
+	failInj chan error
+	hangNs  atomic.Int64
+	slowNs  atomic.Int64
+
 	// Framework-layer state for guaranteed processing.
 	rng     *rand.Rand
 	curRoot uint64
@@ -148,12 +154,14 @@ func New(cfg Config, tr Transport) (*Worker, error) {
 		rate:              NewRateLimiter(cfg.RateLimit),
 		stopCh:            make(chan struct{}),
 		done:              make(chan struct{}),
+		failInj:           make(chan error, 1),
 		rng:               rand.New(rand.NewSource(int64(cfg.ID)*2654435761 + 1)),
 		pending:           make(map[uint64]*pendingEntry),
 		CompleteLatencies: metrics.NewLatencies(0),
 	}
 	if cfg.BatchSize > 0 {
-		tr.SetBatchSize(cfg.BatchSize)
+		_ = tr.Reconfigure(control.Encode(control.KindBatchSize,
+			control.BatchSize{Size: cfg.BatchSize}))
 	}
 	if len(cfg.Subscriptions) > 0 {
 		w.subs = make(map[tuple.StreamID]bool, len(cfg.Subscriptions))
@@ -200,6 +208,37 @@ func (w *Worker) ExitErr() error {
 	w.exitMu.Lock()
 	defer w.exitMu.Unlock()
 	return w.exitErr
+}
+
+// Fail injects a failure: the worker exits from its processing loop with
+// err as if its logic had crashed, taking the usual crash path (port
+// removal, OnExit, agent restart). It is the chaos engine's crash hook.
+func (w *Worker) Fail(err error) {
+	if err == nil {
+		err = fmt.Errorf("worker %d: injected failure", w.cfg.ID)
+	}
+	select {
+	case w.failInj <- err:
+	default: // a failure is already pending
+	}
+}
+
+// Hang stalls the worker's processing loop once for d (heartbeats continue
+// — the agent owns those — so a hung worker models a live-but-stuck
+// executor, detectable only through queue growth). Chaos hook.
+func (w *Worker) Hang(d time.Duration) {
+	if d > 0 {
+		w.hangNs.Store(int64(d))
+	}
+}
+
+// Slow adds d of artificial processing time per executed tuple; zero
+// restores full speed. It models a slow consumer (chaos hook).
+func (w *Worker) Slow(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	w.slowNs.Store(int64(d))
 }
 
 // Activate unthrottles a source worker (ACTIVATE control tuple, or the
@@ -251,7 +290,19 @@ func (w *Worker) run() {
 		select {
 		case <-w.stopCh:
 			return
+		case err := <-w.failInj:
+			failure = err
+			return
 		default:
+		}
+		if ns := w.hangNs.Swap(0); ns > 0 {
+			// Injected stall: sleep without processing, but stay
+			// responsive to Stop so teardown is never blocked.
+			select {
+			case <-w.stopCh:
+				return
+			case <-time.After(time.Duration(ns)):
+			}
 		}
 
 		// Receive phase. Sources poll; bolts block briefly.
@@ -261,7 +312,14 @@ func (w *Worker) run() {
 		}
 		tuples, err := w.tr.Recv(256, wait)
 		if err != nil {
-			return // transport closed underneath us (port removed)
+			// Transport closed underneath us. During a graceful Stop that
+			// is expected; otherwise (port removed, peer vanished) it is a
+			// crash — report it so the agent's restart path fires instead
+			// of leaving a zombie that still looks alive.
+			if !w.stopped.Load() {
+				failure = fmt.Errorf("worker %d (%s): %w", w.cfg.ID, w.cfg.Node, err)
+			}
+			return
 		}
 		worked := len(tuples) > 0
 		for _, t := range tuples {
@@ -339,6 +397,9 @@ func (w *Worker) dispatch(bolt Bolt, t tuple.Tuple) error {
 }
 
 func (w *Worker) execute(bolt Bolt, t tuple.Tuple) error {
+	if ns := w.slowNs.Load(); ns > 0 {
+		time.Sleep(time.Duration(ns))
+	}
 	w.anchor = w.cfg.Acking && t.Root != 0
 	w.curRoot = t.Root
 	w.curXor = t.ID
@@ -475,11 +536,11 @@ func (w *Worker) handleControl(t tuple.Tuple) {
 		w.active.Store(true)
 	case control.KindDeactivate:
 		w.active.Store(false)
-	case control.KindBatchSize:
-		var b control.BatchSize
-		if control.DecodePayload(t, &b) == nil {
-			w.tr.SetBatchSize(b.Size)
-		}
+	default:
+		// Transport-level knobs (BATCH_SIZE today, future kinds) go to the
+		// transport whole: it decodes what it understands and ignores the
+		// rest, so new control-tuple kinds never widen the interface.
+		_ = w.tr.Reconfigure(t)
 	}
 }
 

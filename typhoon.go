@@ -29,6 +29,7 @@
 package typhoon
 
 import (
+	"typhoon/internal/chaos"
 	"typhoon/internal/controller"
 	"typhoon/internal/core"
 	"typhoon/internal/topology"
@@ -124,10 +125,13 @@ func NewTopology(name string, app uint16) *TopologyBuilder {
 type (
 	// Cluster is a running deployment.
 	Cluster = core.Cluster
-	// Config describes a deployment.
+	// Config describes a deployment. A Config value is itself an Option,
+	// so the struct-literal call style keeps working alongside With*.
 	Config = core.Config
 	// Mode selects the data plane.
 	Mode = core.Mode
+	// Option configures NewCluster.
+	Option = core.Option
 )
 
 // Deployment modes.
@@ -138,8 +142,57 @@ const (
 	ModeStorm = core.ModeStorm
 )
 
-// NewCluster builds and starts a cluster.
-func NewCluster(cfg Config) (*Cluster, error) { return core.NewCluster(cfg) }
+// Cluster options. Each documents its default in internal/core.
+var (
+	// WithMode selects the data plane (default ModeTyphoon).
+	WithMode = core.WithMode
+	// WithHosts names the emulated compute hosts (required).
+	WithHosts = core.WithHosts
+	// WithScheduler sets the placement scheduler (default round robin).
+	WithScheduler = core.WithScheduler
+	// WithHeartbeatTimeout sets the manager's worker-failure timeout.
+	WithHeartbeatTimeout = core.WithHeartbeatTimeout
+	// WithMonitorInterval sets the heartbeat scan period (default off).
+	WithMonitorInterval = core.WithMonitorInterval
+	// WithHeartbeatInterval sets the agents' heartbeat report period.
+	WithHeartbeatInterval = core.WithHeartbeatInterval
+	// WithDefaultBatchSize sets the worker I/O batch size.
+	WithDefaultBatchSize = core.WithDefaultBatchSize
+	// WithAckTimeout enables guaranteed processing with a replay timeout.
+	WithAckTimeout = core.WithAckTimeout
+	// WithSwitchRingCapacity sizes switch port rings.
+	WithSwitchRingCapacity = core.WithSwitchRingCapacity
+	// WithDrainDelay sets the agents' stable-removal drain window.
+	WithDrainDelay = core.WithDrainDelay
+	// WithRestartDelay spaces local restarts of crashed workers.
+	WithRestartDelay = core.WithRestartDelay
+	// WithRuleIdleTimeout ages out flow rules (ablation knob).
+	WithRuleIdleTimeout = core.WithRuleIdleTimeout
+	// WithOnWorkerCrash observes worker crashes.
+	WithOnWorkerCrash = core.WithOnWorkerCrash
+	// WithTraceEvery samples one in n frames for tuple-path tracing.
+	WithTraceEvery = core.WithTraceEvery
+	// WithChaos schedules a fault-injection plan (see package chaos).
+	WithChaos = core.WithChaos
+)
+
+// NewCluster builds and starts a cluster. It accepts either a single
+// Config literal (legacy style) or any combination of With* options:
+//
+//	typhoon.NewCluster(typhoon.WithHosts("h1", "h2"), typhoon.WithChaos(plan))
+func NewCluster(options ...Option) (*Cluster, error) { return core.NewCluster(options...) }
+
+// Fault injection (chaos engineering).
+type (
+	// ChaosPlan is an ordered, clock-driven fault schedule.
+	ChaosPlan = chaos.Plan
+	// ChaosEvent is one scheduled fault.
+	ChaosEvent = chaos.Event
+	// ChaosSpec declares one fault to inject.
+	ChaosSpec = chaos.Spec
+	// ChaosKind selects the fault class of a ChaosSpec.
+	ChaosKind = chaos.Kind
+)
 
 // SDN control plane applications (§4).
 type (
