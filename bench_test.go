@@ -7,10 +7,14 @@ package typhoon
 // plots show; `cmd/typhoon-bench` renders them in tabular form.
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"os"
 	"testing"
 	"time"
 
+	"typhoon/internal/conformance"
 	"typhoon/internal/core"
 	"typhoon/internal/experiments"
 	"typhoon/internal/openflow"
@@ -388,6 +392,104 @@ func BenchmarkStableUpdate(b *testing.B) {
 		res := experiments.StableUpdate(scenarioParams())
 		if res.Err != nil {
 			b.Fatal(res.Err)
+		}
+	}
+}
+
+// BenchmarkRescale measures the managed stable rescale end to end: the
+// conformance pipeline runs at speed while the stateful counter scales
+// 2 -> 4 mid-stream; reported metrics are the source pause and the
+// throughput dip across the rescale. With BENCH_JSON set in the
+// environment, the per-run series is written to that file (CI uploads
+// BENCH_rescale.json as an artifact).
+func BenchmarkRescale(b *testing.B) {
+	type run struct {
+		PauseMs      float64 `json:"pauseMs"`
+		DrainMs      float64 `json:"drainMs"`
+		KeysMigrated int     `json:"keysMigrated"`
+		StateBytes   int     `json:"stateBytes"`
+		BeforeTPS    float64 `json:"beforeTuplesPerSec"`
+		DuringTPS    float64 `json:"duringTuplesPerSec"`
+		AfterTPS     float64 `json:"afterTuplesPerSec"`
+	}
+	rate := func(rec *conformance.Recorder, window time.Duration) float64 {
+		n0 := rec.Total()
+		t0 := time.Now()
+		time.Sleep(window)
+		return float64(rec.Total()-n0) / time.Since(t0).Seconds()
+	}
+	var runs []run
+	for i := 0; i < b.N; i++ {
+		p := &conformance.Params{
+			Keys: 32, PerKey: 1 << 20, Window: 50, Seed: int64(42 + i),
+			ThrottleEvery: 64, ThrottleDelay: time.Millisecond,
+		}
+		c, err := core.NewCluster(core.Config{
+			Mode: core.ModeTyphoon, Hosts: []string{"h1", "h2"},
+			DefaultBatchSize: 100,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec := conformance.NewRecorder(*p, true)
+		c.Env.Set(conformance.EnvParams, p)
+		c.Env.Set(conformance.EnvRecorder, rec)
+		tb := topology.NewBuilder("bench-rescale", 9)
+		tb.Source("src", conformance.LogicTaggedSource, 1)
+		tb.Node("count", conformance.LogicKeyedCounter, 2).Stateful().FieldsFrom("src", 0)
+		tb.Node("sink", conformance.LogicRecordingSink, 1).GlobalFrom("count")
+		l, err := tb.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Submit(l, 15*time.Second); err != nil {
+			b.Fatal(err)
+		}
+		deadline := time.Now().Add(15 * time.Second)
+		for rec.Total() < 2000 {
+			if time.Now().After(deadline) {
+				b.Fatal("pipeline never reached speed")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+
+		r := run{BeforeTPS: rate(rec, 300*time.Millisecond)}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		n0 := rec.Total()
+		t0 := time.Now()
+		report, err := c.Rescale(ctx, "bench-rescale", "count", 4)
+		cancel()
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.DuringTPS = float64(rec.Total()-n0) / time.Since(t0).Seconds()
+		r.AfterTPS = rate(rec, 300*time.Millisecond)
+		r.PauseMs = float64(report.Pause.Microseconds()) / 1e3
+		r.DrainMs = float64(report.Drain.Microseconds()) / 1e3
+		r.KeysMigrated = report.KeysMigrated
+		r.StateBytes = report.StateBytes
+		runs = append(runs, r)
+		c.Stop()
+	}
+	var pauseMs, dip float64
+	for _, r := range runs {
+		pauseMs += r.PauseMs
+		if r.BeforeTPS > 0 {
+			dip += 100 * (1 - r.DuringTPS/r.BeforeTPS)
+		}
+	}
+	b.ReportMetric(pauseMs/float64(len(runs)), "pause-ms")
+	b.ReportMetric(dip/float64(len(runs)), "dip-%")
+	if path := os.Getenv("BENCH_JSON"); path != "" {
+		blob, err := json.MarshalIndent(map[string]any{
+			"benchmark": "BenchmarkRescale",
+			"runs":      runs,
+		}, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -14,6 +14,7 @@
 //	typhoon-ctl -metrics-addr 127.0.0.1:9090 chaos partition h1 h2 -for 5s
 //	typhoon-ctl -metrics-addr 127.0.0.1:9090 chaos crash wordcount 3
 //	typhoon-ctl -metrics-addr 127.0.0.1:9090 chaos log
+//	typhoon-ctl -metrics-addr 127.0.0.1:9090 rescale wordcount count 4
 //
 // Reconfigurations work because the streaming manager's logic runs against
 // the coordinator API: this binary embeds a manager speaking to the remote
@@ -60,6 +61,9 @@ func main() {
 		return
 	case "chaos":
 		runChaos(*metricsAddr, args[1:])
+		return
+	case "rescale":
+		runRescale(*metricsAddr, args[1:])
 		return
 	}
 
@@ -137,7 +141,7 @@ func need(args []string, n int) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: typhoon-ctl [flags] {list | describe T | scale T NODE N | swap T NODE LOGIC | kill T | metrics | top | trace | chaos ...}")
+	fmt.Fprintln(os.Stderr, "usage: typhoon-ctl [flags] {list | describe T | scale T NODE N | swap T NODE LOGIC | kill T | metrics | top | trace | chaos ... | rescale T NODE N [TIMEOUT]}")
 	os.Exit(2)
 }
 

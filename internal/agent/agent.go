@@ -269,7 +269,7 @@ func (a *Agent) watchLoop(events <-chan coordinator.Event, cancel func()) {
 			// Any physical-topology change triggers a re-sync of that
 			// topology; the event stream is advisory (drop-oldest), so
 			// state is always re-read from the coordinator.
-			if name, kind := splitTopoPath(ev.Path); kind == "physical" {
+			if name, kind, ok := paths.SplitTopology(ev.Path); ok && kind == "physical" {
 				a.syncTopology(name)
 			}
 		}
@@ -306,27 +306,6 @@ func (a *Agent) statusLoop(events <-chan coordinator.Event, cancel func()) {
 			}
 		}
 	}
-}
-
-func splitTopoPath(p string) (name, kind string) {
-	// p = /topologies/<name>/<kind>
-	rest, ok := cutPrefix(p, paths.Topologies+"/")
-	if !ok {
-		return "", ""
-	}
-	for i := 0; i < len(rest); i++ {
-		if rest[i] == '/' {
-			return rest[:i], rest[i+1:]
-		}
-	}
-	return rest, ""
-}
-
-func cutPrefix(s, prefix string) (string, bool) {
-	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
-		return s[len(prefix):], true
-	}
-	return s, false
 }
 
 func (a *Agent) syncAll() error {

@@ -1,0 +1,396 @@
+// Package conformance is the consistency-conformance harness for the §3.5
+// stable topology update protocol: a seeded, deterministic workload whose
+// every tuple is tagged (key, seq), driven through a live topology while
+// the cluster rescales mid-stream, with a recorder asserting the
+// protocol's end-to-end guarantees:
+//
+//   - no loss and no duplication: every key's sequence arrives exactly
+//     once (each key sees exactly 1..N);
+//   - per-key FIFO: sequences reach the sink strictly in order, across
+//     the migration boundary;
+//   - state integrity: the keyed counter's running count equals the
+//     sequence number for every delivery, so migrated state is exactly
+//     the state the old instances held;
+//   - window integrity: tumbling windows over the tuples' virtual clock
+//     contain exactly the expected number of entries.
+//
+// Time is virtual: a tuple's sequence number is its clock, so window
+// membership (window = (seq-1)/W) is a pure function of the seeded input
+// and never depends on wall-clock scheduling — the harness is
+// deterministic under -race, chaos, and arbitrary rescale timing.
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"time"
+
+	"typhoon/internal/tuple"
+	"typhoon/internal/worker"
+)
+
+// Shared environment keys.
+const (
+	// EnvRecorder holds the harness *Recorder.
+	EnvRecorder = "conformance.recorder"
+	// EnvParams holds the harness *Params.
+	EnvParams = "conformance.params"
+)
+
+// Logic names registered by this package.
+const (
+	LogicTaggedSource  = "conformance/tagged-source"
+	LogicKeyedCounter  = "conformance/keyed-counter"
+	LogicRecordingSink = "conformance/recording-sink"
+)
+
+func init() {
+	worker.RegisterLogic(LogicTaggedSource, func() worker.Component { return &TaggedSource{} })
+	worker.RegisterLogic(LogicKeyedCounter, func() worker.Component { return &KeyedCounter{} })
+	worker.RegisterLogic(LogicRecordingSink, func() worker.Component { return &RecordingSink{} })
+}
+
+// Params configures one conformance run.
+type Params struct {
+	// Keys is the number of distinct routing keys.
+	Keys int
+	// PerKey is how many sequenced tuples each key carries (1..PerKey).
+	PerKey int64
+	// Window is the tumbling window width in virtual-clock units.
+	Window int64
+	// Seed drives key naming and interleaving; the emitted stream is a
+	// pure function of Params.
+	Seed int64
+	// ThrottleEvery/ThrottleDelay pace the source (a sleep every N
+	// tuples) so the run spans long enough for a mid-stream rescale.
+	// Pacing changes wall-clock timing only, never content.
+	ThrottleEvery int
+	ThrottleDelay time.Duration
+}
+
+// KeyName returns the i-th routing key. The seed participates so key→
+// partition assignments differ across seeds.
+func (p Params) KeyName(i int) string {
+	return fmt.Sprintf("k%03d-%d", i, p.Seed)
+}
+
+// Total is the run's total tuple count.
+func (p Params) Total() int64 { return int64(p.Keys) * p.PerKey }
+
+func harnessEnv(ctx *worker.Context) (*Params, *Recorder) {
+	var pr *Params
+	var rec *Recorder
+	if e := ctx.Env(); e != nil {
+		pr, _ = e.Get(EnvParams).(*Params)
+		rec, _ = e.Get(EnvRecorder).(*Recorder)
+	}
+	if pr == nil {
+		pr = &Params{Keys: 1, PerKey: 1, Window: 1}
+	}
+	if rec == nil {
+		rec = NewRecorder(*pr, true)
+	}
+	return pr, rec
+}
+
+// TaggedSource emits the seeded (key, seq) stream: per-key sequences
+// counting 1..PerKey, interleaved across keys in a seed-shuffled round-
+// robin order. Parallelism must be 1 — the tagged stream is one totally
+// ordered log.
+type TaggedSource struct {
+	p        *Params
+	order    []int   // seed-shuffled key visit order
+	next     []int64 // next sequence per key
+	pos      int
+	emitted  int64
+	sinceNap int
+}
+
+// Open implements worker.Component.
+func (s *TaggedSource) Open(ctx *worker.Context) error {
+	s.p, _ = harnessEnv(ctx)
+	rng := rand.New(rand.NewSource(s.p.Seed))
+	s.order = rng.Perm(s.p.Keys)
+	s.next = make([]int64, s.p.Keys)
+	for i := range s.next {
+		s.next[i] = 1
+	}
+	return nil
+}
+
+// Close implements worker.Component.
+func (s *TaggedSource) Close(*worker.Context) error { return nil }
+
+// Next implements worker.Spout.
+func (s *TaggedSource) Next(ctx *worker.Context) (bool, error) {
+	if s.emitted >= s.p.Total() {
+		return false, nil
+	}
+	if s.p.ThrottleEvery > 0 && s.p.ThrottleDelay > 0 {
+		if s.sinceNap >= s.p.ThrottleEvery {
+			s.sinceNap = 0
+			time.Sleep(s.p.ThrottleDelay)
+		}
+		s.sinceNap++
+	}
+	// Round-robin the shuffled key order, skipping exhausted keys.
+	for {
+		k := s.order[s.pos]
+		s.pos = (s.pos + 1) % len(s.order)
+		if s.next[k] <= s.p.PerKey {
+			ctx.Emit(tuple.String(s.p.KeyName(k)), tuple.Int(s.next[k]))
+			s.next[k]++
+			s.emitted++
+			return true, nil
+		}
+	}
+}
+
+// KeyedCounter is the stateful node under rescale: it tracks each key's
+// last sequence as its running count and forwards (key, seq, count). With
+// exactly-once in-order delivery and correct state migration, count==seq
+// always holds; any loss, duplication, reorder, or state corruption shows
+// up as a mismatch. Implements worker.StatefulComponent so managed
+// rescales migrate the counts.
+type KeyedCounter struct {
+	rec    *Recorder
+	counts map[string]int64
+}
+
+// Open implements worker.Component.
+func (c *KeyedCounter) Open(ctx *worker.Context) error {
+	_, c.rec = harnessEnv(ctx)
+	c.counts = make(map[string]int64)
+	return nil
+}
+
+// Close implements worker.Component.
+func (c *KeyedCounter) Close(*worker.Context) error { return nil }
+
+// Execute implements worker.Bolt.
+func (c *KeyedCounter) Execute(ctx *worker.Context, in tuple.Tuple) error {
+	if in.Stream.IsSignal() {
+		return nil
+	}
+	key := in.Field(0).AsString()
+	seq := in.Field(1).AsInt()
+	if want := c.counts[key] + 1; seq != want {
+		c.rec.counterMismatch(key, seq, want)
+	}
+	c.counts[key] = seq
+	ctx.Emit(tuple.String(key), tuple.Int(seq), tuple.Int(c.counts[key]))
+	return nil
+}
+
+// SnapshotState implements worker.StatefulComponent.
+func (c *KeyedCounter) SnapshotState(_ *worker.Context, r worker.KeyRange) (map[string][]byte, error) {
+	out := make(map[string][]byte)
+	for key, n := range c.counts {
+		if r.Contains(worker.PartitionOfKey(key)) {
+			out[key] = []byte(strconv.FormatInt(n, 10))
+		}
+	}
+	return out, nil
+}
+
+// RestoreState implements worker.StatefulComponent (replace semantics).
+func (c *KeyedCounter) RestoreState(_ *worker.Context, state map[string][]byte) error {
+	counts := make(map[string]int64, len(state))
+	for key, blob := range state {
+		n, err := strconv.ParseInt(string(blob), 10, 64)
+		if err != nil {
+			return fmt.Errorf("conformance: bad count for %q: %w", key, err)
+		}
+		counts[key] = n
+	}
+	c.counts = counts
+	return nil
+}
+
+// RecordingSink delivers every (key, seq, count) to the run's Recorder.
+// Parallelism must be 1 so the recorder observes one global arrival order.
+type RecordingSink struct {
+	rec *Recorder
+}
+
+// Open implements worker.Component.
+func (s *RecordingSink) Open(ctx *worker.Context) error {
+	_, s.rec = harnessEnv(ctx)
+	return nil
+}
+
+// Close implements worker.Component.
+func (s *RecordingSink) Close(*worker.Context) error { return nil }
+
+// Execute implements worker.Bolt.
+func (s *RecordingSink) Execute(_ *worker.Context, in tuple.Tuple) error {
+	if in.Stream.IsSignal() {
+		return nil
+	}
+	s.rec.Record(in.Field(0).AsString(), in.Field(1).AsInt(), in.Field(2).AsInt())
+	return nil
+}
+
+// maxViolations bounds the recorded violation list; the count keeps
+// growing past it.
+const maxViolations = 64
+
+// Recorder collects sink deliveries and checks the conformance invariants
+// online. In strict mode a sequence gap is a violation (no-loss runs);
+// in relaxed mode gaps are counted but tolerated (chaos runs drop frames
+// by design under at-most-once delivery) while duplication, reordering,
+// and count mismatches remain violations.
+type Recorder struct {
+	p      Params
+	strict bool
+
+	mu         sync.Mutex
+	total      int64
+	gaps       int64
+	last       map[string]int64
+	seen       map[string]map[int64]bool
+	windows    map[string]map[int64]int64
+	nviolation int64
+	violations []string
+}
+
+// NewRecorder builds a recorder for one run.
+func NewRecorder(p Params, strict bool) *Recorder {
+	return &Recorder{
+		p:       p,
+		strict:  strict,
+		last:    make(map[string]int64),
+		seen:    make(map[string]map[int64]bool),
+		windows: make(map[string]map[int64]int64),
+	}
+}
+
+// Record ingests one sink delivery.
+func (r *Recorder) Record(key string, seq, count int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if seen := r.seen[key]; seen != nil && seen[seq] {
+		r.violate("duplicate: key %s seq %d delivered twice", key, seq)
+		return
+	}
+	if r.seen[key] == nil {
+		r.seen[key] = make(map[int64]bool)
+	}
+	r.seen[key][seq] = true
+	last := r.last[key]
+	switch {
+	case seq <= last:
+		r.violate("reorder: key %s seq %d after %d", key, seq, last)
+	case seq != last+1:
+		if r.strict {
+			r.violate("gap: key %s jumped %d -> %d", key, last, seq)
+		} else {
+			r.gaps++
+		}
+	}
+	if seq > last {
+		r.last[key] = seq
+	}
+	if count != seq {
+		r.violate("count mismatch: key %s seq %d carried count %d", key, seq, count)
+	}
+	if r.windows[key] == nil {
+		r.windows[key] = make(map[int64]int64)
+	}
+	r.windows[key][(seq-1)/r.p.Window]++
+}
+
+// counterMismatch is the KeyedCounter's in-pipeline invariant report.
+func (r *Recorder) counterMismatch(key string, seq, want int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.strict {
+		r.violate("counter state: key %s got seq %d, expected %d", key, seq, want)
+	} else if seq < want {
+		// A replayed/duplicated tuple is a violation even under chaos;
+		// only forward gaps (drops) are tolerated.
+		r.violate("counter state: key %s replayed seq %d below %d", key, seq, want)
+	} else {
+		r.gaps++
+	}
+}
+
+// violate appends a violation under the held lock.
+func (r *Recorder) violate(format string, args ...any) {
+	r.nviolation++
+	if len(r.violations) < maxViolations {
+		r.violations = append(r.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// Total reports sink deliveries so far.
+func (r *Recorder) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Gaps reports tolerated sequence gaps (relaxed mode only).
+func (r *Recorder) Gaps() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gaps
+}
+
+// Violations returns the recorded violations (capped) and the full count.
+func (r *Recorder) Violations() ([]string, int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.violations...), r.nviolation
+}
+
+// Complete reports whether every key has reached PerKey.
+func (r *Recorder) Complete() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.last) < r.p.Keys {
+		return false
+	}
+	for i := 0; i < r.p.Keys; i++ {
+		if r.last[r.p.KeyName(i)] < r.p.PerKey {
+			return false
+		}
+	}
+	return true
+}
+
+// Check runs the end-of-run audit for a strict (no-loss) run: exactly
+// PerKey deliveries per key and every tumbling window carrying exactly
+// its expected population. Returns all failures found (nil when clean).
+func (r *Recorder) Check() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var bad []string
+	bad = append(bad, r.violations...)
+	if extra := r.nviolation - int64(len(r.violations)); extra > 0 {
+		bad = append(bad, fmt.Sprintf("... and %d more violations", extra))
+	}
+	if r.total != r.p.Total() {
+		bad = append(bad, fmt.Sprintf("delivered %d tuples, want %d", r.total, r.p.Total()))
+	}
+	for i := 0; i < r.p.Keys; i++ {
+		key := r.p.KeyName(i)
+		if n := int64(len(r.seen[key])); n != r.p.PerKey {
+			bad = append(bad, fmt.Sprintf("key %s: %d distinct seqs, want %d", key, n, r.p.PerKey))
+		}
+		lastWin := (r.p.PerKey - 1) / r.p.Window
+		for win := int64(0); win <= lastWin; win++ {
+			want := r.p.Window
+			if win == lastWin {
+				want = r.p.PerKey - win*r.p.Window
+			}
+			if got := r.windows[key][win]; got != want {
+				bad = append(bad, fmt.Sprintf("key %s window %d: %d entries, want %d", key, win, got, want))
+			}
+		}
+	}
+	return bad
+}

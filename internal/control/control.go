@@ -66,6 +66,23 @@ const (
 	// Emitted by controller apps tuning the latency/throughput trade-off
 	// of Fig 8; consumed by the worker's transport.
 	KindBatchSize Kind = "BATCH_SIZE"
+	// KindSnapshotReq asks a stateful worker for the state entries of a
+	// key-partition range (§3.5 stable update). Payload SnapshotReq.
+	// Emitted by the controller's updater app during a managed rescale;
+	// consumed by the worker framework layer, which answers with a
+	// KindSnapshotResp (empty for non-stateful logic, so the protocol
+	// never hangs on a misdeclared node).
+	KindSnapshotReq Kind = "SNAPSHOT_REQ"
+	// KindSnapshotResp carries a worker's state snapshot back to the
+	// controller. Payload SnapshotResp.
+	KindSnapshotResp Kind = "SNAPSHOT_RESP"
+	// KindRestore replaces a stateful worker's state with migrated
+	// entries (§3.5). Payload Restore. Emitted by the updater app after
+	// the new flow rules are installed; consumed by the worker framework
+	// layer, which answers with a KindRestoreResp.
+	KindRestore Kind = "RESTORE"
+	// KindRestoreResp acknowledges a KindRestore. Payload RestoreResp.
+	KindRestoreResp Kind = "RESTORE_RESP"
 )
 
 // ErrNotControl is returned when decoding a non-control tuple.
@@ -106,6 +123,39 @@ type MetricResp struct {
 	Dropped   uint64            `json:"dropped"`
 	// ProcNanos is cumulative execute time in nanoseconds.
 	ProcNanos uint64 `json:"procNanos"`
+}
+
+// SnapshotReq is the payload of KindSnapshotReq: the key-partition range
+// whose state entries the controller wants (see worker.KeyRange).
+type SnapshotReq struct {
+	// Token correlates the reply.
+	Token uint64 `json:"token"`
+	// From/To select the partitions [From, To).
+	From uint32 `json:"from"`
+	To   uint32 `json:"to"`
+}
+
+// SnapshotResp is the payload of KindSnapshotResp: one worker's state
+// entries for the requested range, keyed by routing key. Blob values are
+// opaque to the framework (JSON carries them base64-encoded).
+type SnapshotResp struct {
+	Token  uint64            `json:"token"`
+	Worker topology.WorkerID `json:"worker"`
+	Node   string            `json:"node"`
+	State  map[string][]byte `json:"state,omitempty"`
+}
+
+// Restore is the payload of KindRestore: the complete new state of the
+// receiving worker (replace semantics — entries absent here are dropped).
+type Restore struct {
+	Token uint64            `json:"token"`
+	State map[string][]byte `json:"state,omitempty"`
+}
+
+// RestoreResp is the payload of KindRestoreResp.
+type RestoreResp struct {
+	Token  uint64            `json:"token"`
+	Worker topology.WorkerID `json:"worker"`
 }
 
 // Encode builds the control tuple for a command. The payload may be nil for

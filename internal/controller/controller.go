@@ -11,7 +11,6 @@ package controller
 import (
 	"fmt"
 	"net"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -470,22 +469,11 @@ func (c *Controller) watchLoop(events <-chan coordinator.Event, cancel func()) {
 			if !ok {
 				return
 			}
-			if name := topoNameFromPath(ev.Path); name != "" {
+			if name := paths.TopologyName(ev.Path); name != "" {
 				c.SyncTopology(name)
 			}
 		}
 	}
-}
-
-func topoNameFromPath(p string) string {
-	rest, ok := strings.CutPrefix(p, paths.Topologies+"/")
-	if !ok {
-		return ""
-	}
-	if i := strings.IndexByte(rest, '/'); i >= 0 {
-		return rest[:i]
-	}
-	return rest
 }
 
 func (c *Controller) tickLoop() {

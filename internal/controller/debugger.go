@@ -3,6 +3,7 @@ package controller
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"typhoon/internal/observe"
 	"typhoon/internal/topology"
@@ -85,7 +86,7 @@ func (d *LiveDebugger) Attach(c *Controller, topoName string, src topology.Worke
 	// Wait for the debug worker's switch port through the controller's
 	// converging view of the physical topology.
 	var debugPort uint32
-	for i := 0; i < 200 && debugPort == 0; i++ {
+	awaitCond(4*time.Second, func() bool {
 		_, cur := c.Topology(topoName)
 		if cur != nil {
 			for _, cand := range cur.Instances(debugNode) {
@@ -94,10 +95,8 @@ func (d *LiveDebugger) Attach(c *Controller, topoName string, src topology.Worke
 				}
 			}
 		}
-		if debugPort == 0 {
-			sleepTick()
-		}
-	}
+		return debugPort != 0
+	})
 	if debugPort == 0 {
 		_ = mgr.RemoveNode(topoName, debugNode)
 		return "", fmt.Errorf("debugger: debug worker did not attach")

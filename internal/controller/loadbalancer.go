@@ -3,17 +3,12 @@ package controller
 import (
 	"fmt"
 	"sync"
-	"time"
 
 	"typhoon/internal/control"
 	"typhoon/internal/packet"
 	"typhoon/internal/topology"
 	"typhoon/internal/tuple"
 )
-
-// sleepTick is a short coordination pause used by apps awaiting
-// asynchronous state convergence.
-func sleepTick() { time.Sleep(20 * time.Millisecond) }
 
 // LoadBalancer is the §4 SDN load-balancer app. Edges declared with the
 // SDNBalanced policy are compiled into switch select groups; this app
@@ -122,30 +117,45 @@ func (lb *LoadBalancer) OnTick(c *Controller) {
 			_ = c.SendControlTuple(pol.Topo, as.Worker,
 				control.Encode(control.KindMetricReq, control.MetricReq{Token: token}))
 		}
-		// Weight inversely to queue depth: drained workers get more.
 		lb.mu.Lock()
-		maxQ := 0
+		queues := make(map[topology.WorkerID]int, len(instances))
 		for _, as := range instances {
-			if mr, ok := lb.latest[as.Worker]; ok && mr.QueueLen > maxQ {
-				maxQ = mr.QueueLen
+			if mr, ok := lb.latest[as.Worker]; ok {
+				queues[as.Worker] = mr.QueueLen
+			} else {
+				queues[as.Worker] = -1
 			}
-		}
-		weights := make(map[topology.WorkerID]uint16, len(instances))
-		for _, as := range instances {
-			mr, ok := lb.latest[as.Worker]
-			if !ok {
-				weights[as.Worker] = 1
-				continue
-			}
-			w := uint16(1)
-			if maxQ > 0 {
-				w = uint16(1 + (int(pol.MaxWeight)-1)*(maxQ-mr.QueueLen)/maxQ)
-			}
-			weights[as.Worker] = w
 		}
 		lb.mu.Unlock()
-		if maxQ > 0 {
+		weights, imbalanced := autoWeights(queues, pol.MaxWeight)
+		if imbalanced {
 			_ = lb.SetWeights(c, pol.Topo, pol.Node, weights)
 		}
 	}
+}
+
+// autoWeights computes select-group bucket weights from worker queue
+// depths: weight is inverse to backlog, so the most backlogged worker
+// (the straggler) gets 1 and a fully drained worker gets maxWeight. A
+// queue depth of -1 marks a worker with no statistics yet; it keeps the
+// neutral weight 1. The second result reports whether any backlog exists —
+// with all queues empty there is nothing to rebalance.
+func autoWeights(queues map[topology.WorkerID]int, maxWeight uint16) (map[topology.WorkerID]uint16, bool) {
+	if maxWeight == 0 {
+		maxWeight = 1
+	}
+	maxQ := 0
+	for _, q := range queues {
+		if q > maxQ {
+			maxQ = q
+		}
+	}
+	weights := make(map[topology.WorkerID]uint16, len(queues))
+	for w, q := range queues {
+		weights[w] = 1
+		if q >= 0 && maxQ > 0 {
+			weights[w] = uint16(1 + (int(maxWeight)-1)*(maxQ-q)/maxQ)
+		}
+	}
+	return weights, maxQ > 0
 }

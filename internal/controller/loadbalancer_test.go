@@ -1,0 +1,80 @@
+package controller
+
+import (
+	"testing"
+
+	"typhoon/internal/topology"
+)
+
+func TestAutoWeightsStragglerGetsMinimum(t *testing.T) {
+	queues := map[topology.WorkerID]int{
+		1: 0,   // drained
+		2: 50,  // half backlogged
+		3: 100, // straggler
+	}
+	weights, imbalanced := autoWeights(queues, 8)
+	if !imbalanced {
+		t.Fatal("backlog present but not reported imbalanced")
+	}
+	if weights[3] != 1 {
+		t.Fatalf("straggler weight = %d, want 1", weights[3])
+	}
+	if weights[1] != 8 {
+		t.Fatalf("drained worker weight = %d, want MaxWeight 8", weights[1])
+	}
+	if weights[2] <= weights[3] || weights[2] >= weights[1] {
+		t.Fatalf("mid-backlog weight %d not between straggler %d and drained %d",
+			weights[2], weights[3], weights[1])
+	}
+}
+
+func TestAutoWeightsMaxWeightCap(t *testing.T) {
+	queues := map[topology.WorkerID]int{1: 0, 2: 1000}
+	for _, max := range []uint16{1, 2, 3, 8, 64} {
+		weights, _ := autoWeights(queues, max)
+		for w, got := range weights {
+			if got < 1 || got > max {
+				t.Fatalf("maxWeight %d: worker %d weight %d outside [1, %d]", max, w, got, max)
+			}
+		}
+		if weights[1] != max {
+			t.Fatalf("maxWeight %d: drained worker weight %d, want cap", max, weights[1])
+		}
+	}
+}
+
+func TestAutoWeightsUnknownStatsStayNeutral(t *testing.T) {
+	queues := map[topology.WorkerID]int{
+		1: -1, // no statistics yet
+		2: 40,
+	}
+	weights, imbalanced := autoWeights(queues, 8)
+	if !imbalanced {
+		t.Fatal("backlog present but not reported imbalanced")
+	}
+	if weights[1] != 1 {
+		t.Fatalf("unknown-stats worker weight = %d, want neutral 1", weights[1])
+	}
+}
+
+func TestAutoWeightsAllDrainedNothingToDo(t *testing.T) {
+	queues := map[topology.WorkerID]int{1: 0, 2: 0, 3: 0}
+	weights, imbalanced := autoWeights(queues, 8)
+	if imbalanced {
+		t.Fatalf("no backlog but imbalanced (weights %v)", weights)
+	}
+	for w, got := range weights {
+		if got != 1 {
+			t.Fatalf("idle worker %d weight = %d, want 1", w, got)
+		}
+	}
+}
+
+func TestAutoWeightsZeroMaxCoercedToOne(t *testing.T) {
+	weights, _ := autoWeights(map[topology.WorkerID]int{1: 0, 2: 10}, 0)
+	for w, got := range weights {
+		if got != 1 {
+			t.Fatalf("maxWeight 0: worker %d weight %d, want 1", w, got)
+		}
+	}
+}

@@ -184,10 +184,16 @@ func (c *Controller) SyncTopology(name string) {
 	ts.ready = true
 	c.mu.Unlock()
 
+	// A managed rescale (updater app) pauses the topology: while the
+	// marker is up, the updater owns the §3.5 choreography — state moves
+	// by snapshot/restore rather than SIGNAL flush, and sources stay
+	// deactivated until migration finishes.
+	paused := c.topologyPaused(name)
+
 	if ctlGen < l.Generation {
 		// Stable update (§3.5): flush stateful nodes whose instance sets
 		// changed, then refresh routing state everywhere, then activate.
-		if prevPhysical != nil && prevLogical != nil {
+		if prevPhysical != nil && prevLogical != nil && !paused {
 			flushed := false
 			for _, node := range l.Nodes {
 				if !node.Stateful {
@@ -212,7 +218,9 @@ func (c *Controller) SyncTopology(name string) {
 			_ = c.SendControlTuple(name, as.Worker,
 				control.Encode(control.KindRouting, control.Routing{Routes: routes}))
 		}
-		c.activateSources(name, l, p)
+		if !paused {
+			c.activateSources(name, l, p)
+		}
 		c.mu.Lock()
 		ts.ctlGen = l.Generation
 		c.mu.Unlock()
@@ -241,8 +249,17 @@ func (c *Controller) SyncTopology(name string) {
 				}
 			}
 		}
-		c.activateSources(name, l, p)
+		if !paused {
+			c.activateSources(name, l, p)
+		}
 	}
+}
+
+// topologyPaused reports whether a managed rescale holds the topology's
+// pause marker.
+func (c *Controller) topologyPaused(name string) bool {
+	_, _, err := c.kv.Get(paths.Paused(name))
+	return err == nil
 }
 
 // invalidateRule drops a removed rule from every topology's reconciliation

@@ -1,0 +1,25 @@
+package controller
+
+import "time"
+
+// pollInterval paces condition re-checks in awaitCond: fine-grained enough
+// that convergence waits add at most ~1 ms of latency (the fixed 20 ms
+// sleeps it replaced dominated reconfiguration time in tight harnesses).
+const pollInterval = time.Millisecond
+
+// awaitCond polls cond until it reports true or the timeout elapses,
+// returning whether the condition was met. It is the shared condition-wait
+// used by control plane applications awaiting asynchronous convergence
+// (debug worker attachment, drain completion, readiness markers).
+func awaitCond(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(pollInterval)
+	}
+}

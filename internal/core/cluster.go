@@ -111,6 +111,10 @@ type Cluster struct {
 	fabric   *tunnelFabric
 	netem    *chaos.Netem
 	stormNet *storm.Network
+	updater  *controller.Updater
+
+	rescalePause *observe.Histogram
+	rescaleKeys  *observe.Counter
 }
 
 // NewCluster builds and starts a cluster from the given options. A plain
@@ -155,6 +159,12 @@ func NewCluster(options ...Option) (*Cluster, error) {
 		c.Obs.Collector = controller.NewMetricsCollector()
 		c.Obs.Collector.Register(c.Obs.Registry)
 		ctl.AddApp(c.Obs.Collector)
+		c.updater = controller.NewUpdater()
+		ctl.AddApp(c.updater)
+		c.rescalePause = c.Obs.Registry.Histogram("typhoon_rescale_pause_seconds",
+			"Source pause duration of managed stable rescales.", nil, nil)
+		c.rescaleKeys = c.Obs.Registry.Counter("typhoon_rescale_keys_migrated_total",
+			"State entries migrated by managed stable rescales.", nil)
 		if err := ctl.Start(); err != nil {
 			return nil, err
 		}
@@ -320,6 +330,29 @@ func (c *Cluster) WorkersOf(topo, node string) []*worker.Worker {
 		}
 	}
 	return out
+}
+
+// Rescale changes the parallelism of one node of a running topology with
+// the stable update protocol (§3.5): sources are paused, in-flight tuples
+// drained, keyed state snapshotted and re-partitioned onto the new
+// instance set, flow rules reprogrammed, and sources re-activated. It
+// blocks until the rescale completes (ctx bounds the wait) and returns the
+// protocol's report. Typhoon mode only.
+func (c *Cluster) Rescale(ctx context.Context, topo, node string, parallelism int) (*controller.RescaleReport, error) {
+	if c.updater == nil || c.Controller == nil {
+		return nil, fmt.Errorf("core: rescale requires the Typhoon SDN control plane")
+	}
+	timeout := 30 * time.Second
+	if dl, ok := ctx.Deadline(); ok {
+		timeout = time.Until(dl)
+	}
+	report, err := c.updater.Rescale(c.Controller, topo, node, parallelism, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c.rescalePause.Observe(report.Pause.Seconds())
+	c.rescaleKeys.Add(uint64(report.KeysMigrated))
+	return report, nil
 }
 
 // StopCtx tears the cluster down, abandoning the wait (but not the

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"encoding/json"
 	"net/http"
 	"strconv"
 	"time"
@@ -120,12 +122,53 @@ func (c *Cluster) ObserveHandler() http.Handler {
 	if c.Chaos != nil {
 		chaosHandler = c.Chaos.Handler()
 	}
+	var rescaleHandler http.Handler
+	if c.updater != nil {
+		rescaleHandler = http.HandlerFunc(c.serveRescale)
+	}
 	return observe.Handler(observe.ServerOptions{
 		Registry:    c.Obs.Registry,
 		Traces:      c.Obs.Traces,
 		Top:         c.TopSnapshot,
 		Poll:        poll,
 		Chaos:       chaosHandler,
+		Rescale:     rescaleHandler,
 		EnablePprof: true,
 	})
+}
+
+// serveRescale executes a managed stable rescale over HTTP: POST with
+// topo, node, and parallelism query parameters; the response is the
+// protocol's JSON report. An optional timeout parameter (Go duration)
+// bounds the wait.
+func (c *Cluster) serveRescale(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	topo, node := q.Get("topo"), q.Get("node")
+	parallelism, err := strconv.Atoi(q.Get("parallelism"))
+	if topo == "" || node == "" || err != nil || parallelism < 1 {
+		http.Error(w, "topo, node, and parallelism >= 1 required", http.StatusBadRequest)
+		return
+	}
+	timeout := 30 * time.Second
+	if tv := q.Get("timeout"); tv != "" {
+		d, perr := time.ParseDuration(tv)
+		if perr != nil || d <= 0 {
+			http.Error(w, "bad timeout", http.StatusBadRequest)
+			return
+		}
+		timeout = d
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	report, err := c.Rescale(ctx, topo, node, parallelism)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(report)
 }

@@ -136,6 +136,8 @@ func (m *Manager) Kill(name string) error {
 		}
 	}
 	_ = m.kv.Delete(paths.NetReady(name))
+	_ = m.kv.Delete(paths.Activated(name))
+	_ = m.kv.Delete(paths.Paused(name))
 	return nil
 }
 

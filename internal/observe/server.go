@@ -59,6 +59,9 @@ type ServerOptions struct {
 	// Chaos, when non-nil, is mounted at /api/chaos (fault injection
 	// over HTTP; GET lists injections, POST applies a fault spec).
 	Chaos http.Handler
+	// Rescale, when non-nil, is mounted at /api/rescale (POST triggers a
+	// managed stable rescale and returns its report).
+	Rescale http.Handler
 	// EnablePprof adds net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 }
@@ -70,6 +73,7 @@ type ServerOptions struct {
 //	/api/top          live cluster table (switches + workers)
 //	/api/traces?n=N   recent completed tuple-path traces
 //	/api/chaos        fault injection (GET log, POST spec)
+//	/api/rescale      managed stable rescale (POST topo/node/parallelism)
 //	/debug/pprof/*    standard Go profiling endpoints
 func Handler(o ServerOptions) http.Handler {
 	mux := http.NewServeMux()
@@ -98,6 +102,9 @@ func Handler(o ServerOptions) http.Handler {
 	}
 	if o.Chaos != nil {
 		mux.Handle("/api/chaos", o.Chaos)
+	}
+	if o.Rescale != nil {
+		mux.Handle("/api/rescale", o.Rescale)
 	}
 	if o.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -6,10 +6,13 @@
 //	/agents/<host>                JSON agent registration (agents → manager, controller)
 //	/heartbeats/<name>/<worker>   unix-nano timestamp     (agents → manager fault monitor)
 //	/status/<name>/netready       generation the SDN controller finished programming
+//	/status/<name>/activated      baseline activation marker (manager → agents)
+//	/status/<name>/paused         managed-rescale pause marker (updater app → controller)
 package paths
 
 import (
 	"strconv"
+	"strings"
 
 	"typhoon/internal/topology"
 )
@@ -52,3 +55,83 @@ func NetReady(name string) string { return Status + "/" + name + "/netready" }
 // Activated returns the activation marker of one topology (baseline mode:
 // sources stay throttled until the manager activates the topology).
 func Activated(name string) string { return Status + "/" + name + "/activated" }
+
+// Paused returns the managed-rescale pause marker of one topology. While
+// present, the SDN controller's reconciliation neither activates sources
+// nor injects SIGNAL flushes: the updater app owns the stable-update
+// choreography (§3.5) until it removes the marker.
+func Paused(name string) string { return Status + "/" + name + "/paused" }
+
+// ValidName reports whether a name is usable as one path element: non-empty
+// and free of the separator. Constructors do not validate (callers pass
+// compile-time names); parsers reject anything a valid constructor could
+// not have produced.
+func ValidName(name string) bool {
+	return name != "" && !strings.Contains(name, "/")
+}
+
+// SplitTopology parses a path under Topologies into the topology name and
+// the remaining kind ("logical", "physical", or "" for the subtree root).
+// It rejects paths outside the Topologies subtree and malformed names.
+func SplitTopology(p string) (name, kind string, ok bool) {
+	rest, found := strings.CutPrefix(p, Topologies+"/")
+	if !found {
+		return "", "", false
+	}
+	name, kind, _ = strings.Cut(rest, "/")
+	if !ValidName(name) {
+		return "", "", false
+	}
+	return name, kind, true
+}
+
+// TopologyName extracts the topology name from any path under Topologies,
+// or "" when the path lies outside the subtree.
+func TopologyName(p string) string {
+	name, _, ok := SplitTopology(p)
+	if !ok {
+		return ""
+	}
+	return name
+}
+
+// ParseAgent parses an agent registration path back into the host name.
+func ParseAgent(p string) (host string, ok bool) {
+	rest, found := strings.CutPrefix(p, Agents+"/")
+	if !found || !ValidName(rest) {
+		return "", false
+	}
+	return rest, true
+}
+
+// ParseHeartbeat parses a heartbeat path back into its topology name and
+// worker ID, rejecting malformed keys.
+func ParseHeartbeat(p string) (name string, id topology.WorkerID, ok bool) {
+	rest, found := strings.CutPrefix(p, Heartbeats+"/")
+	if !found {
+		return "", 0, false
+	}
+	name, idPart, hasID := strings.Cut(rest, "/")
+	if !hasID || !ValidName(name) {
+		return "", 0, false
+	}
+	n, err := strconv.ParseUint(idPart, 10, 32)
+	if err != nil {
+		return "", 0, false
+	}
+	return name, topology.WorkerID(n), true
+}
+
+// ParseStatus parses a status path into its topology name and marker kind
+// ("netready", "activated", "paused").
+func ParseStatus(p string) (name, marker string, ok bool) {
+	rest, found := strings.CutPrefix(p, Status+"/")
+	if !found {
+		return "", "", false
+	}
+	name, marker, hasMarker := strings.Cut(rest, "/")
+	if !hasMarker || !ValidName(name) || !ValidName(marker) {
+		return "", "", false
+	}
+	return name, marker, true
+}

@@ -1,0 +1,144 @@
+package paths
+
+import (
+	"testing"
+
+	"typhoon/internal/topology"
+)
+
+func TestTopologyConstructorsRoundTrip(t *testing.T) {
+	cases := []struct {
+		path string
+		kind string
+	}{
+		{Logical("wordcount"), "logical"},
+		{Physical("wordcount"), "physical"},
+		{TopologyPrefix("wordcount"), ""},
+	}
+	for _, c := range cases {
+		name, kind, ok := SplitTopology(c.path)
+		if !ok || name != "wordcount" || kind != c.kind {
+			t.Errorf("SplitTopology(%q) = (%q, %q, %v), want (wordcount, %q, true)",
+				c.path, name, kind, ok, c.kind)
+		}
+		if got := TopologyName(c.path); got != "wordcount" {
+			t.Errorf("TopologyName(%q) = %q", c.path, got)
+		}
+	}
+}
+
+func TestSplitTopologyRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"/",
+		"/topologies",        // subtree root, no name
+		"/topologies/",       // empty name
+		"/topologies//extra", // empty name with kind
+		"/status/t/netready", // wrong subtree
+		"/agents/h1",
+		"topologies/t/logical", // missing leading slash
+		"/topologiesX/t/logical",
+	}
+	for _, p := range bad {
+		if name, kind, ok := SplitTopology(p); ok {
+			t.Errorf("SplitTopology(%q) accepted as (%q, %q)", p, name, kind)
+		}
+		if got := TopologyName(p); got != "" {
+			t.Errorf("TopologyName(%q) = %q, want empty", p, got)
+		}
+	}
+}
+
+func TestAgentRoundTrip(t *testing.T) {
+	host, ok := ParseAgent(Agent("host-7"))
+	if !ok || host != "host-7" {
+		t.Fatalf("ParseAgent(Agent(host-7)) = (%q, %v)", host, ok)
+	}
+	bad := []string{
+		"",
+		"/agents",
+		"/agents/",
+		"/agents/h1/extra", // nested path is not a registration
+		"/heartbeats/t/1",
+		"agents/h1",
+	}
+	for _, p := range bad {
+		if host, ok := ParseAgent(p); ok {
+			t.Errorf("ParseAgent(%q) accepted as %q", p, host)
+		}
+	}
+}
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	for _, id := range []topology.WorkerID{0, 1, 42, 1<<32 - 1} {
+		name, got, ok := ParseHeartbeat(Heartbeat("wc", id))
+		if !ok || name != "wc" || got != id {
+			t.Fatalf("ParseHeartbeat(Heartbeat(wc, %d)) = (%q, %d, %v)", id, name, got, ok)
+		}
+	}
+	bad := []string{
+		"",
+		"/heartbeats",
+		"/heartbeats/wc",            // no worker ID
+		"/heartbeats/wc/",           // empty worker ID
+		"/heartbeats//3",            // empty topology name
+		"/heartbeats/wc/abc",        // non-numeric ID
+		"/heartbeats/wc/-1",         // negative ID
+		"/heartbeats/wc/4294967296", // overflows uint32
+		"/status/wc/3",
+		"heartbeats/wc/3",
+	}
+	for _, p := range bad {
+		if name, id, ok := ParseHeartbeat(p); ok {
+			t.Errorf("ParseHeartbeat(%q) accepted as (%q, %d)", p, name, id)
+		}
+	}
+	if HeartbeatPrefix("wc") != "/heartbeats/wc" {
+		t.Fatalf("HeartbeatPrefix = %q", HeartbeatPrefix("wc"))
+	}
+}
+
+func TestStatusRoundTrip(t *testing.T) {
+	cases := []struct {
+		path   string
+		marker string
+	}{
+		{NetReady("wc"), "netready"},
+		{Activated("wc"), "activated"},
+		{Paused("wc"), "paused"},
+	}
+	for _, c := range cases {
+		name, marker, ok := ParseStatus(c.path)
+		if !ok || name != "wc" || marker != c.marker {
+			t.Errorf("ParseStatus(%q) = (%q, %q, %v), want (wc, %q, true)",
+				c.path, name, marker, ok, c.marker)
+		}
+	}
+	bad := []string{
+		"",
+		"/status",
+		"/status/wc",      // no marker
+		"/status/wc/",     // empty marker
+		"/status//paused", // empty name
+		"/topologies/wc/logical",
+		"status/wc/paused",
+	}
+	for _, p := range bad {
+		if name, marker, ok := ParseStatus(p); ok {
+			t.Errorf("ParseStatus(%q) accepted as (%q, %q)", p, name, marker)
+		}
+	}
+}
+
+func TestValidName(t *testing.T) {
+	for _, good := range []string{"a", "wordcount", "node-1", "x.y"} {
+		if !ValidName(good) {
+			t.Errorf("ValidName(%q) = false", good)
+		}
+	}
+	for _, bad := range []string{"", "a/b", "/", "a/"} {
+		if ValidName(bad) {
+			t.Errorf("ValidName(%q) = true", bad)
+		}
+	}
+}

@@ -90,7 +90,12 @@ func (r *Router) Route(t tuple.Tuple) []Destination {
 			s.counter++
 			out = append(out, Destination{Workers: s.nextHops[idx : idx+1]})
 		case topology.Fields:
-			idx := tuple.HashFields(t, s.edge.HashFields) % uint64(n)
+			// Two-level key routing (§3.5): hash → partition → owner via
+			// rendezvous hashing, so rescaling the destination node moves
+			// only the partitions whose owner changed and the controller's
+			// updater app can compute exactly which state entries migrate.
+			part := PartitionOf(tuple.HashFields(t, s.edge.HashFields))
+			idx := OwnerIndex(part, n)
 			out = append(out, Destination{Workers: s.nextHops[idx : idx+1]})
 		case topology.Global:
 			out = append(out, Destination{Workers: s.nextHops[:1]})

@@ -1,0 +1,105 @@
+package worker
+
+import (
+	"fmt"
+	"testing"
+
+	"typhoon/internal/tuple"
+)
+
+func TestPartitionOfKeyInRange(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		p := PartitionOfKey(fmt.Sprintf("key-%d", i))
+		if p >= NumPartitions {
+			t.Fatalf("partition %d out of range", p)
+		}
+	}
+}
+
+func TestPartitionOfKeyMatchesFieldHash(t *testing.T) {
+	// The snapshot redistribution path must agree with the router's Fields
+	// routing for single-field keys, or migrated state lands on the wrong
+	// instance.
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		tu := tuple.New(tuple.String(key))
+		routed := PartitionOf(tuple.HashFields(tu, []int{0}))
+		if got := PartitionOfKey(key); got != routed {
+			t.Fatalf("PartitionOfKey(%q) = %d, router hashes to %d", key, got, routed)
+		}
+	}
+}
+
+func TestOwnerIndexBounds(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		for p := uint32(0); p < NumPartitions; p++ {
+			idx := OwnerIndex(p, n)
+			if idx < 0 || idx >= n {
+				t.Fatalf("OwnerIndex(%d, %d) = %d out of range", p, n, idx)
+			}
+		}
+	}
+}
+
+func TestOwnerIndexDeterministic(t *testing.T) {
+	for p := uint32(0); p < NumPartitions; p++ {
+		if OwnerIndex(p, 4) != OwnerIndex(p, 4) {
+			t.Fatalf("OwnerIndex(%d, 4) unstable", p)
+		}
+	}
+}
+
+func TestOwnerIndexSpreadsPartitions(t *testing.T) {
+	// Rendezvous hashing over 64 partitions must use every instance of
+	// reasonable parallelisms — an unused instance would silently halve
+	// effective capacity.
+	for n := 2; n <= 6; n++ {
+		used := make(map[int]bool)
+		for p := uint32(0); p < NumPartitions; p++ {
+			used[OwnerIndex(p, n)] = true
+		}
+		if len(used) != n {
+			t.Fatalf("parallelism %d: only %d instances own partitions", n, len(used))
+		}
+	}
+}
+
+func TestOwnerIndexMinimalMovement(t *testing.T) {
+	// The rendezvous property: growing n to n+1 only moves partitions onto
+	// the new instance — no partition shuffles between surviving instances.
+	for n := 1; n <= 7; n++ {
+		moved, toNew := 0, 0
+		for p := uint32(0); p < NumPartitions; p++ {
+			before, after := OwnerIndex(p, n), OwnerIndex(p, n+1)
+			if before != after {
+				moved++
+				if after == n {
+					toNew++
+				}
+			}
+		}
+		if moved != toNew {
+			t.Fatalf("scale %d->%d: %d partitions moved, only %d to the new instance",
+				n, n+1, moved, toNew)
+		}
+	}
+}
+
+func TestKeyRangeContains(t *testing.T) {
+	full := FullKeyRange()
+	if full.From != 0 || full.To != NumPartitions {
+		t.Fatalf("FullKeyRange = %+v", full)
+	}
+	for p := uint32(0); p < NumPartitions; p++ {
+		if !full.Contains(p) {
+			t.Fatalf("full range misses partition %d", p)
+		}
+	}
+	r := KeyRange{From: 8, To: 16}
+	for p := uint32(0); p < NumPartitions; p++ {
+		want := p >= 8 && p < 16
+		if r.Contains(p) != want {
+			t.Fatalf("KeyRange[8,16).Contains(%d) = %v", p, !want)
+		}
+	}
+}

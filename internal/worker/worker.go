@@ -536,12 +536,48 @@ func (w *Worker) handleControl(t tuple.Tuple) {
 		w.active.Store(true)
 	case control.KindDeactivate:
 		w.active.Store(false)
+	case control.KindSnapshotReq:
+		var req control.SnapshotReq
+		if control.DecodePayload(t, &req) == nil {
+			w.sendSnapshot(req)
+		}
+	case control.KindRestore:
+		var r control.Restore
+		if control.DecodePayload(t, &r) == nil {
+			w.restoreState(r)
+		}
 	default:
 		// Transport-level knobs (BATCH_SIZE today, future kinds) go to the
 		// transport whole: it decodes what it understands and ignores the
 		// rest, so new control-tuple kinds never widen the interface.
 		_ = w.tr.Reconfigure(t)
 	}
+}
+
+// sendSnapshot answers a SNAPSHOT_REQ (§3.5 state migration). Both
+// handlers run on the processing goroutine, so components never see
+// concurrent Execute/Snapshot/Restore calls. Non-stateful logic answers
+// with an empty snapshot so the updater's collection never hangs.
+func (w *Worker) sendSnapshot(req control.SnapshotReq) {
+	resp := control.SnapshotResp{Token: req.Token, Worker: w.cfg.ID, Node: w.cfg.Node}
+	if sc, ok := w.comp.(StatefulComponent); ok {
+		state, err := sc.SnapshotState(w.ctx, KeyRange{From: req.From, To: req.To})
+		if err == nil {
+			resp.State = state
+		}
+	}
+	_ = w.tr.SendControl(control.Encode(control.KindSnapshotResp, resp))
+	_ = w.tr.Flush()
+}
+
+// restoreState applies a RESTORE (replace semantics) and acknowledges it.
+func (w *Worker) restoreState(r control.Restore) {
+	if sc, ok := w.comp.(StatefulComponent); ok {
+		_ = sc.RestoreState(w.ctx, r.State)
+	}
+	_ = w.tr.SendControl(control.Encode(control.KindRestoreResp,
+		control.RestoreResp{Token: r.Token, Worker: w.cfg.ID}))
+	_ = w.tr.Flush()
 }
 
 // pushStats is the worker statistics reporter of Fig 4: unsolicited

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Rescale benchmark: run the managed stable rescale end to end and emit
+# BENCH_rescale.json (pause time + throughput dip across the rescale) for
+# the CI artifact upload. Extra arguments are passed to `go test`.
+set -eux
+cd "$(dirname "$0")/.."
+BENCH_JSON="${BENCH_JSON:-BENCH_rescale.json}" \
+	go test -run '^$' -bench '^BenchmarkRescale$' -benchtime 1x "$@" .
+test -s "${BENCH_JSON:-BENCH_rescale.json}"

@@ -73,6 +73,12 @@ type (
 	Context = worker.Context
 	// SharedEnv carries external services into components.
 	SharedEnv = worker.SharedEnv
+	// StatefulComponent is logic whose keyed state migrates during
+	// managed stable rescales (§3.5).
+	StatefulComponent = worker.StatefulComponent
+	// KeyRange is a half-open partition interval [From, To) passed to
+	// StatefulComponent snapshots.
+	KeyRange = worker.KeyRange
 )
 
 // RegisterLogic installs a computation-logic factory under a name that
@@ -209,6 +215,9 @@ type (
 	// MetricsCollector caches worker statistics for the observability
 	// layer (a cluster adds one automatically in Typhoon mode).
 	MetricsCollector = controller.MetricsCollector
+	// RescaleReport describes one completed managed stable rescale
+	// (§3.5), as returned by Cluster.Rescale.
+	RescaleReport = controller.RescaleReport
 )
 
 // App constructors.
