@@ -19,7 +19,6 @@ import (
 	"typhoon/internal/experiments"
 	"typhoon/internal/openflow"
 	"typhoon/internal/packet"
-	"typhoon/internal/switchfabric"
 	"typhoon/internal/topology"
 	"typhoon/internal/tuple"
 	"typhoon/internal/worker"
@@ -216,80 +215,6 @@ func BenchmarkTupleCodec(b *testing.B) {
 			}
 		}
 	})
-}
-
-// BenchmarkPacketizer measures frame multiplexing in the Typhoon I/O layer.
-func BenchmarkPacketizer(b *testing.B) {
-	src := packet.WorkerAddr(1, 1)
-	dst := packet.WorkerAddr(1, 2)
-	enc := tuple.Encode(tuple.New(tuple.String("payload"), tuple.Int(7)))
-	p := packet.NewPacketizer(src, 0)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		p.Add(dst, enc)
-		if i%100 == 99 {
-			p.FlushAll()
-		}
-	}
-}
-
-// BenchmarkSwitchForwarding measures the software switch data path:
-// ingress → flow lookup → egress ring.
-func BenchmarkSwitchForwarding(b *testing.B) {
-	sw := switchfabric.New("bench", 1, switchfabric.Options{RingCapacity: 8192})
-	sw.Start()
-	defer sw.Stop()
-	a1, a2 := packet.WorkerAddr(1, 1), packet.WorkerAddr(1, 2)
-	p1, _ := sw.AddPort("w1", a1)
-	p2, _ := sw.AddPort("w2", a2)
-	_ = sw.ApplyFlowMod(openflow.FlowMod{
-		Command: openflow.FlowAdd, Priority: 100,
-		Match: openflow.Match{
-			Fields: openflow.FieldInPort | openflow.FieldDlSrc | openflow.FieldDlDst | openflow.FieldEtherType,
-			InPort: p1.No(), DlSrc: a1, DlDst: a2, EtherType: packet.EtherType,
-		},
-		Actions: []openflow.Action{openflow.Output(p2.No())},
-	})
-	frame := packet.EncodeTuples(a2, a1, [][]byte{tuple.Encode(tuple.New(tuple.Int(1)))})
-	// Drain the egress port continuously; the measurement below counts
-	// frames processed through the pipeline (ingress + lookup + egress),
-	// tolerating egress-ring drops under scheduler pressure.
-	stop := make(chan struct{})
-	drained := make(chan struct{})
-	go func() {
-		defer close(drained)
-		for {
-			if _, err := p2.ReadBatch(nil, 256, 50*time.Millisecond); err != nil {
-				return
-			}
-			select {
-			case <-stop:
-				return
-			default:
-			}
-		}
-	}()
-	processed := func() uint64 {
-		for _, ps := range sw.PortStatsSnapshot() {
-			if ps.PortNo == p1.No() {
-				return ps.RxPackets
-			}
-		}
-		return 0
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		for !p1.WriteFrame(frame) {
-			time.Sleep(10 * time.Microsecond)
-		}
-	}
-	deadline := time.Now().Add(30 * time.Second)
-	for processed() < uint64(b.N) && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
-	b.StopTimer()
-	close(stop)
-	<-drained
 }
 
 // BenchmarkOpenFlowCodec measures control-plane message encode/decode.

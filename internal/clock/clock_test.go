@@ -1,0 +1,42 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCoarseTracksWallClock(t *testing.T) {
+	first := CoarseUnixNano()
+	if first == 0 {
+		t.Fatal("coarse clock not initialised")
+	}
+	// The cached value must stay within a loose bound of the real clock and
+	// advance as the ticker refreshes it.
+	deadline := time.Now().Add(2 * time.Second)
+	for CoarseUnixNano() == first {
+		if time.Now().After(deadline) {
+			t.Fatal("coarse clock never advanced")
+		}
+		time.Sleep(CoarseGranularity)
+	}
+	skew := time.Now().UnixNano() - CoarseUnixNano()
+	if skew < 0 {
+		t.Fatalf("coarse clock ahead of wall clock by %d ns", -skew)
+	}
+	if time.Duration(skew) > time.Second {
+		t.Fatalf("coarse clock lags wall clock by %v", time.Duration(skew))
+	}
+}
+
+func TestCoarseNow(t *testing.T) {
+	if d := time.Since(CoarseNow()); d < 0 || d > time.Second {
+		t.Fatalf("CoarseNow skew %v", d)
+	}
+}
+
+func TestCoarseAllocFree(t *testing.T) {
+	CoarseUnixNano() // warm
+	if n := testing.AllocsPerRun(1000, func() { CoarseUnixNano() }); n != 0 {
+		t.Fatalf("CoarseUnixNano allocates %.1f per call", n)
+	}
+}

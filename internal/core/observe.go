@@ -61,7 +61,10 @@ func (o *Observability) registerSwitch(sw *switchfabric.Switch) {
 		counter("typhoon_switch_tx_frames_total", "Frames delivered toward attached devices.", cnt.TxFrames)
 		counter("typhoon_switch_forwarded_frames_total", "Frame deliveries made by the pipeline.", cnt.Forwarded)
 		counter("typhoon_switch_replicated_frames_total", "Extra copies beyond the first delivery (switch-level fan-out).", cnt.Replicated)
-		counter("typhoon_switch_dropped_frames_total", "Frames lost to table misses and full rings.", cnt.Dropped)
+		counter("typhoon_switch_dropped_frames_total", "Frames lost to table misses, malformed headers and full rings.", cnt.Dropped)
+		counter("typhoon_switch_malformed_frames_total", "Frames rejected before lookup (short or corrupt header).", cnt.Malformed)
+		counter("typhoon_switch_microflow_hits_total", "Frames forwarded via the microflow exact-match cache.", cnt.MicroflowHits)
+		counter("typhoon_switch_microflow_misses_total", "Frames that fell back to the full flow-table lookup.", cnt.MicroflowMisses)
 		ports := sw.Ports()
 		emit(observe.Sample{Name: "typhoon_switch_flow_rules", Kind: observe.KindGauge,
 			Help: "Installed flow rules.", Labels: host, Value: float64(sw.RuleCount())})

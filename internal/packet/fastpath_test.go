@@ -1,0 +1,198 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPacketizerRoundTripUnderScratchReuse drives mixed small and oversized
+// tuples through one encode scratch buffer that is overwritten after every
+// Add — the exact reuse pattern of the worker transport — and verifies the
+// byte-exact payloads survive segmentation and reassembly.
+func TestPacketizerRoundTripUnderScratchReuse(t *testing.T) {
+	src := WorkerAddr(1, 1)
+	dst := WorkerAddr(1, 2)
+	p := NewPacketizer(src, 128)
+	d := NewDepacketizer()
+
+	want := make([][]byte, 0, 64)
+	scratch := make([]byte, 0, 1024)
+	var frames [][]byte
+	for i := 0; i < 64; i++ {
+		size := 16
+		if i%5 == 0 {
+			size = 300 // forces segmentation at maxPayload 128
+		}
+		scratch = scratch[:0]
+		for j := 0; j < size; j++ {
+			scratch = append(scratch, byte(i), byte(j))
+		}
+		cp := make([]byte, len(scratch))
+		copy(cp, scratch)
+		want = append(want, cp)
+		frames = append(frames, p.Add(dst, scratch)...)
+		// Poison the scratch to prove Add copied it.
+		for j := range scratch {
+			scratch[j] = 0xFF
+		}
+	}
+	frames = append(frames, p.FlushAll()...)
+
+	var got [][]byte
+	for _, fr := range frames {
+		ins, err := d.Feed(fr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range ins {
+			if in.Src != src || in.Dst != dst {
+				t.Fatalf("addresses %v -> %v", in.Src, in.Dst)
+			}
+			cp := make([]byte, len(in.Data))
+			copy(cp, in.Data)
+			got = append(got, cp)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round-tripped %d tuples, want %d", len(got), len(want))
+	}
+	// Multiplexed tuples keep order per destination; segmented ones are
+	// emitted immediately. Compare as multisets keyed by content.
+	seen := make(map[string]int)
+	for _, w := range want {
+		seen[string(w)]++
+	}
+	for _, g := range got {
+		seen[string(g)]--
+	}
+	for k, v := range seen {
+		if v != 0 {
+			t.Fatalf("tuple %q count off by %d", k[:min(len(k), 8)], v)
+		}
+	}
+}
+
+// TestPacketizerReadySliceIsReused documents that Add/FlushAll return an
+// internal scratch: the contents must be consumed before the next call.
+func TestPacketizerReadySliceIsReused(t *testing.T) {
+	p := NewPacketizer(WorkerAddr(1, 1), 64)
+	big := bytes.Repeat([]byte{1}, 120)
+	first := p.Add(WorkerAddr(1, 2), big)
+	if len(first) < 2 {
+		t.Fatalf("expected a segment train, got %d frames", len(first))
+	}
+	firstFrame := first[0]
+	second := p.Add(WorkerAddr(1, 2), big)
+	if len(second) < 2 {
+		t.Fatalf("expected a segment train, got %d frames", len(second))
+	}
+	if &first[0] != &second[0] {
+		t.Fatal("ready slice was reallocated; expected reuse of the same backing array")
+	}
+	_ = firstFrame
+}
+
+// TestDepacketizerCompactsCompletedReassemblies verifies the eviction FIFO
+// shrinks when reassemblies complete, so long-lived transports do not
+// accumulate an unbounded tail of dead keys (the pre-fix behaviour).
+func TestDepacketizerCompactsCompletedReassemblies(t *testing.T) {
+	src := WorkerAddr(1, 1)
+	dst := WorkerAddr(1, 2)
+	p := NewPacketizer(src, 64)
+	d := NewDepacketizer()
+	big := bytes.Repeat([]byte{7}, 500)
+	for i := 0; i < 100; i++ {
+		delivered := 0
+		for _, fr := range p.Add(dst, big) {
+			ins, err := d.Feed(fr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			delivered += len(ins)
+		}
+		if delivered != 1 {
+			t.Fatalf("round %d delivered %d tuples", i, delivered)
+		}
+	}
+	if n := d.PendingReassemblies(); n != 0 {
+		t.Fatalf("%d reassemblies pending after completion", n)
+	}
+	if n := len(d.order); n != 0 {
+		t.Fatalf("eviction FIFO holds %d dead keys after completion", n)
+	}
+}
+
+// TestFrameBufPoolRecycles verifies Get/Put round-trips reuse capacity and
+// that undersized buffers are rejected.
+func TestFrameBufPoolRecycles(t *testing.T) {
+	// Drain pool state from other tests.
+	for i := 0; i < framePoolSize+1; i++ {
+		GetFrameBuf()
+	}
+	b := GetFrameBuf()
+	if cap(b) < frameBufCap {
+		t.Fatalf("pool buffer cap %d < %d", cap(b), frameBufCap)
+	}
+	b = append(b, 1, 2, 3)
+	PutFrameBuf(b)
+	b2 := GetFrameBuf()
+	if len(b2) != 0 {
+		t.Fatal("recycled buffer not reset to zero length")
+	}
+	if &b[:1][0] != &b2[:1][0] {
+		t.Fatal("recycled buffer not returned by next Get")
+	}
+	PutFrameBuf(make([]byte, 0, 16)) // too small: must be rejected
+	b3 := GetFrameBuf()
+	if cap(b3) < frameBufCap {
+		t.Fatalf("undersized buffer entered the pool (cap %d)", cap(b3))
+	}
+}
+
+// TestPacketizerSteadyStateAllocFree is the allocation regression guard for
+// the egress fast path: once the pool is warm, staging a tuple and flushing
+// a frame allocate nothing.
+func TestPacketizerSteadyStateAllocFree(t *testing.T) {
+	src := WorkerAddr(1, 1)
+	dst := WorkerAddr(1, 2)
+	p := NewPacketizer(src, 0)
+	enc := bytes.Repeat([]byte{9}, 64)
+	// Warm: populate the stage map, ready slice and buffer pool.
+	for i := 0; i < 4; i++ {
+		for _, fr := range p.FlushAll() {
+			PutFrameBuf(fr)
+		}
+		p.Add(dst, enc)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		p.Add(dst, enc)
+		for _, fr := range p.FlushAll() {
+			PutFrameBuf(fr)
+		}
+	}); n != 0 {
+		t.Fatalf("Add+FlushAll allocates %.2f per op in steady state", n)
+	}
+}
+
+// TestDepacketizerMultiplexedAllocFree guards the ingress fast path: feeding
+// a multiplexed frame yields tuples with zero allocations.
+func TestDepacketizerMultiplexedAllocFree(t *testing.T) {
+	src := WorkerAddr(1, 1)
+	dst := WorkerAddr(1, 2)
+	frame := EncodeTuples(dst, src, [][]byte{
+		bytes.Repeat([]byte{1}, 32),
+		bytes.Repeat([]byte{2}, 32),
+	})
+	d := NewDepacketizer()
+	if _, err := d.Feed(frame); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		ins, err := d.Feed(frame)
+		if err != nil || len(ins) != 2 {
+			t.Fatalf("feed: %d tuples, err=%v", len(ins), err)
+		}
+	}); n != 0 {
+		t.Fatalf("Feed allocates %.2f per multiplexed frame", n)
+	}
+}

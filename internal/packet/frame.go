@@ -78,7 +78,12 @@ func EncodeTuples(dst, src Addr, encoded [][]byte) []byte {
 
 // EncodeSegment builds a frame carrying one fragment of a segmented tuple.
 func EncodeSegment(dst, src Addr, seg Segment) []byte {
-	buf := make([]byte, 0, HeaderLen+segHeaderLen+len(seg.Data))
+	return appendSegment(make([]byte, 0, HeaderLen+segHeaderLen+len(seg.Data)), dst, src, seg)
+}
+
+// appendSegment appends a segment frame to buf (the zero-alloc path when buf
+// comes from the frame pool).
+func appendSegment(buf []byte, dst, src Addr, seg Segment) []byte {
 	buf = appendHeader(buf, dst, src, flagSegment)
 	buf = binary.LittleEndian.AppendUint32(buf, seg.ID)
 	buf = binary.LittleEndian.AppendUint16(buf, seg.Index)
@@ -121,7 +126,12 @@ func RewriteDst(raw []byte, dst Addr) bool {
 }
 
 // Decode parses raw into a Frame. Tuple and segment slices alias raw.
-func Decode(raw []byte) (Frame, error) {
+func Decode(raw []byte) (Frame, error) { return decodeInto(raw, nil) }
+
+// decodeInto is Decode with a caller-supplied tuple-slice scratch so the hot
+// receive path (Depacketizer.Feed) avoids growing a fresh Tuples slice per
+// frame.
+func decodeInto(raw []byte, tuples [][]byte) (Frame, error) {
 	if len(raw) < HeaderLen {
 		return Frame{}, ErrShortFrame
 	}
@@ -151,6 +161,7 @@ func Decode(raw []byte) (Frame, error) {
 	}
 	switch flags & flagKindMask {
 	case flagTuples:
+		f.Tuples = tuples
 		for len(body) > 0 {
 			if len(body) < 4 {
 				return Frame{}, ErrCorruptFrame

@@ -1,9 +1,19 @@
 package packet
 
+import "encoding/binary"
+
 // Packetizer converts encoded tuples into frames. It mirrors the egress
 // workflow of the southbound transport library: multiple small tuples with
 // the same source/destination are multiplexed into one frame; one tuple
 // larger than the payload budget is segmented across several frames.
+//
+// The fast path is allocation-free in steady state: each destination stages
+// directly into a pooled frame buffer (the tuple bytes are copied in as they
+// arrive, so callers may reuse their encoding scratch immediately), and the
+// slice of ready frames returned by Add/FlushAll is an internal scratch that
+// is only valid until the next call. Emitted frame buffers are handed off to
+// the caller, which hands them to the switch; they re-enter the pool at the
+// receiving transport (see pool.go for the ownership protocol).
 //
 // Packetizer is not safe for concurrent use; each worker sender owns one.
 type Packetizer struct {
@@ -12,13 +22,28 @@ type Packetizer struct {
 	nextSegID  uint32
 
 	// Per-destination staging buffers. A small topology has a handful of
-	// next hops, so a map of slices is fine.
+	// next hops, so a map of persistent stages is fine; stages are never
+	// deleted, their frame buffer is simply handed off on flush and lazily
+	// replaced from the pool on the next Add.
 	staged map[Addr]*stage
+
+	// ready is the reusable container returned by Add and FlushAll.
+	ready [][]byte
 }
 
 type stage struct {
-	tuples [][]byte
-	bytes  int // sum of 4+len(tuple) for staged tuples
+	// buf is the frame under construction: header followed by staged
+	// length-prefixed tuples. nil between a flush and the next Add.
+	buf   []byte
+	count int // staged tuples
+}
+
+// payloadLen reports the staged payload bytes (excluding the frame header).
+func (st *stage) payloadLen() int {
+	if st.buf == nil {
+		return 0
+	}
+	return len(st.buf) - HeaderLen
 }
 
 // NewPacketizer builds a Packetizer for a sender address. maxPayload <= 0
@@ -35,43 +60,45 @@ func (p *Packetizer) MaxPayload() int { return p.maxPayload }
 
 // Add stages one encoded tuple for dst and returns any frames that became
 // ready (a full multiplexed frame, or the complete segment train of an
-// oversized tuple).
+// oversized tuple). The tuple bytes are copied into the staging buffer, so
+// the caller may reuse encoded immediately. The returned slice is reused by
+// the next Add/FlushAll call; consume it before then.
 func (p *Packetizer) Add(dst Addr, encoded []byte) [][]byte {
+	p.ready = p.ready[:0]
 	need := 4 + len(encoded)
 	if need > p.maxPayload {
 		// Oversized: flush whatever is staged for this destination first so
 		// ordering is preserved, then emit the segment train.
-		frames := p.flushDst(dst, nil)
-		return append(frames, p.segment(dst, encoded)...)
+		p.flushDst(dst)
+		return p.segment(dst, encoded)
 	}
 	st := p.staged[dst]
 	if st == nil {
 		st = &stage{}
 		p.staged[dst] = st
 	}
-	var frames [][]byte
-	if st.bytes+need > p.maxPayload {
-		frames = p.flushDst(dst, frames)
-		st = p.staged[dst]
-		if st == nil {
-			st = &stage{}
-			p.staged[dst] = st
-		}
+	if st.payloadLen()+need > p.maxPayload {
+		p.flushDst(dst)
 	}
-	st.tuples = append(st.tuples, encoded)
-	st.bytes += need
-	return frames
+	if st.buf == nil {
+		st.buf = appendHeader(GetFrameBuf(), dst, p.src, flagTuples)
+	}
+	st.buf = binary.LittleEndian.AppendUint32(st.buf, uint32(len(encoded)))
+	st.buf = append(st.buf, encoded...)
+	st.count++
+	return p.ready
 }
 
-// FlushAll emits one frame per destination with staged tuples and clears
-// the staging area. The worker I/O layer calls this when the configurable
-// batch threshold is reached or a batch timer fires.
+// FlushAll emits one frame per destination with staged tuples. The worker
+// I/O layer calls this when the configurable batch threshold is reached or a
+// batch timer fires. The returned slice is reused by the next
+// Add/FlushAll call; consume it before then.
 func (p *Packetizer) FlushAll() [][]byte {
-	var frames [][]byte
+	p.ready = p.ready[:0]
 	for dst := range p.staged {
-		frames = p.flushDst(dst, frames)
+		p.flushDst(dst)
 	}
-	return frames
+	return p.ready
 }
 
 // Pending reports the number of tuples currently staged across all
@@ -79,40 +106,41 @@ func (p *Packetizer) FlushAll() [][]byte {
 func (p *Packetizer) Pending() int {
 	n := 0
 	for _, st := range p.staged {
-		n += len(st.tuples)
+		n += st.count
 	}
 	return n
 }
 
-func (p *Packetizer) flushDst(dst Addr, frames [][]byte) [][]byte {
+// flushDst moves dst's staged frame (if any) onto p.ready.
+func (p *Packetizer) flushDst(dst Addr) {
 	st := p.staged[dst]
-	if st == nil || len(st.tuples) == 0 {
-		return frames
+	if st == nil || st.count == 0 {
+		return
 	}
-	frames = append(frames, EncodeTuples(dst, p.src, st.tuples))
-	delete(p.staged, dst)
-	return frames
+	p.ready = append(p.ready, st.buf)
+	st.buf = nil
+	st.count = 0
 }
 
+// segment appends the fragment train of one oversized tuple to p.ready.
 func (p *Packetizer) segment(dst Addr, encoded []byte) [][]byte {
 	chunk := p.maxPayload - segHeaderLen
 	count := (len(encoded) + chunk - 1) / chunk
 	id := p.nextSegID
 	p.nextSegID++
-	frames := make([][]byte, 0, count)
 	for i := 0; i < count; i++ {
 		lo, hi := i*chunk, (i+1)*chunk
 		if hi > len(encoded) {
 			hi = len(encoded)
 		}
-		frames = append(frames, EncodeSegment(dst, p.src, Segment{
+		p.ready = append(p.ready, appendSegment(GetFrameBuf(), dst, p.src, Segment{
 			ID:    id,
 			Index: uint16(i),
 			Count: uint16(count),
 			Data:  encoded[lo:hi],
 		}))
 	}
-	return frames
+	return p.ready
 }
 
 // Incoming is one reassembled encoded tuple together with its source.
@@ -132,7 +160,11 @@ const maxReassemblies = 1024
 // library). It is not safe for concurrent use.
 type Depacketizer struct {
 	partial map[reasmKey]*reassembly
-	order   []reasmKey // FIFO for eviction
+	order   []reasmKey // FIFO of live reassemblies, for eviction
+
+	// out and tuples are the reusable containers of Feed's hot path.
+	out    []Incoming
+	tuples [][]byte
 }
 
 type reasmKey struct {
@@ -152,19 +184,21 @@ func NewDepacketizer() *Depacketizer {
 }
 
 // Feed consumes one raw frame and returns any complete tuples it yields.
-// Returned Data slices alias raw for multiplexed frames; callers that
-// retain them across Feed calls must copy.
+// Returned Data slices alias raw for multiplexed frames, and the returned
+// slice itself is reused by the next Feed call; callers that retain either
+// across Feed calls must copy.
 func (d *Depacketizer) Feed(raw []byte) ([]Incoming, error) {
-	f, err := Decode(raw)
+	f, err := decodeInto(raw, d.tuples[:0])
 	if err != nil {
 		return nil, err
 	}
+	d.out = d.out[:0]
 	if f.Segment == nil {
-		out := make([]Incoming, 0, len(f.Tuples))
+		d.tuples = f.Tuples // keep the (possibly regrown) scratch
 		for _, t := range f.Tuples {
-			out = append(out, Incoming{Src: f.Src, Dst: f.Dst, Data: t})
+			d.out = append(d.out, Incoming{Src: f.Src, Dst: f.Dst, Data: t})
 		}
-		return out, nil
+		return d.out, nil
 	}
 	seg := f.Segment
 	if seg.Count == 0 || seg.Index >= seg.Count {
@@ -201,23 +235,31 @@ func (d *Depacketizer) Feed(raw []byte) ([]Incoming, error) {
 		data = append(data, p...)
 	}
 	delete(d.partial, key)
-	return []Incoming{{Src: f.Src, Dst: r.dst, Data: data}}, nil
+	d.compact(key)
+	d.out = append(d.out, Incoming{Src: f.Src, Dst: r.dst, Data: data})
+	return d.out, nil
 }
 
 // PendingReassemblies reports in-flight segment reassembly count.
 func (d *Depacketizer) PendingReassemblies() int { return len(d.partial) }
+
+// compact removes a completed reassembly's key from the eviction FIFO so
+// order cannot grow past maxReassemblies plus the map population: without
+// this, completed entries lingered in the slice until they aged to the
+// front, and a long-lived transport could accumulate an unbounded tail.
+func (d *Depacketizer) compact(done reasmKey) {
+	for i, k := range d.order {
+		if k == done {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			return
+		}
+	}
+}
 
 func (d *Depacketizer) evict() {
 	for len(d.partial) > maxReassemblies && len(d.order) > 0 {
 		k := d.order[0]
 		d.order = d.order[1:]
 		delete(d.partial, k)
-	}
-	// Compact order lazily: drop leading keys already completed.
-	for len(d.order) > 0 {
-		if _, ok := d.partial[d.order[0]]; ok {
-			break
-		}
-		d.order = d.order[1:]
 	}
 }

@@ -1,0 +1,76 @@
+package packet
+
+// Frame buffer pool for the zero-alloc data path.
+//
+// The emit→switch→recv pipeline hands every frame slice off exactly once at
+// each stage: the Packetizer builds a frame in a pooled buffer and gives it
+// to the switch ingress ring; the switch enqueues each slice into at most
+// one egress ring (replicated deliveries get their own pooled copies, see
+// internal/switchfabric); the receiving transport recycles the slice after
+// depacketizing. That unique-ownership protocol is what makes recycling
+// safe: a buffer re-enters the pool only when no other goroutine can still
+// reference it.
+//
+// PutFrameBuf is always discretionary — failing to recycle costs an
+// allocation later, never correctness — so any path that cannot prove sole
+// ownership (controller punts, frames handed to external sinks) simply
+// drops its reference and lets the GC take the buffer.
+//
+// The pool is a bounded lock-free free list built on a buffered channel
+// rather than sync.Pool: channel sends/receives of a []byte do not allocate,
+// whereas sync.Pool's interface{} conversion would put a slice header on the
+// heap per Put — exactly the per-frame allocation this pool exists to kill.
+
+const (
+	// frameBufCap sizes pooled buffers: the default payload budget plus
+	// headroom for the frame header, segment header, trace annexes and
+	// tunnel encapsulation, so steady-state appends never regrow.
+	frameBufCap = DefaultMaxPayload + 512
+	// framePoolSize bounds pooled buffers (memory ceiling ~4.3 MiB).
+	framePoolSize = 512
+)
+
+var framePool = make(chan []byte, framePoolSize)
+
+// GetFrameBuf returns an empty buffer with at least frameBufCap capacity,
+// reusing a recycled one when available.
+func GetFrameBuf() []byte {
+	select {
+	case b := <-framePool:
+		return b[:0]
+	default:
+		return make([]byte, 0, frameBufCap)
+	}
+}
+
+// PutFrameBuf recycles a frame buffer whose owner is done with it. Only the
+// sole owner of the slice may call it (see the package comment); buffers of
+// unusual size (segmented jumbo payloads, tiny control frames grown
+// elsewhere) are dropped so Get's capacity contract holds.
+func PutFrameBuf(b []byte) {
+	if cap(b) < frameBufCap || cap(b) > 4*frameBufCap {
+		return
+	}
+	select {
+	case framePool <- b[:0]:
+	default:
+	}
+}
+
+// CopyFrame clones a frame into a uniquely-owned slice. The switch uses it
+// to give replicated deliveries their own buffers. When the pool has a spare
+// buffer the copy is allocation-free; when it is empty (deep egress rings can
+// hold far more in-flight buffers than the pool ever will) the copy is
+// exact-size rather than frameBufCap, so an overloaded fan-out path allocates
+// bytes proportional to the frame, not the pool's headroom budget. Exact-size
+// copies fail PutFrameBuf's capacity gate and simply die to the GC.
+func CopyFrame(frame []byte) []byte {
+	select {
+	case b := <-framePool:
+		return append(b[:0], frame...)
+	default:
+		cp := make([]byte, len(frame))
+		copy(cp, frame)
+		return cp
+	}
+}

@@ -18,6 +18,10 @@ import (
 // ErrClosed is returned by blocking operations on a closed ring.
 var ErrClosed = errors.New("ring: closed")
 
+// ErrFull is returned by EnqueueTimeout when the ring stays full past the
+// deadline.
+var ErrFull = errors.New("ring: full")
+
 // DefaultCapacity is the default ring size in frames.
 const DefaultCapacity = 4096
 
@@ -84,6 +88,45 @@ func (r *Ring) Enqueue(frame []byte) error {
 		r.bytes.Add(uint64(len(frame)))
 		return nil
 	case <-r.closed:
+		return ErrClosed
+	}
+}
+
+// EnqueueTimeout blocks until the frame is accepted, the ring is closed, or
+// wait elapses. A full ring past the deadline returns ErrFull and counts
+// exactly one drop (unlike a TryEnqueue retry loop, which inflates the drop
+// counter on every probe); a closed ring returns ErrClosed and also counts a
+// drop. A wait <= 0 degenerates to TryEnqueue semantics.
+func (r *Ring) EnqueueTimeout(frame []byte, wait time.Duration) error {
+	select {
+	case <-r.closed:
+		r.dropped.Add(1)
+		return ErrClosed
+	default:
+	}
+	select {
+	case r.ch <- frame:
+		r.enqueued.Add(1)
+		r.bytes.Add(uint64(len(frame)))
+		return nil
+	default:
+	}
+	if wait <= 0 {
+		r.dropped.Add(1)
+		return ErrFull
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case r.ch <- frame:
+		r.enqueued.Add(1)
+		r.bytes.Add(uint64(len(frame)))
+		return nil
+	case <-timer.C:
+		r.dropped.Add(1)
+		return ErrFull
+	case <-r.closed:
+		r.dropped.Add(1)
 		return ErrClosed
 	}
 }

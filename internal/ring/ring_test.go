@@ -168,6 +168,117 @@ func TestConcurrentProducersConsumers(t *testing.T) {
 	}
 }
 
+func TestDequeueBatchPollWithQueuedFrames(t *testing.T) {
+	// wait=0 must not miss frames that are already queued.
+	r := New(8)
+	r.TryEnqueue([]byte("a"))
+	r.TryEnqueue([]byte("b"))
+	out, err := r.DequeueBatch(nil, 8, 0)
+	if err != nil || len(out) != 2 {
+		t.Fatalf("poll batch: len=%d err=%v", len(out), err)
+	}
+}
+
+func TestDequeueBatchCloseWhileWaiting(t *testing.T) {
+	r := New(4)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := r.DequeueBatch(nil, 4, time.Minute)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	r.Close()
+	select {
+	case err := <-errc:
+		if err != ErrClosed {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("DequeueBatch not released by Close")
+	}
+}
+
+func TestDequeueBatchMaxSmallerThanQueued(t *testing.T) {
+	r := New(16)
+	for i := 0; i < 10; i++ {
+		r.TryEnqueue([]byte{byte(i)})
+	}
+	out, err := r.DequeueBatch(nil, 4, time.Second)
+	if err != nil || len(out) != 4 {
+		t.Fatalf("len=%d err=%v", len(out), err)
+	}
+	if out[0][0] != 0 || out[3][0] != 3 {
+		t.Fatalf("batch not FIFO: %v", out)
+	}
+	if r.Len() != 6 {
+		t.Fatalf("ring holds %d frames, want 6", r.Len())
+	}
+}
+
+func TestEnqueueTimeoutFullCountsOneDrop(t *testing.T) {
+	r := New(1)
+	r.TryEnqueue([]byte("x"))
+	start := time.Now()
+	if err := r.EnqueueTimeout([]byte("y"), 20*time.Millisecond); err != ErrFull {
+		t.Fatalf("err = %v, want ErrFull", err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("returned before deadline")
+	}
+	if s := r.Stats(); s.Dropped != 1 {
+		t.Fatalf("dropped = %d, want exactly 1", s.Dropped)
+	}
+}
+
+func TestEnqueueTimeoutReleasedByConsumer(t *testing.T) {
+	r := New(1)
+	r.TryEnqueue([]byte("x"))
+	done := make(chan error, 1)
+	go func() { done <- r.EnqueueTimeout([]byte("y"), time.Minute) }()
+	time.Sleep(10 * time.Millisecond)
+	if _, err := r.Dequeue(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("EnqueueTimeout = %v after space freed", err)
+	}
+	if s := r.Stats(); s.Enqueued != 2 || s.Dropped != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestEnqueueTimeoutClosed(t *testing.T) {
+	r := New(1)
+	r.Close()
+	if err := r.EnqueueTimeout([]byte("z"), time.Second); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	// Close while a producer is blocked on a full ring.
+	r2 := New(1)
+	r2.TryEnqueue([]byte("x"))
+	done := make(chan error, 1)
+	go func() { done <- r2.EnqueueTimeout([]byte("y"), time.Minute) }()
+	time.Sleep(10 * time.Millisecond)
+	r2.Close()
+	if err := <-done; err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestEnqueueTimeoutZeroWaitPolls(t *testing.T) {
+	r := New(1)
+	if err := r.EnqueueTimeout([]byte("a"), 0); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := r.EnqueueTimeout([]byte("b"), 0); err != ErrFull {
+		t.Fatalf("err = %v, want ErrFull", err)
+	}
+	if time.Since(start) > 50*time.Millisecond {
+		t.Fatal("zero wait should not block")
+	}
+}
+
 func TestDefaultCapacity(t *testing.T) {
 	if New(0).Capacity() != DefaultCapacity {
 		t.Fatal("default capacity not applied")

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"typhoon/internal/clock"
 	"typhoon/internal/openflow"
 	"typhoon/internal/packet"
 )
@@ -17,17 +18,27 @@ type rule struct {
 	cookie        uint64
 	idleTimeoutMs uint32
 	flags         uint16
-	actions       []openflow.Action
+
+	// actions is swapped atomically by FlowModify. The fast path reads the
+	// action list without holding the table lock (directly after lookup, or
+	// later via the microflow cache), so in-place mutation of a shared slice
+	// would race; publishing a fresh slice through an atomic pointer keeps
+	// every reader on a consistent list.
+	actions atomic.Pointer[[]openflow.Action]
 
 	packets atomic.Uint64
 	bytes   atomic.Uint64
 	lastHit atomic.Int64 // unix nanos of last match (or install time)
 }
 
-func (r *rule) touch(bytes int) {
+func (r *rule) loadActions() []openflow.Action { return *r.actions.Load() }
+
+// touch records a match. now is a coarse wall-clock stamp supplied by the
+// caller so the per-frame path never calls time.Now.
+func (r *rule) touch(bytes int, now int64) {
 	r.packets.Add(1)
 	r.bytes.Add(uint64(bytes))
-	r.lastHit.Store(time.Now().UnixNano())
+	r.lastHit.Store(now)
 }
 
 func (r *rule) expired(now time.Time) bool {
@@ -40,10 +51,23 @@ func (r *rule) expired(now time.Time) bool {
 
 // flowTable holds rules sorted by descending priority with stable insertion
 // order among equal priorities. Lookup is a linear scan, which is exact and
-// fast at the rule counts a streaming topology produces.
+// fast at the rule counts a streaming topology produces; the per-port
+// microflow cache (microflow.go) keeps repeated lookups off it entirely.
 type flowTable struct {
 	mu    sync.RWMutex
 	rules []*rule
+
+	// gen, when set, is bumped inside the write lock by every mutation so
+	// microflow caches are invalidated with a happens-before edge: any
+	// observer that sees the mutation (same lock, or the mutating call
+	// returning) also sees the new generation.
+	gen *atomic.Uint64
+}
+
+func (t *flowTable) bump() {
+	if t.gen != nil {
+		t.gen.Add(1)
+	}
 }
 
 // lookup returns the highest-priority rule covering the frame attributes.
@@ -67,11 +91,13 @@ func (t *flowTable) add(fm openflow.FlowMod) {
 		cookie:        fm.Cookie,
 		idleTimeoutMs: fm.IdleTimeoutMs,
 		flags:         fm.Flags,
-		actions:       fm.Actions,
 	}
-	nr.lastHit.Store(time.Now().UnixNano())
+	acts := fm.Actions
+	nr.actions.Store(&acts)
+	nr.lastHit.Store(clock.CoarseUnixNano())
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	defer t.bump()
 	for i, r := range t.rules {
 		if r.priority == fm.Priority && r.match.Equal(fm.Match) {
 			t.rules[i] = nr
@@ -87,14 +113,18 @@ func (t *flowTable) add(fm openflow.FlowMod) {
 // modify replaces the actions of rules subsumed by the match; it returns
 // the number of rules updated.
 func (t *flowTable) modify(fm openflow.FlowMod) int {
+	acts := fm.Actions
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	n := 0
 	for _, r := range t.rules {
 		if subsumes(fm.Match, r.match) {
-			r.actions = fm.Actions
+			r.actions.Store(&acts)
 			n++
 		}
+	}
+	if n > 0 {
+		t.bump()
 	}
 	return n
 }
@@ -121,6 +151,9 @@ func (t *flowTable) remove(m openflow.Match, priority uint16, strict bool) []*ru
 		}
 	}
 	t.rules = kept
+	if len(removed) > 0 {
+		t.bump()
+	}
 	return removed
 }
 
@@ -131,6 +164,9 @@ func (t *flowTable) wipe() []*rule {
 	defer t.mu.Unlock()
 	removed := t.rules
 	t.rules = nil
+	if len(removed) > 0 {
+		t.bump()
+	}
 	return removed
 }
 
@@ -148,6 +184,9 @@ func (t *flowTable) expire(now time.Time) []*rule {
 		}
 	}
 	t.rules = kept
+	if len(removed) > 0 {
+		t.bump()
+	}
 	return removed
 }
 

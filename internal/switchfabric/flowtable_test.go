@@ -78,7 +78,7 @@ func TestFlowTablePriorityStability(t *testing.T) {
 	ft.add(a)
 	ft.add(b)
 	r := ft.lookup(1, packet.Addr{}, packet.Addr{}, packet.EtherType)
-	if r == nil || r.actions[0].Port != 100 {
+	if r == nil || r.loadActions()[0].Port != 100 {
 		t.Fatal("stable tie-break broken")
 	}
 }
@@ -95,7 +95,7 @@ func TestFlowTableModifyCounts(t *testing.T) {
 		t.Fatalf("modified %d rules", n)
 	}
 	r := ft.lookup(1, packet.Addr{}, packet.Addr{}, 0)
-	if r == nil || len(r.actions) != 1 || r.actions[0].Port != 9 {
+	if r == nil || len(r.loadActions()) != 1 || r.loadActions()[0].Port != 9 {
 		t.Fatal("modify did not take effect")
 	}
 }
@@ -122,8 +122,8 @@ func TestFlowTableSnapshotCounters(t *testing.T) {
 	ft.add(openflow.FlowMod{Priority: 1, Cookie: 77,
 		Match: openflow.Match{Fields: openflow.FieldInPort, InPort: 1}})
 	r := ft.lookup(1, packet.Addr{}, packet.Addr{}, 0)
-	r.touch(100)
-	r.touch(50)
+	r.touch(100, time.Now().UnixNano())
+	r.touch(50, time.Now().UnixNano())
 	snap := ft.snapshot()
 	if len(snap) != 1 || snap[0].Packets != 2 || snap[0].Bytes != 150 || snap[0].Cookie != 77 {
 		t.Fatalf("snapshot = %+v", snap)

@@ -1,0 +1,59 @@
+package switchfabric
+
+import "typhoon/internal/packet"
+
+// microCacheCap bounds a microflow cache. A port rarely sees more than a few
+// hundred distinct (src, dst, ethertype) microflows — one per upstream
+// worker × destination pair — so 4096 entries make eviction effectively
+// never happen in steady state; overflow resets the whole map rather than
+// tracking LRU order, mirroring the brutal-but-cheap policy of OVS's EMC.
+const microCacheCap = 4096
+
+// microKey identifies one microflow seen by a port. The in_port dimension of
+// the flow-table match is implicit: each switch port has its own pump
+// goroutine and therefore its own cache.
+type microKey struct {
+	src, dst  packet.Addr
+	etherType uint16
+}
+
+// microCache is a per-pump exact-match cache in front of flowTable.lookup,
+// the software analogue of Open vSwitch's exact-match cache. Because it is
+// owned by a single goroutine it takes no locks and needs no atomics; the
+// per-frame cost of a hit is one map probe.
+//
+// Coherence is generation-based: every flow-table mutation, group-table
+// mutation and port change bumps the switch's generation counter inside the
+// mutating critical section. The pump revalidates once per batch — a frame
+// enqueued after a mutating call returns is, by the ring's channel
+// happens-before edge, always processed under a generation at least as new
+// as that mutation, so the cache can never serve a rule deleted or modified
+// before the frame was sent.
+type microCache struct {
+	gen     uint64
+	entries map[microKey]*rule
+}
+
+func newMicroCache() *microCache {
+	return &microCache{entries: make(map[microKey]*rule)}
+}
+
+// validate drops every entry when the switch generation moved.
+func (c *microCache) validate(gen uint64) {
+	if gen != c.gen {
+		clear(c.entries)
+		c.gen = gen
+	}
+}
+
+func (c *microCache) lookup(k microKey) (*rule, bool) {
+	r, ok := c.entries[k]
+	return r, ok
+}
+
+func (c *microCache) insert(k microKey, r *rule) {
+	if len(c.entries) >= microCacheCap {
+		clear(c.entries)
+	}
+	c.entries[k] = r
+}

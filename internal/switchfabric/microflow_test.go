@@ -1,0 +1,282 @@
+package switchfabric
+
+import (
+	"testing"
+	"time"
+
+	"typhoon/internal/openflow"
+	"typhoon/internal/packet"
+)
+
+// expectFrame asserts that exactly one frame arrives at p and returns it.
+func expectFrame(t *testing.T, p *Port) []byte {
+	t.Helper()
+	return mustRead(t, p)
+}
+
+// expectNoFrame asserts that nothing arrives at p within a grace window.
+func expectNoFrame(t *testing.T, p *Port) {
+	t.Helper()
+	frames, err := p.ReadBatch(nil, 1, 150*time.Millisecond)
+	if err == nil && len(frames) > 0 {
+		t.Fatalf("unexpected frame forwarded: %d bytes", len(frames[0]))
+	}
+}
+
+// waitCounter polls fn until it reaches at least want.
+func waitCounter(t *testing.T, fn func() uint64, want uint64, what string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for fn() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s = %d, want >= %d", what, fn(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// warm sends one frame through the installed rule and reads it at out,
+// populating the ingress port's microflow cache with the rule.
+func warm(t *testing.T, in, out *Port, dst, src packet.Addr) {
+	t.Helper()
+	if !in.WriteFrame(frameFor(dst, src, "warm")) {
+		t.Fatal("WriteFrame failed")
+	}
+	expectFrame(t, out)
+}
+
+func TestMicroflowNoStaleAfterFlowDelete(t *testing.T) {
+	sw, _ := newTestSwitch(t)
+	a1, a2 := packet.WorkerAddr(1, 1), packet.WorkerAddr(1, 2)
+	p1, _ := sw.AddPort("w1", a1)
+	p2, _ := sw.AddPort("w2", a2)
+	fm := unicastRule(p1.No(), a1, a2, p2.No())
+	if err := sw.ApplyFlowMod(fm); err != nil {
+		t.Fatal(err)
+	}
+	warm(t, p1, p2, a2, a1)
+
+	fm.Command = openflow.FlowDeleteStrict
+	if err := sw.ApplyFlowMod(fm); err != nil {
+		t.Fatal(err)
+	}
+	drops := sw.NoMatchDrops()
+	if !p1.WriteFrame(frameFor(a2, a1, "stale?")) {
+		t.Fatal("WriteFrame failed")
+	}
+	waitCounter(t, sw.NoMatchDrops, drops+1, "NoMatchDrops")
+	expectNoFrame(t, p2)
+}
+
+func TestMicroflowNoStaleAfterFlowModify(t *testing.T) {
+	sw, _ := newTestSwitch(t)
+	a1, a2 := packet.WorkerAddr(1, 1), packet.WorkerAddr(1, 2)
+	p1, _ := sw.AddPort("w1", a1)
+	p2, _ := sw.AddPort("w2", a2)
+	p3, _ := sw.AddPort("w3", packet.WorkerAddr(1, 3))
+	fm := unicastRule(p1.No(), a1, a2, p2.No())
+	if err := sw.ApplyFlowMod(fm); err != nil {
+		t.Fatal(err)
+	}
+	warm(t, p1, p2, a2, a1)
+
+	// Redirect the cached rule's actions to p3; the cached entry itself
+	// stays valid (the rule object is shared) but must forward to p3 only.
+	if err := sw.ApplyFlowMod(openflow.FlowMod{
+		Command: openflow.FlowModify,
+		Match:   fm.Match,
+		Actions: []openflow.Action{openflow.Output(p3.No())},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !p1.WriteFrame(frameFor(a2, a1, "redirected")) {
+		t.Fatal("WriteFrame failed")
+	}
+	expectFrame(t, p3)
+	expectNoFrame(t, p2)
+}
+
+func TestMicroflowNoStaleAfterGroupMod(t *testing.T) {
+	sw, _ := newTestSwitch(t)
+	a1, a2 := packet.WorkerAddr(1, 1), packet.WorkerAddr(1, 2)
+	p1, _ := sw.AddPort("w1", a1)
+	p2, _ := sw.AddPort("w2", a2)
+	p3, _ := sw.AddPort("w3", packet.WorkerAddr(1, 3))
+	const gid = 7
+	if err := sw.ApplyGroupMod(openflow.GroupMod{
+		Command: openflow.GroupAdd, GroupID: gid, Type: openflow.GroupSelect,
+		Buckets: []openflow.Bucket{{Actions: []openflow.Action{openflow.Output(p2.No())}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.ApplyFlowMod(openflow.FlowMod{
+		Command: openflow.FlowAdd, Priority: 100,
+		Match: openflow.Match{
+			Fields: openflow.FieldInPort | openflow.FieldDlDst | openflow.FieldEtherType,
+			InPort: p1.No(), DlDst: a2, EtherType: packet.EtherType,
+		},
+		Actions: []openflow.Action{openflow.ToGroup(gid)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	warm(t, p1, p2, a2, a1)
+
+	if err := sw.ApplyGroupMod(openflow.GroupMod{
+		Command: openflow.GroupModify, GroupID: gid, Type: openflow.GroupSelect,
+		Buckets: []openflow.Bucket{{Actions: []openflow.Action{openflow.Output(p3.No())}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !p1.WriteFrame(frameFor(a2, a1, "regrouped")) {
+		t.Fatal("WriteFrame failed")
+	}
+	expectFrame(t, p3)
+	expectNoFrame(t, p2)
+}
+
+func TestMicroflowNoStaleAfterWipeFlows(t *testing.T) {
+	sw, _ := newTestSwitch(t)
+	a1, a2 := packet.WorkerAddr(1, 1), packet.WorkerAddr(1, 2)
+	p1, _ := sw.AddPort("w1", a1)
+	p2, _ := sw.AddPort("w2", a2)
+	if err := sw.ApplyFlowMod(unicastRule(p1.No(), a1, a2, p2.No())); err != nil {
+		t.Fatal(err)
+	}
+	warm(t, p1, p2, a2, a1)
+
+	if n := sw.WipeFlows(); n != 1 {
+		t.Fatalf("WipeFlows removed %d rules, want 1", n)
+	}
+	drops := sw.NoMatchDrops()
+	if !p1.WriteFrame(frameFor(a2, a1, "wiped")) {
+		t.Fatal("WriteFrame failed")
+	}
+	waitCounter(t, sw.NoMatchDrops, drops+1, "NoMatchDrops")
+	expectNoFrame(t, p2)
+}
+
+func TestMicroflowNoStaleAfterIdleExpiry(t *testing.T) {
+	sw, _ := newTestSwitch(t)
+	a1, a2 := packet.WorkerAddr(1, 1), packet.WorkerAddr(1, 2)
+	p1, _ := sw.AddPort("w1", a1)
+	p2, _ := sw.AddPort("w2", a2)
+	fm := unicastRule(p1.No(), a1, a2, p2.No())
+	fm.IdleTimeoutMs = 30
+	if err := sw.ApplyFlowMod(fm); err != nil {
+		t.Fatal(err)
+	}
+	warm(t, p1, p2, a2, a1)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for sw.RuleCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("rule never idle-expired; RuleCount = %d", sw.RuleCount())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	drops := sw.NoMatchDrops()
+	if !p1.WriteFrame(frameFor(a2, a1, "expired")) {
+		t.Fatal("WriteFrame failed")
+	}
+	waitCounter(t, sw.NoMatchDrops, drops+1, "NoMatchDrops")
+	expectNoFrame(t, p2)
+}
+
+func TestMicroflowRuleChurnLoop(t *testing.T) {
+	// Repeated add/delete churn with traffic in between: forwarding must
+	// exactly track the installed state every round.
+	sw, _ := newTestSwitch(t)
+	a1, a2 := packet.WorkerAddr(1, 1), packet.WorkerAddr(1, 2)
+	p1, _ := sw.AddPort("w1", a1)
+	p2, _ := sw.AddPort("w2", a2)
+	fm := unicastRule(p1.No(), a1, a2, p2.No())
+	for round := 0; round < 10; round++ {
+		fm.Command = openflow.FlowAdd
+		if err := sw.ApplyFlowMod(fm); err != nil {
+			t.Fatal(err)
+		}
+		warm(t, p1, p2, a2, a1)
+		fm.Command = openflow.FlowDeleteStrict
+		if err := sw.ApplyFlowMod(fm); err != nil {
+			t.Fatal(err)
+		}
+		drops := sw.NoMatchDrops()
+		if !p1.WriteFrame(frameFor(a2, a1, "churn")) {
+			t.Fatal("WriteFrame failed")
+		}
+		waitCounter(t, sw.NoMatchDrops, drops+1, "NoMatchDrops")
+	}
+	expectNoFrame(t, p2)
+}
+
+func TestMicroflowHitMissAccounting(t *testing.T) {
+	sw, _ := newTestSwitch(t)
+	a1, a2 := packet.WorkerAddr(1, 1), packet.WorkerAddr(1, 2)
+	p1, _ := sw.AddPort("w1", a1)
+	p2, _ := sw.AddPort("w2", a2)
+	if err := sw.ApplyFlowMod(unicastRule(p1.No(), a1, a2, p2.No())); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		warm(t, p1, p2, a2, a1)
+	}
+	hits, misses := sw.MicroflowStats()
+	if misses < 1 {
+		t.Fatalf("MicroflowStats misses = %d, want >= 1", misses)
+	}
+	if hits < 1 {
+		t.Fatalf("MicroflowStats hits = %d, want >= 1 after repeated traffic", hits)
+	}
+	c := sw.CountersSnapshot()
+	if c.MicroflowHits != hits || c.MicroflowMisses != misses {
+		t.Fatalf("CountersSnapshot microflow fields diverge: %+v vs (%d, %d)", c, hits, misses)
+	}
+}
+
+func TestMicroflowCacheDisabled(t *testing.T) {
+	sink := &recordingSink{}
+	sw := New("host-nc", 1, Options{RingCapacity: 256}, WithoutMicroflowCache())
+	sw.SetController(sink)
+	sw.Start()
+	t.Cleanup(sw.Stop)
+	a1, a2 := packet.WorkerAddr(1, 1), packet.WorkerAddr(1, 2)
+	p1, _ := sw.AddPort("w1", a1)
+	p2, _ := sw.AddPort("w2", a2)
+	if err := sw.ApplyFlowMod(unicastRule(p1.No(), a1, a2, p2.No())); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		warm(t, p1, p2, a2, a1)
+	}
+	if hits, misses := sw.MicroflowStats(); hits != 0 || misses != 0 {
+		t.Fatalf("disabled cache recorded traffic: hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestMalformedFramesCountedAsReceived(t *testing.T) {
+	// A frame rejected before lookup must still appear in the port's RX
+	// counters (it was received!) and be accounted in its own drop bucket,
+	// not the table-miss one.
+	sw, _ := newTestSwitch(t)
+	p1, _ := sw.AddPort("w1", packet.WorkerAddr(1, 1))
+	if !p1.WriteFrame([]byte{0xde, 0xad}) {
+		t.Fatal("WriteFrame failed")
+	}
+	waitCounter(t, sw.MalformedDrops, 1, "MalformedDrops")
+	if n := sw.NoMatchDrops(); n != 0 {
+		t.Fatalf("malformed frame counted as table miss: NoMatchDrops = %d", n)
+	}
+	var rx uint64
+	for _, ps := range sw.PortStatsSnapshot() {
+		if ps.PortNo == p1.No() {
+			rx = ps.RxPackets
+		}
+	}
+	if rx != 1 {
+		t.Fatalf("malformed frame missing from RxPackets: %d", rx)
+	}
+	c := sw.CountersSnapshot()
+	if c.Malformed != 1 || c.Dropped < 1 {
+		t.Fatalf("counters = %+v, want Malformed=1 and Dropped>=1", c)
+	}
+}

@@ -8,6 +8,25 @@
 // serialization-free broadcast of Fig 9), set_tun_dst + tunnel-port output
 // for remote transfer, controller output for PACKET_IN, and select groups
 // with destination rewrite for SDN-level load balancing (§4).
+//
+// # Fast path
+//
+// The per-frame pipeline is engineered to take zero locks and make zero
+// allocations in steady state:
+//
+//   - Each port pump owns a microflow cache (microflow.go) in front of the
+//     flow table, invalidated by a generation counter that every control
+//     mutation bumps.
+//   - Ports, groups and the controller sink are read from an immutable
+//     dataView snapshot swapped atomically on control-plane changes.
+//   - Frames are processed in batches: the view, the generation and a
+//     coarse wall-clock stamp (internal/clock) are loaded once per batch,
+//     and counters are accumulated locally and flushed once per batch.
+//   - Frame buffers follow the unique-ownership protocol of internal/packet:
+//     the first enqueue of a frame hands the original slice to exactly one
+//     egress ring; every additional delivery (broadcast, multi-output,
+//     mirror) gets its own pooled copy, and controller punts always copy.
+//     The receiving transport may therefore recycle every frame it reads.
 package switchfabric
 
 import (
@@ -17,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"typhoon/internal/clock"
 	"typhoon/internal/openflow"
 	"typhoon/internal/packet"
 	"typhoon/internal/ring"
@@ -40,6 +60,10 @@ type Options struct {
 	// IdleScanInterval is how often idle timeouts are evaluated. Zero
 	// selects 50 ms.
 	IdleScanInterval time.Duration
+	// DisableMicroflowCache turns off the per-port exact-match cache so
+	// every frame takes the full flow-table lookup. Benchmarks use it to
+	// measure the cache's contribution; production has no reason to.
+	DisableMicroflowCache bool
 }
 
 // Option configures a Switch under construction. An Options literal is
@@ -65,17 +89,33 @@ func WithIdleScanInterval(d time.Duration) Option {
 	return optionFunc(func(o *Options) { o.IdleScanInterval = d })
 }
 
+// WithoutMicroflowCache disables the per-port exact-match cache.
+func WithoutMicroflowCache() Option {
+	return optionFunc(func(o *Options) { o.DisableMicroflowCache = true })
+}
+
+// pumpBatchSize is how many frames a port pump drains per wakeup; trace
+// checks, clock reads and counter flushes amortize over the batch.
+const pumpBatchSize = 64
+
 // Switch is a host-local software SDN switch.
 type Switch struct {
 	name string
 	dpid uint64
 	opts Options
 
-	mu       sync.RWMutex
+	mu       sync.Mutex
 	ports    map[uint32]*Port
 	nextPort uint32
 	groups   map[uint32]*group
 	sink     ControllerSink
+
+	// view is the immutable snapshot of ports/groups/sink the data path
+	// reads; rebuilt under mu on every control-plane change.
+	view atomic.Pointer[dataView]
+	// gen invalidates microflow caches; bumped inside the mutating critical
+	// section of every flow-table, group-table and port change.
+	gen atomic.Uint64
 
 	flows flowTable
 
@@ -84,8 +124,19 @@ type Switch struct {
 	wg       sync.WaitGroup
 
 	rxDropsNoMatch atomic.Uint64
+	malformed      atomic.Uint64
 	forwarded      atomic.Uint64
 	replicated     atomic.Uint64
+	mfHits         atomic.Uint64
+	mfMisses       atomic.Uint64
+}
+
+// dataView is the lock-free snapshot the per-frame path reads. Its maps are
+// never mutated after publication.
+type dataView struct {
+	ports  map[uint32]*Port
+	groups map[uint32]*group
+	sink   ControllerSink
 }
 
 // Counters is a switch-level snapshot of frame accounting, the per-switch
@@ -101,9 +152,16 @@ type Counters struct {
 	// Replicated counts extra copies beyond the first delivery of a frame
 	// (GroupAll broadcast, multi-output rules, mirror taps).
 	Replicated uint64
-	// Dropped counts frames lost in this switch: table misses, full egress
-	// rings, and full ingress rings.
+	// Dropped counts frames lost in this switch: malformed frames, table
+	// misses, full egress rings, and full ingress rings.
 	Dropped uint64
+	// Malformed counts received frames discarded before lookup because
+	// their header failed to parse (also included in Dropped).
+	Malformed uint64
+	// MicroflowHits and MicroflowMisses count fast-path cache outcomes
+	// across all port pumps.
+	MicroflowHits   uint64
+	MicroflowMisses uint64
 }
 
 type group struct {
@@ -149,6 +207,13 @@ func (p *Port) IsTunnel() bool { return p.tunnel }
 // It reports false when the ingress ring is full (frame dropped).
 func (p *Port) WriteFrame(frame []byte) bool { return p.rx.TryEnqueue(frame) }
 
+// WriteFrameTimeout submits a frame, blocking up to wait for ring space.
+// It returns ring.ErrFull past the deadline (one drop counted) or
+// ring.ErrClosed after the port is removed.
+func (p *Port) WriteFrameTimeout(frame []byte, wait time.Duration) error {
+	return p.rx.EnqueueTimeout(frame, wait)
+}
+
 // ReadBatch reads frames the switch delivered to this port, waiting up to
 // wait for the first frame. It returns ring.ErrClosed after the port is
 // removed and drained.
@@ -173,7 +238,7 @@ func New(name string, dpid uint64, options ...Option) *Switch {
 	if opts.IdleScanInterval <= 0 {
 		opts.IdleScanInterval = 50 * time.Millisecond
 	}
-	return &Switch{
+	s := &Switch{
 		name:    name,
 		dpid:    dpid,
 		opts:    opts,
@@ -181,6 +246,27 @@ func New(name string, dpid uint64, options ...Option) *Switch {
 		groups:  make(map[uint32]*group),
 		stopped: make(chan struct{}),
 	}
+	s.flows.gen = &s.gen
+	s.rebuildView()
+	return s
+}
+
+// rebuildView publishes a fresh immutable data-path snapshot and bumps the
+// microflow generation. Callers hold s.mu (except New, pre-publication).
+func (s *Switch) rebuildView() {
+	v := &dataView{
+		ports:  make(map[uint32]*Port, len(s.ports)),
+		groups: make(map[uint32]*group, len(s.groups)),
+		sink:   s.sink,
+	}
+	for no, p := range s.ports {
+		v.ports[no] = p
+	}
+	for id, g := range s.groups {
+		v.groups[id] = g
+	}
+	s.view.Store(v)
+	s.gen.Add(1)
 }
 
 // Name returns the switch (host) name.
@@ -194,6 +280,7 @@ func (s *Switch) SetController(sink ControllerSink) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.sink = sink
+	s.rebuildView()
 }
 
 // Start launches the idle-timeout scanner. Port pumps start as ports are
@@ -243,6 +330,7 @@ func (s *Switch) addPort(name string, addr packet.Addr, tunnel bool) (*Port, err
 		tx:     ring.New(s.opts.RingCapacity),
 	}
 	s.ports[p.no] = p
+	s.rebuildView()
 	sink := s.sink
 	s.mu.Unlock()
 
@@ -267,6 +355,7 @@ func (s *Switch) RemovePort(no uint32) error {
 	p, ok := s.ports[no]
 	if ok {
 		delete(s.ports, no)
+		s.rebuildView()
 	}
 	sink := s.sink
 	s.mu.Unlock()
@@ -287,17 +376,14 @@ func (s *Switch) RemovePort(no uint32) error {
 
 // Port returns the port with the given number, or nil.
 func (s *Switch) Port(no uint32) *Port {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.ports[no]
+	return s.view.Load().ports[no]
 }
 
 // Ports lists current ports for FEATURES replies.
 func (s *Switch) Ports() []openflow.PortInfo {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]openflow.PortInfo, 0, len(s.ports))
-	for _, p := range s.ports {
+	v := s.view.Load()
+	out := make([]openflow.PortInfo, 0, len(v.ports))
+	for _, p := range v.ports {
 		out = append(out, openflow.PortInfo{No: p.no, Name: p.name})
 	}
 	return out
@@ -340,6 +426,7 @@ func (s *Switch) ApplyGroupMod(gm openflow.GroupMod) error {
 	default:
 		return fmt.Errorf("switchfabric: bad group command %d", gm.Command)
 	}
+	s.rebuildView()
 	return nil
 }
 
@@ -349,7 +436,13 @@ func (s *Switch) Inject(po openflow.PacketOut) error {
 	if len(po.Data) == 0 {
 		return fmt.Errorf("switchfabric: empty packet-out")
 	}
-	if n := s.execute(po.InPort, po.Data, po.Actions, 0); n > 0 {
+	// The controller owns po.Data and may retain it; marking the frame
+	// already-consumed forces every delivery onto the copy path so the
+	// original never enters a ring whose reader recycles buffers.
+	consumed := true
+	v := s.view.Load()
+	now := clock.CoarseUnixNano()
+	if n := s.execute(v, po.InPort, po.Data, po.Actions, 0, now, &consumed); n > 0 {
 		s.forwarded.Add(uint64(n))
 		if n > 1 {
 			s.replicated.Add(uint64(n - 1))
@@ -360,10 +453,9 @@ func (s *Switch) Inject(po openflow.PacketOut) error {
 
 // PortStatsSnapshot returns per-port counters.
 func (s *Switch) PortStatsSnapshot() []openflow.PortStats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]openflow.PortStats, 0, len(s.ports))
-	for _, p := range s.ports {
+	v := s.view.Load()
+	out := make([]openflow.PortStats, 0, len(v.ports))
+	for _, p := range v.ports {
 		rs := p.rx.Stats()
 		out = append(out, openflow.PortStats{
 			PortNo:    p.no,
@@ -397,15 +489,26 @@ func (s *Switch) RuleCount() int { return s.flows.len() }
 // NoMatchDrops reports frames dropped due to table miss.
 func (s *Switch) NoMatchDrops() uint64 { return s.rxDropsNoMatch.Load() }
 
+// MalformedDrops reports received frames discarded because their header
+// failed to parse.
+func (s *Switch) MalformedDrops() uint64 { return s.malformed.Load() }
+
+// MicroflowStats reports fast-path cache hits and misses across all pumps.
+func (s *Switch) MicroflowStats() (hits, misses uint64) {
+	return s.mfHits.Load(), s.mfMisses.Load()
+}
+
 // CountersSnapshot aggregates the switch's frame accounting across ports.
 func (s *Switch) CountersSnapshot() Counters {
 	var c Counters
 	c.Forwarded = s.forwarded.Load()
 	c.Replicated = s.replicated.Load()
-	c.Dropped = s.rxDropsNoMatch.Load()
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, p := range s.ports {
+	c.Malformed = s.malformed.Load()
+	c.MicroflowHits = s.mfHits.Load()
+	c.MicroflowMisses = s.mfMisses.Load()
+	c.Dropped = s.rxDropsNoMatch.Load() + c.Malformed
+	v := s.view.Load()
+	for _, p := range v.ports {
 		rs := p.rx.Stats()
 		c.RxFrames += p.rxPackets.Load()
 		c.TxFrames += p.txPackets.Load()
@@ -417,88 +520,181 @@ func (s *Switch) CountersSnapshot() Counters {
 // pump moves frames from a port's RX ring through the pipeline.
 func (s *Switch) pump(p *Port) {
 	defer s.wg.Done()
-	var batch [][]byte
+	var mc *microCache
+	if !s.opts.DisableMicroflowCache {
+		mc = newMicroCache()
+	}
+	batch := make([][]byte, 0, pumpBatchSize)
 	for {
 		batch = batch[:0]
 		var err error
-		batch, err = p.rx.DequeueBatch(batch, 64, time.Second)
+		batch, err = p.rx.DequeueBatch(batch, pumpBatchSize, time.Second)
 		if err != nil {
 			return
 		}
-		for _, frame := range batch {
-			s.process(p, frame)
-		}
+		s.processBatch(p, batch, mc)
 	}
 }
 
-func (s *Switch) process(in *Port, frame []byte) {
-	dst, src, ok := packet.PeekAddrs(frame)
-	if !ok {
-		s.rxDropsNoMatch.Add(1)
+// batchAcct accumulates per-batch counter deltas so the hot loop touches
+// shared atomics once per batch instead of several times per frame.
+type batchAcct struct {
+	rxFrames, rxBytes     uint64
+	malformed, noMatch    uint64
+	forwarded, replicated uint64
+	mfHits, mfMisses      uint64
+}
+
+// processBatch runs a batch of ingress frames through the pipeline. The
+// data view, microflow generation and coarse clock are sampled once for the
+// whole batch: every frame in it was enqueued before this moment, so
+// forwarding it under the sampled state is linearizable.
+func (s *Switch) processBatch(in *Port, batch [][]byte, mc *microCache) {
+	if len(batch) == 0 {
 		return
 	}
-	in.rxPackets.Add(1)
-	in.rxBytes.Add(uint64(len(frame)))
-	if packet.Traced(frame) {
-		frame = packet.AppendTraceHop(frame, packet.TraceHop{
-			Kind: packet.HopSwitchIn, Actor: s.dpid, Detail: in.no,
-			At: time.Now().UnixNano(),
-		})
+	v := s.view.Load()
+	now := clock.CoarseUnixNano()
+	if mc != nil {
+		mc.validate(s.gen.Load())
 	}
-	etherType := binary.BigEndian.Uint16(frame[12:14])
-	r := s.flows.lookup(in.no, src, dst, etherType)
-	if r == nil {
-		s.rxDropsNoMatch.Add(1)
-		return
-	}
-	r.touch(len(frame))
-	if packet.Traced(frame) {
-		frame = packet.AppendTraceHop(frame, packet.TraceHop{
-			Kind: packet.HopMatch, Actor: s.dpid, Detail: uint32(r.priority),
-			At: time.Now().UnixNano(),
-		})
-	}
-	n := s.execute(in.no, frame, r.actions, 0)
-	if n > 0 {
-		s.forwarded.Add(uint64(n))
-		if n > 1 {
-			s.replicated.Add(uint64(n - 1))
+	var acct batchAcct
+	for _, frame := range batch {
+		acct.rxFrames++
+		acct.rxBytes += uint64(len(frame))
+		dst, src, ok := packet.PeekAddrs(frame)
+		if !ok {
+			acct.malformed++
+			packet.PutFrameBuf(frame) // dequeued → solely ours; recycle
+			continue
 		}
+		if packet.Traced(frame) {
+			traced := packet.AppendTraceHop(frame, packet.TraceHop{
+				Kind: packet.HopSwitchIn, Actor: s.dpid, Detail: in.no, At: now,
+			})
+			packet.PutFrameBuf(frame) // AppendTraceHop copied
+			frame = traced
+		}
+		etherType := binary.BigEndian.Uint16(frame[12:14])
+		var r *rule
+		if mc != nil {
+			key := microKey{src: src, dst: dst, etherType: etherType}
+			if hit, ok := mc.lookup(key); ok {
+				r = hit
+				acct.mfHits++
+			} else {
+				r = s.flows.lookup(in.no, src, dst, etherType)
+				acct.mfMisses++
+				if r != nil {
+					mc.insert(key, r)
+				}
+			}
+		} else {
+			r = s.flows.lookup(in.no, src, dst, etherType)
+		}
+		if r == nil {
+			acct.noMatch++
+			packet.PutFrameBuf(frame) // dropped before any handoff
+			continue
+		}
+		r.touch(len(frame), now)
+		if packet.Traced(frame) {
+			traced := packet.AppendTraceHop(frame, packet.TraceHop{
+				Kind: packet.HopMatch, Actor: s.dpid, Detail: uint32(r.priority), At: now,
+			})
+			packet.PutFrameBuf(frame)
+			frame = traced
+		}
+		consumed := false
+		if n := s.execute(v, in.no, frame, r.loadActions(), 0, now, &consumed); n > 0 {
+			acct.forwarded += uint64(n)
+			if n > 1 {
+				acct.replicated += uint64(n - 1)
+			}
+		}
+		if !consumed {
+			// Every delivery shipped a copy (controller punt, tunnel encap,
+			// trace copy, egress drop) — the original is still solely ours.
+			packet.PutFrameBuf(frame)
+		}
+	}
+	in.rxPackets.Add(acct.rxFrames)
+	in.rxBytes.Add(acct.rxBytes)
+	if acct.malformed > 0 {
+		s.malformed.Add(acct.malformed)
+	}
+	if acct.noMatch > 0 {
+		s.rxDropsNoMatch.Add(acct.noMatch)
+	}
+	if acct.forwarded > 0 {
+		s.forwarded.Add(acct.forwarded)
+	}
+	if acct.replicated > 0 {
+		s.replicated.Add(acct.replicated)
+	}
+	if acct.mfHits > 0 {
+		s.mfHits.Add(acct.mfHits)
+	}
+	if acct.mfMisses > 0 {
+		s.mfMisses.Add(acct.mfMisses)
 	}
 }
 
 // execute runs an action list on a frame and returns the number of copies
 // actually delivered (ports plus controller punts). depth guards group
-// recursion.
-func (s *Switch) execute(inPort uint32, frame []byte, actions []openflow.Action, depth int) int {
+// recursion. consumed tracks whether the current frame slice has already
+// been handed to an egress ring; once it has, further deliveries copy
+// (unique-ownership protocol, see the package comment).
+func (s *Switch) execute(v *dataView, inPort uint32, frame []byte, actions []openflow.Action, depth int, now int64, consumed *bool) int {
 	if depth > 2 {
 		return 0
 	}
+	// Ownership ordering: once a slice is handed to an egress ring its
+	// receiver may recycle and overwrite it at any moment, so only the LAST
+	// action that reads the frame may take the original; every earlier
+	// delivery ships a copy made while the frame is still safe to read.
+	last := -1
+	for i, a := range actions {
+		switch a.Type {
+		case openflow.ActOutput, openflow.ActGroup, openflow.ActSetDlDst:
+			last = i
+		}
+	}
+	forceCopy := true
 	tunDst := ""
 	delivered := 0
-	for _, a := range actions {
+	for i, a := range actions {
 		switch a.Type {
 		case openflow.ActSetTunnelDst:
 			tunDst = a.Host
 		case openflow.ActSetDlDst:
-			// Copy before rewrite: other outputs may alias this frame.
-			cp := make([]byte, len(frame))
-			copy(cp, frame)
+			// Copy before rewrite: other outputs may alias this frame. The
+			// copy is a fresh uniquely-owned slice, so it gets its own
+			// consumed flag.
+			cp := packet.CopyFrame(frame)
 			packet.RewriteDst(cp, a.Addr)
 			frame = cp
+			fresh := false
+			consumed = &fresh
 		case openflow.ActOutput:
-			delivered += s.deliver(a.Port, frame, tunDst)
+			cptr := consumed
+			if i != last {
+				cptr = &forceCopy
+			}
+			delivered += s.deliver(v, a.Port, frame, tunDst, now, cptr)
 		case openflow.ActGroup:
-			delivered += s.executeGroup(inPort, frame, a.Group, depth+1)
+			cptr := consumed
+			if i != last {
+				cptr = &forceCopy
+			}
+			delivered += s.executeGroup(v, inPort, frame, a.Group, depth+1, now, cptr)
 		}
 	}
 	return delivered
 }
 
-func (s *Switch) executeGroup(inPort uint32, frame []byte, id uint32, depth int) int {
-	s.mu.RLock()
-	g := s.groups[id]
-	s.mu.RUnlock()
+func (s *Switch) executeGroup(v *dataView, inPort uint32, frame []byte, id uint32, depth int, now int64, consumed *bool) int {
+	g := v.groups[id]
 	if g == nil {
 		return 0
 	}
@@ -511,13 +707,21 @@ func (s *Switch) executeGroup(inPort uint32, frame []byte, id uint32, depth int)
 		slot := uint32(g.next.Add(1)-1) % g.total
 		for i, cum := range g.weights {
 			if slot < cum {
-				return s.execute(inPort, frame, g.buckets[i].Actions, depth)
+				return s.execute(v, inPort, frame, g.buckets[i].Actions, depth, now, consumed)
 			}
 		}
 	case openflow.GroupAll:
+		// Same last-reader rule as execute: only the final bucket's actions
+		// may take the original frame.
 		delivered := 0
-		for _, b := range g.buckets {
-			delivered += s.execute(inPort, frame, b.Actions, depth)
+		forceCopy := true
+		lastB := len(g.buckets) - 1
+		for i, b := range g.buckets {
+			cptr := consumed
+			if i != lastB {
+				cptr = &forceCopy
+			}
+			delivered += s.execute(v, inPort, frame, b.Actions, depth, now, cptr)
 		}
 		return delivered
 	}
@@ -526,29 +730,33 @@ func (s *Switch) executeGroup(inPort uint32, frame []byte, id uint32, depth int)
 
 // deliver sends one copy of a frame toward a port (or the controller) and
 // reports how many copies were actually delivered (0 or 1).
-func (s *Switch) deliver(portNo uint32, frame []byte, tunDst string) int {
+func (s *Switch) deliver(v *dataView, portNo uint32, frame []byte, tunDst string, now int64, consumed *bool) int {
 	if portNo == openflow.PortController {
-		s.mu.RLock()
-		sink := s.sink
-		s.mu.RUnlock()
+		sink := v.sink
 		if sink == nil {
 			return 0
 		}
 		if packet.Traced(frame) {
+			// AppendTraceHop copies, detaching the punt from the original.
 			frame = packet.AppendTraceHop(frame, packet.TraceHop{
-				Kind: packet.HopController, Actor: s.dpid, Detail: portNo,
-				At: time.Now().UnixNano(),
+				Kind: packet.HopController, Actor: s.dpid, Detail: portNo, At: now,
 			})
+		} else {
+			// The controller holds punted frames indefinitely; give it a
+			// plain (non-pooled) copy so the original stays uniquely owned.
+			cp := make([]byte, len(frame))
+			copy(cp, frame)
+			frame = cp
 		}
 		sink.PacketIn(openflow.PacketIn{InPort: portNo, Reason: openflow.ReasonAction, Data: frame})
 		return 1
 	}
-	s.mu.RLock()
-	p := s.ports[portNo]
-	s.mu.RUnlock()
+	p := v.ports[portNo]
 	if p == nil {
 		return 0
 	}
+	out := frame
+	copied := false
 	if packet.Traced(frame) {
 		kind := packet.HopEgress
 		if p.tunnel {
@@ -556,21 +764,36 @@ func (s *Switch) deliver(portNo uint32, frame []byte, tunDst string) int {
 		}
 		// AppendTraceHop copies, so replicated deliveries that alias this
 		// frame each record their own egress hop.
-		frame = packet.AppendTraceHop(frame, packet.TraceHop{
-			Kind: kind, Actor: s.dpid, Detail: portNo,
-			At: time.Now().UnixNano(),
+		out = packet.AppendTraceHop(frame, packet.TraceHop{
+			Kind: kind, Actor: s.dpid, Detail: portNo, At: now,
 		})
+		copied = true
 	}
-	out := frame
-	if p.tunnel {
-		out = EncapTunnel(tunDst, frame)
+	owned := false // out is the original frame, not a copy
+	switch {
+	case p.tunnel:
+		out = EncapTunnel(tunDst, out) // fresh slice; original untouched
+	case copied:
+		// already a uniquely-owned copy
+	case *consumed:
+		out = packet.CopyFrame(out)
+	default:
+		owned = true
 	}
+	n := len(out)
 	if p.tx.TryEnqueue(out) {
+		if owned {
+			*consumed = true
+		}
 		p.txPackets.Add(1)
-		p.txBytes.Add(uint64(len(out)))
+		p.txBytes.Add(uint64(n))
 		return 1
 	}
 	p.txDropped.Add(1)
+	if !owned {
+		// The copy never entered the ring; we are its sole owner.
+		packet.PutFrameBuf(out)
+	}
 	return 0
 }
 
@@ -599,9 +822,7 @@ func (s *Switch) notify(rules []*rule, reason openflow.FlowRemovedReason, forced
 	if len(rules) == 0 {
 		return
 	}
-	s.mu.RLock()
-	sink := s.sink
-	s.mu.RUnlock()
+	sink := s.view.Load().sink
 	if sink == nil {
 		return
 	}

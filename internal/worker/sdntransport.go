@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"typhoon/internal/clock"
 	"typhoon/internal/control"
 	"typhoon/internal/packet"
 	"typhoon/internal/switchfabric"
@@ -28,6 +29,11 @@ type SDNTransport struct {
 
 	batch      atomic.Int64
 	sinceFlush int
+
+	// encScratch and rxBatch are per-transport reusable buffers for the
+	// zero-alloc fast path. Send/Recv run on the worker goroutine only.
+	encScratch []byte
+	rxBatch    [][]byte
 
 	// inQueue holds decoded tuples not yet handed to the worker. Only the
 	// worker goroutine touches the slice; inLen mirrors its length so
@@ -98,7 +104,10 @@ func (t *SDNTransport) Addr() packet.Addr { return packet.WorkerAddr(t.app, uint
 // fan-out reuses the encoded bytes per destination frame, and broadcast
 // emits a single frame the switch replicates.
 func (t *SDNTransport) Send(d Destination, in tuple.Tuple) error {
-	enc := tuple.Encode(in)
+	// The packetizer copies enc into its staging buffer, so the encode
+	// scratch is safe to reuse on the next Send.
+	t.encScratch = tuple.AppendEncode(t.encScratch[:0], in)
+	enc := t.encScratch
 	t.serializations.Add(1)
 	switch {
 	case d.Broadcast, d.SDNBalanced:
@@ -121,7 +130,8 @@ func (t *SDNTransport) Send(d Destination, in tuple.Tuple) error {
 // controller pseudo-address and flushed immediately (statistics replies
 // should not sit in a batch).
 func (t *SDNTransport) SendControl(in tuple.Tuple) error {
-	enc := tuple.Encode(in)
+	t.encScratch = tuple.AppendEncode(t.encScratch[:0], in)
+	enc := t.encScratch
 	t.serializations.Add(1)
 	t.writeFrames(t.pktz.Add(packet.ControllerAddr, enc))
 	t.tuplesSent.Add(1)
@@ -135,29 +145,33 @@ func (t *SDNTransport) Flush() error {
 	return nil
 }
 
+// writeFrameWait bounds the backpressure a full switch ingress ring exerts
+// on a sender before the frame is dropped (the loss mode §8 discusses). It
+// matches the worst-case stall of the spin-retry loop it replaced, but
+// blocks on the ring's channel instead of burning CPU in a sleep-poll loop,
+// and counts exactly one ring drop per abandoned frame.
+const writeFrameWait = 10 * time.Millisecond
+
 // writeFrames pushes frames into the switch ingress ring with bounded
-// backpressure: a full ring is retried briefly (modelling the DPDK TX ring)
-// before the frame is dropped, the loss mode §8 discusses.
+// blocking backpressure (modelling the DPDK TX ring).
 func (t *SDNTransport) writeFrames(frames [][]byte) {
 	for _, f := range frames {
 		if t.sampler != nil {
 			if id, ok := t.sampler.Sample(); ok {
-				f = packet.WithTrace(f, packet.TraceAnnex{ID: id, Hops: []packet.TraceHop{{
+				traced := packet.WithTrace(f, packet.TraceAnnex{ID: id, Hops: []packet.TraceHop{{
 					Kind: packet.HopEmit, Actor: uint64(t.self), Detail: uint32(t.app),
-					At: time.Now().UnixNano(),
+					At: clock.CoarseUnixNano(),
 				}}})
+				packet.PutFrameBuf(f) // WithTrace copied; recycle the original
+				f = traced
 			}
 		}
-		ok := t.port.WriteFrame(f)
-		for retries := 0; !ok && retries < 200 && !t.port.Closed(); retries++ {
-			time.Sleep(50 * time.Microsecond)
-			ok = t.port.WriteFrame(f)
-		}
-		if ok {
-			t.framesSent.Add(1)
-		} else {
+		if err := t.port.WriteFrameTimeout(f, writeFrameWait); err != nil {
 			t.dropped.Add(1)
+			packet.PutFrameBuf(f) // never entered the ring; still solely ours
+			continue
 		}
+		t.framesSent.Add(1)
 	}
 }
 
@@ -168,15 +182,16 @@ func (t *SDNTransport) Recv(max int, wait time.Duration) ([]tuple.Tuple, error) 
 		max = 256
 	}
 	if len(t.inQueue) == 0 {
-		frames, err := t.port.ReadBatch(nil, max, wait)
+		frames, err := t.port.ReadBatch(t.rxBatch[:0], max, wait)
 		if err != nil {
 			return nil, errTransportClosed
 		}
+		t.rxBatch = frames
 		for _, fr := range frames {
 			if t.sink != nil && packet.Traced(fr) {
 				done := packet.AppendTraceHop(fr, packet.TraceHop{
 					Kind: packet.HopDequeue, Actor: uint64(t.self), Detail: uint32(t.app),
-					At: time.Now().UnixNano(),
+					At: clock.CoarseUnixNano(),
 				})
 				if annex, ok := packet.ExtractTrace(done); ok {
 					t.sink(annex)
@@ -185,6 +200,7 @@ func (t *SDNTransport) Recv(max int, wait time.Duration) ([]tuple.Tuple, error) 
 			ins, err := t.dpktz.Feed(fr)
 			if err != nil {
 				t.dropped.Add(1)
+				packet.PutFrameBuf(fr)
 				continue
 			}
 			for _, in := range ins {
@@ -195,6 +211,10 @@ func (t *SDNTransport) Recv(max int, wait time.Duration) ([]tuple.Tuple, error) 
 				}
 				t.inQueue = append(t.inQueue, tp)
 			}
+			// The unique-ownership protocol makes this transport the sole
+			// owner of every frame it dequeues, and tuple.Decode copied all
+			// values out, so the buffer can re-enter the pool here.
+			packet.PutFrameBuf(fr)
 		}
 		t.inLen.Store(int64(len(t.inQueue)))
 	}

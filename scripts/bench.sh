@@ -1,9 +1,15 @@
 #!/bin/sh
-# Rescale benchmark: run the managed stable rescale end to end and emit
-# BENCH_rescale.json (pause time + throughput dip across the rescale) for
-# the CI artifact upload. Extra arguments are passed to `go test`.
+# Benchmark artifacts for CI:
+#   BENCH_rescale.json   — managed stable rescale end to end (pause time +
+#                          throughput dip across the rescale).
+#   BENCH_dataplane.json — data-plane fast path (microflow cache speedup,
+#                          broadcast fan-out, codec and emit→recv allocs).
+# Extra arguments are passed to `go test`.
 set -eux
 cd "$(dirname "$0")/.."
-BENCH_JSON="${BENCH_JSON:-BENCH_rescale.json}" \
+BENCH_JSON="${BENCH_RESCALE_JSON:-BENCH_rescale.json}" \
 	go test -run '^$' -bench '^BenchmarkRescale$' -benchtime 1x "$@" .
-test -s "${BENCH_JSON:-BENCH_rescale.json}"
+test -s "${BENCH_RESCALE_JSON:-BENCH_rescale.json}"
+BENCH_JSON="${BENCH_DATAPLANE_JSON:-BENCH_dataplane.json}" \
+	go test -run '^$' -bench '^BenchmarkDataplane$' -benchtime 1x "$@" .
+test -s "${BENCH_DATAPLANE_JSON:-BENCH_dataplane.json}"
