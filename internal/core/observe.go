@@ -64,7 +64,10 @@ func (o *Observability) registerSwitch(sw *switchfabric.Switch) {
 		counter("typhoon_switch_dropped_frames_total", "Frames lost to table misses, malformed headers and full rings.", cnt.Dropped)
 		counter("typhoon_switch_malformed_frames_total", "Frames rejected before lookup (short or corrupt header).", cnt.Malformed)
 		counter("typhoon_switch_microflow_hits_total", "Frames forwarded via the microflow exact-match cache.", cnt.MicroflowHits)
-		counter("typhoon_switch_microflow_misses_total", "Frames that fell back to the full flow-table lookup.", cnt.MicroflowMisses)
+		counter("typhoon_switch_microflow_misses_total", "Frames that missed the microflow cache.", cnt.MicroflowMisses)
+		counter("typhoon_switch_megaflow_hits_total", "Microflow misses answered by the wildcarded megaflow cache.", cnt.MegaflowHits)
+		counter("typhoon_switch_megaflow_misses_total", "Frames that missed both flow caches.", cnt.MegaflowMisses)
+		counter("typhoon_switch_upcalls_total", "Slow-path staged flow-table lookups.", cnt.Upcalls)
 		ports := sw.Ports()
 		emit(observe.Sample{Name: "typhoon_switch_flow_rules", Kind: observe.KindGauge,
 			Help: "Installed flow rules.", Labels: host, Value: float64(sw.RuleCount())})

@@ -303,6 +303,9 @@ func (m *Manager) SwapLogic(name, node, newLogic string) error {
 				kept = append(kept, as)
 			}
 		}
+		// Zero the compacted tail so dropped assignments (and their
+		// strings) don't linger in the backing array.
+		clear(trimmed.Workers[len(kept):])
 		trimmed.Workers = kept
 		hosts, err := m.hosts()
 		if err != nil {
@@ -382,6 +385,8 @@ func (m *Manager) RemoveNode(name, node string) error {
 				kept = append(kept, as)
 			}
 		}
+		// Zero the compacted tail, as in SwapLogic.
+		clear(out.Workers[len(kept):])
 		out.Workers = kept
 		return out, nil
 	})

@@ -123,8 +123,36 @@ const (
 	FieldEtherType
 )
 
+// FieldAll is every match field: the mask of a fully-specified match.
+const FieldAll = FieldInPort | FieldDlSrc | FieldDlDst | FieldEtherType
+
 // Has reports whether all bits in f are present.
 func (s FieldSet) Has(f FieldSet) bool { return s&f == f }
+
+// String renders the mask like ovs-ofctl wildcard output.
+func (s FieldSet) String() string {
+	if s == 0 {
+		return "any"
+	}
+	out := ""
+	for _, f := range []struct {
+		bit  FieldSet
+		name string
+	}{
+		{FieldInPort, "in_port"},
+		{FieldDlSrc, "dl_src"},
+		{FieldDlDst, "dl_dst"},
+		{FieldEtherType, "eth_type"},
+	} {
+		if s.Has(f.bit) {
+			if out != "" {
+				out += "|"
+			}
+			out += f.name
+		}
+	}
+	return out
+}
 
 // Match selects frames by ingress port, addresses and EtherType, the exact
 // rule vocabulary of Table 3.
@@ -156,6 +184,26 @@ func (m Match) Covers(inPort uint32, src, dst packet.Addr, etherType uint16) boo
 
 // Equal reports exact structural equality (used for strict deletes).
 func (m Match) Equal(o Match) bool { return m == o }
+
+// Normalize returns the match with every wildcarded field zeroed, so two
+// semantically equal matches — same mask, same constrained values, junk in
+// the ignored fields — become structurally equal. The switch's classifier
+// keys its mask-staged sub-tables on normalized matches.
+func (m Match) Normalize() Match {
+	if !m.Fields.Has(FieldInPort) {
+		m.InPort = 0
+	}
+	if !m.Fields.Has(FieldDlSrc) {
+		m.DlSrc = packet.Addr{}
+	}
+	if !m.Fields.Has(FieldDlDst) {
+		m.DlDst = packet.Addr{}
+	}
+	if !m.Fields.Has(FieldEtherType) {
+		m.EtherType = 0
+	}
+	return m
+}
 
 // String renders the match like ovs-ofctl output.
 func (m Match) String() string {

@@ -196,3 +196,41 @@ func TestDepacketizerMultiplexedAllocFree(t *testing.T) {
 		t.Fatalf("Feed allocates %.2f per multiplexed frame", n)
 	}
 }
+
+// TestPacketizerEvictsIdleStages is the regression guard for the
+// unbounded staged map: destinations that go quiet (placement churn, a
+// crashed downstream) must be evicted after stageIdleFlushes FlushAll
+// generations instead of pinning a stage entry forever.
+func TestPacketizerEvictsIdleStages(t *testing.T) {
+	src := WorkerAddr(1, 1)
+	p := NewPacketizer(src, 0)
+	enc := bytes.Repeat([]byte{7}, 32)
+	const dsts = 10
+	for i := 0; i < dsts; i++ {
+		p.Add(WorkerAddr(2, uint32(i)), enc)
+	}
+	for _, fr := range p.FlushAll() {
+		PutFrameBuf(fr)
+	}
+	if got := p.Stages(); got != dsts {
+		t.Fatalf("Stages = %d after first flush, want %d", got, dsts)
+	}
+	// Only one destination stays live; the rest idle out.
+	live := WorkerAddr(2, 0)
+	for round := 0; round < stageIdleFlushes+2; round++ {
+		p.Add(live, enc)
+		for _, fr := range p.FlushAll() {
+			PutFrameBuf(fr)
+		}
+	}
+	if got := p.Stages(); got != 1 {
+		t.Fatalf("Stages = %d after idle rounds, want 1 (idle stages not evicted)", got)
+	}
+	// The survivor still works.
+	p.Add(live, enc)
+	frames := p.FlushAll()
+	if len(frames) != 1 {
+		t.Fatalf("got %d frames from live stage, want 1", len(frames))
+	}
+	PutFrameBuf(frames[0])
+}

@@ -21,21 +21,36 @@ type Packetizer struct {
 	maxPayload int
 	nextSegID  uint32
 
-	// Per-destination staging buffers. A small topology has a handful of
-	// next hops, so a map of persistent stages is fine; stages are never
-	// deleted, their frame buffer is simply handed off on flush and lazily
-	// replaced from the pool on the next Add.
+	// Per-destination staging buffers. A destination's stage persists
+	// across flushes while traffic keeps arriving (the frame buffer is
+	// handed off on flush and lazily replaced from the pool on the next
+	// Add), but a destination that goes quiet — placement churn, rescale,
+	// a crashed downstream worker — is evicted after stageIdleFlushes
+	// FlushAll generations so stale stages neither accumulate nor stretch
+	// every future FlushAll sweep.
 	staged map[Addr]*stage
+
+	// flushGen counts FlushAll calls, the idle-eviction clock.
+	flushGen uint64
 
 	// ready is the reusable container returned by Add and FlushAll.
 	ready [][]byte
 }
+
+// stageIdleFlushes is how many FlushAll generations a destination may sit
+// empty before its stage is evicted. Flushes run at batch cadence
+// (milliseconds), so live destinations refresh constantly and eviction
+// only ever collects genuinely dead ones.
+const stageIdleFlushes = 8
 
 type stage struct {
 	// buf is the frame under construction: header followed by staged
 	// length-prefixed tuples. nil between a flush and the next Add.
 	buf   []byte
 	count int // staged tuples
+
+	// lastUsed is the flush generation of the most recent Add.
+	lastUsed uint64
 }
 
 // payloadLen reports the staged payload bytes (excluding the frame header).
@@ -77,6 +92,7 @@ func (p *Packetizer) Add(dst Addr, encoded []byte) [][]byte {
 		st = &stage{}
 		p.staged[dst] = st
 	}
+	st.lastUsed = p.flushGen
 	if st.payloadLen()+need > p.maxPayload {
 		p.flushDst(dst)
 	}
@@ -91,15 +107,33 @@ func (p *Packetizer) Add(dst Addr, encoded []byte) [][]byte {
 
 // FlushAll emits one frame per destination with staged tuples. The worker
 // I/O layer calls this when the configurable batch threshold is reached or a
-// batch timer fires. The returned slice is reused by the next
+// batch timer fires. Destinations idle for more than stageIdleFlushes
+// flush generations are evicted on the way through, returning any staged
+// buffer to the pool. The returned slice is reused by the next
 // Add/FlushAll call; consume it before then.
 func (p *Packetizer) FlushAll() [][]byte {
 	p.ready = p.ready[:0]
-	for dst := range p.staged {
-		p.flushDst(dst)
+	p.flushGen++
+	for dst, st := range p.staged {
+		if st.count > 0 {
+			p.flushDst(dst)
+			continue
+		}
+		if p.flushGen-st.lastUsed > stageIdleFlushes {
+			if st.buf != nil {
+				// Unreachable today (buf implies count > 0), but eviction
+				// must never strand a pooled buffer.
+				PutFrameBuf(st.buf)
+			}
+			delete(p.staged, dst)
+		}
 	}
 	return p.ready
 }
+
+// Stages reports the number of per-destination staging buffers currently
+// held (live plus not-yet-evicted idle ones).
+func (p *Packetizer) Stages() int { return len(p.staged) }
 
 // Pending reports the number of tuples currently staged across all
 // destinations.

@@ -2,6 +2,8 @@ package switchfabric
 
 import (
 	"math/rand"
+	"runtime"
+	"sort"
 	"testing"
 	"testing/quick"
 	"time"
@@ -107,7 +109,7 @@ func TestFlowTableExpireOnlyIdle(t *testing.T) {
 	ft.add(openflow.FlowMod{Priority: 1,
 		Match: openflow.Match{Fields: openflow.FieldInPort, InPort: 2}})
 	time.Sleep(30 * time.Millisecond)
-	removed := ft.expire(time.Now())
+	removed := ft.expire(time.Now().UnixNano())
 	if len(removed) != 1 || ft.len() != 1 {
 		t.Fatalf("removed=%d left=%d", len(removed), ft.len())
 	}
@@ -127,5 +129,316 @@ func TestFlowTableSnapshotCounters(t *testing.T) {
 	snap := ft.snapshot()
 	if len(snap) != 1 || snap[0].Packets != 2 || snap[0].Bytes != 150 || snap[0].Cookie != 77 {
 		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+// linearTable is the pre-staged classifier: rules sorted by descending
+// priority with stable insertion order, lookup by linear scan. The
+// conformance tests below hold the staged classifier to exactly these
+// semantics.
+type linearTable struct {
+	rules []*rule
+}
+
+func (t *linearTable) add(fm openflow.FlowMod) {
+	nr := &rule{match: fm.Match.Normalize(), priority: fm.Priority, cookie: fm.Cookie}
+	acts := fm.Actions
+	nr.actions.Store(&acts)
+	for i, r := range t.rules {
+		if r.priority == fm.Priority && r.match.Equal(nr.match) {
+			t.rules[i] = nr
+			return
+		}
+	}
+	t.rules = append(t.rules, nr)
+	sort.SliceStable(t.rules, func(i, j int) bool {
+		return t.rules[i].priority > t.rules[j].priority
+	})
+}
+
+func (t *linearTable) remove(m openflow.Match, priority uint16, strict bool) {
+	nm := m.Normalize()
+	kept := t.rules[:0]
+	for _, r := range t.rules {
+		del := false
+		if strict {
+			del = r.priority == priority && r.match.Equal(nm)
+		} else {
+			del = subsumes(m, r.match)
+		}
+		if !del {
+			kept = append(kept, r)
+		}
+	}
+	clear(t.rules[len(kept):])
+	t.rules = kept
+}
+
+func (t *linearTable) lookup(inPort uint32, src, dst packet.Addr, etherType uint16) *rule {
+	for _, r := range t.rules {
+		if r.match.Covers(inPort, src, dst, etherType) {
+			return r
+		}
+	}
+	return nil
+}
+
+// TestStagedMatchesLinearConformance drives the staged classifier and the
+// reference linear table through the same randomized install/delete churn
+// and requires identical lookup decisions on a frame sweep after every
+// mutation.
+func TestStagedMatchesLinearConformance(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		var staged flowTable
+		var linear linearTable
+		randMatch := func() openflow.Match {
+			return mkMatch(openflow.FieldSet(r.Intn(16)), r.Uint32()%3,
+				r.Uint32()%3, r.Uint32()%3, uint16(r.Intn(2)))
+		}
+		sweep := func(step int) {
+			for in := uint32(0); in < 3; in++ {
+				for srcW := uint32(0); srcW < 3; srcW++ {
+					for dstW := uint32(0); dstW < 3; dstW++ {
+						for et := uint16(0); et < 2; et++ {
+							src := packet.WorkerAddr(1, srcW)
+							dst := packet.WorkerAddr(1, dstW)
+							want := linear.lookup(in, src, dst, et)
+							got := staged.lookup(in, src, dst, et)
+							switch {
+							case want == nil && got == nil:
+							case want == nil || got == nil:
+								t.Fatalf("seed %d step %d frame(%d,%d,%d,%d): staged=%v linear=%v",
+									seed, step, in, srcW, dstW, et, got != nil, want != nil)
+							case want.cookie != got.cookie:
+								t.Fatalf("seed %d step %d frame(%d,%d,%d,%d): staged picked cookie %d (prio %d, %s), linear %d (prio %d, %s)",
+									seed, step, in, srcW, dstW, et,
+									got.cookie, got.priority, got.match.Fields,
+									want.cookie, want.priority, want.match.Fields)
+							}
+						}
+					}
+				}
+			}
+		}
+		for step := 0; step < 60; step++ {
+			m := randMatch()
+			prio := uint16(r.Intn(4))
+			switch r.Intn(4) {
+			case 0, 1: // add twice as often as deletes
+				fm := openflow.FlowMod{Priority: prio, Match: m, Cookie: uint64(seed)<<32 | uint64(step),
+					Actions: []openflow.Action{openflow.Output(uint32(step))}}
+				staged.add(fm)
+				linear.add(fm)
+			case 2:
+				staged.remove(m, prio, true)
+				linear.remove(m, prio, true)
+			case 3:
+				staged.remove(m, prio, false)
+				linear.remove(m, prio, false)
+			}
+			if staged.len() != len(linear.rules) {
+				t.Fatalf("seed %d step %d: staged holds %d rules, linear %d", seed, step, staged.len(), len(linear.rules))
+			}
+			sweep(step)
+		}
+	}
+}
+
+// TestPriorityTieAcrossSubTables pins the cross-sub-table tie-break: among
+// equal priorities the earliest-installed rule wins, and a delete +
+// reinstall demotes the rule to the back of the tie.
+func TestPriorityTieAcrossSubTables(t *testing.T) {
+	var ft flowTable
+	byDst := openflow.Match{Fields: openflow.FieldDlDst, DlDst: packet.WorkerAddr(1, 2)}
+	byPort := openflow.Match{Fields: openflow.FieldInPort, InPort: 1}
+	a := openflow.FlowMod{Priority: 10, Match: byDst, Actions: []openflow.Action{openflow.Output(100)}}
+	b := openflow.FlowMod{Priority: 10, Match: byPort, Actions: []openflow.Action{openflow.Output(200)}}
+	ft.add(a)
+	ft.add(b)
+	frame := func() *rule { return ft.lookup(1, packet.WorkerAddr(1, 9), packet.WorkerAddr(1, 2), packet.EtherType) }
+	if r := frame(); r == nil || r.loadActions()[0].Port != 100 {
+		t.Fatal("first-installed rule should win the priority tie")
+	}
+	// Replacing a's actions in place (ADD with same match+priority) must
+	// keep its install rank.
+	a.Actions = []openflow.Action{openflow.Output(101)}
+	ft.add(a)
+	if r := frame(); r == nil || r.loadActions()[0].Port != 101 {
+		t.Fatal("in-place replacement should keep the tie-break rank")
+	}
+	// Delete + reinstall sends a to the back of the tie: b now wins.
+	ft.remove(byDst, 10, true)
+	ft.add(a)
+	if r := frame(); r == nil || r.loadActions()[0].Port != 200 {
+		t.Fatal("reinstalled rule should lose the tie to the older rule")
+	}
+}
+
+// TestLookupMaskSoundness is the megaflow property: for any frame, any
+// other frame agreeing with it on the fields of lookupMask's reported
+// mask must resolve to the same rule — that is what makes installing
+// (mask, maskedKey) → rule into the megaflow cache safe.
+func TestLookupMaskSoundness(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(1000 + seed))
+		var ft flowTable
+		for i := 0; i < 12; i++ {
+			ft.add(openflow.FlowMod{
+				Priority: uint16(r.Intn(4)),
+				Cookie:   uint64(i),
+				Match: mkMatch(openflow.FieldSet(r.Intn(16)), r.Uint32()%3,
+					r.Uint32()%3, r.Uint32()%3, uint16(r.Intn(2))),
+				Actions: []openflow.Action{openflow.Output(uint32(i))},
+			})
+		}
+		for probe := 0; probe < 200; probe++ {
+			in := r.Uint32() % 3
+			src := packet.WorkerAddr(1, r.Uint32()%3)
+			dst := packet.WorkerAddr(1, r.Uint32()%3)
+			et := uint16(r.Intn(2))
+			want, mask := ft.lookupMask(in, src, dst, et)
+			// Scramble every field outside the mask; the decision may not
+			// change.
+			in2, src2, dst2, et2 := in, src, dst, et
+			if !mask.Has(openflow.FieldInPort) {
+				in2 = r.Uint32() % 3
+			}
+			if !mask.Has(openflow.FieldDlSrc) {
+				src2 = packet.WorkerAddr(1, r.Uint32()%3)
+			}
+			if !mask.Has(openflow.FieldDlDst) {
+				dst2 = packet.WorkerAddr(1, r.Uint32()%3)
+			}
+			if !mask.Has(openflow.FieldEtherType) {
+				et2 = uint16(r.Intn(2))
+			}
+			if got := ft.lookup(in2, src2, dst2, et2); got != want {
+				t.Fatalf("seed %d: scrambling outside mask %s changed the decision", seed, mask)
+			}
+		}
+	}
+}
+
+// ruleReleased asserts that the rule selected by pick becomes unreachable
+// (its finalizer runs) after mutate removes it from the table — the
+// regression guard for compacted slices retaining removed rules through
+// their backing arrays.
+func ruleReleased(t *testing.T, ft *flowTable, pick func() *rule, mutate func()) {
+	t.Helper()
+	freed := make(chan struct{})
+	func() {
+		r := pick()
+		if r == nil {
+			t.Fatal("pick returned no rule")
+		}
+		runtime.SetFinalizer(r, func(*rule) { close(freed) })
+	}()
+	mutate() // removed rules returned here are dropped on the floor
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		select {
+		case <-freed:
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("removed rule still reachable after GC: retained by a compacted backing array?")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// sharedBucketRules installs count rules with the identical match at
+// distinct priorities, so they share one sub-table bucket and removal
+// exercises the in-place slice compaction.
+func sharedBucketRules(ft *flowTable, count int) openflow.Match {
+	m := openflow.Match{Fields: openflow.FieldDlDst, DlDst: packet.WorkerAddr(1, 7)}
+	for i := 0; i < count; i++ {
+		ft.add(openflow.FlowMod{Priority: uint16(10 + i), Match: m,
+			Actions: []openflow.Action{openflow.Output(uint32(i))}})
+	}
+	return m
+}
+
+// ruleByPriority digs the rule with the given priority out of the table's
+// internals, so retention tests can finalize a specific bucket position.
+func ruleByPriority(ft *flowTable, prio uint16) *rule {
+	ft.mu.RLock()
+	defer ft.mu.RUnlock()
+	for _, st := range ft.subs {
+		for _, bucket := range st.entries {
+			for _, r := range bucket {
+				if r.priority == prio {
+					return r
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// The retention tests target the bucket's LAST element (lowest priority):
+// left-shift compaction overwrites removed leading elements, so only a
+// removed trailing rule stays pinned by the backing array — exactly the
+// slot the clear() in removeWhere exists to release.
+func TestFlowTableRemoveReleasesRule(t *testing.T) {
+	var ft flowTable
+	m := sharedBucketRules(&ft, 4)
+	ruleReleased(t, &ft,
+		func() *rule { return ruleByPriority(&ft, 10) }, // bucket tail
+		func() { ft.remove(m, 10, true) })
+	if ft.len() != 3 {
+		t.Fatalf("len = %d, want 3", ft.len())
+	}
+}
+
+func TestFlowTableExpireReleasesRule(t *testing.T) {
+	var ft flowTable
+	m := sharedBucketRules(&ft, 4)
+	// Give the tail (lowest-priority) rule an idle timeout; the re-add
+	// replaces it in place so it stays at the end of the bucket.
+	ft.add(openflow.FlowMod{Priority: 10, Match: m, IdleTimeoutMs: 1,
+		Actions: []openflow.Action{openflow.Output(99)}})
+	ruleReleased(t, &ft,
+		func() *rule { return ruleByPriority(&ft, 10) }, // bucket tail
+		func() {
+			time.Sleep(10 * time.Millisecond)
+			ft.expire(time.Now().UnixNano())
+		})
+	if ft.len() != 3 {
+		t.Fatalf("len = %d, want 3", ft.len())
+	}
+}
+
+// TestRuleExpiryBoundary pins the idle-expiry comparison to a single clock
+// domain: exactly-at-timeout does not expire, one nanosecond past does,
+// and a scanner stamp behind the rule's lastHit (negative idle — the old
+// cross-domain skew scenario) never expires the rule.
+func TestRuleExpiryBoundary(t *testing.T) {
+	var ft flowTable
+	ft.add(openflow.FlowMod{Priority: 1, IdleTimeoutMs: 10,
+		Match: openflow.Match{Fields: openflow.FieldInPort, InPort: 1}})
+	r := ft.lookup(1, packet.Addr{}, packet.Addr{}, 0)
+	if r == nil {
+		t.Fatal("rule not installed")
+	}
+	const base = int64(1_000_000_000)
+	timeout := int64(10 * time.Millisecond)
+	r.lastHit.Store(base)
+	if removed := ft.expire(base + timeout); len(removed) != 0 {
+		t.Fatal("expired exactly at the timeout boundary")
+	}
+	// The coarse clock lagging the stamp (negative idle) must clamp to
+	// zero, not expire — this is the skew that previously shaved the
+	// timeout when expire ran on real time against coarse-clock stamps.
+	r.lastHit.Store(base + timeout + int64(time.Millisecond))
+	if removed := ft.expire(base); len(removed) != 0 {
+		t.Fatal("expired a rule whose lastHit is ahead of the scanner clock")
+	}
+	r.lastHit.Store(base)
+	if removed := ft.expire(base + timeout + 1); len(removed) != 1 {
+		t.Fatal("did not expire past the boundary")
 	}
 }

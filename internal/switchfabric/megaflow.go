@@ -1,0 +1,91 @@
+package switchfabric
+
+import (
+	"typhoon/internal/openflow"
+	"typhoon/internal/packet"
+)
+
+// megaCacheCap bounds the total entries of a pump's megaflow cache.
+// Megaflows are far coarser than microflows — one entry absorbs every
+// microflow that agrees on the masked fields — so the population tracks
+// rule-mask diversity rather than traffic diversity; overflow resets the
+// whole cache rather than tracking LRU order, mirroring microflow.go.
+const megaCacheCap = 4096
+
+// megaCache is a per-pump wildcarded flow cache between the exact-match
+// microflow cache and the staged flow table — the software analogue of Open
+// vSwitch's megaflow layer. Entries are installed on slow-path resolution
+// with the mask the classifier reports for the decision (the union of
+// every sub-table mask it probed, see flowTable.lookupMask): any frame
+// agreeing on exactly those fields resolves to the same rule, so one entry
+// covers an arbitrary scatter of microflows. Lookup is one map probe per
+// distinct installed mask.
+//
+// Overlapping entries are safe in any probe order: two entries can only
+// both cover a frame if the full lookup of that frame yields the same rule
+// for each (the mask-union guarantee), so the first hit is always correct.
+//
+// Like the microflow cache it is owned by a single pump goroutine — no
+// locks, no atomics — and coherence is generation-based: the pump samples
+// the switch generation once per batch and resets the cache on any
+// control-plane mutation, so the PR 5 churn guarantees (no stale
+// forwarding after any flow/group/port change) extend to this layer.
+type megaCache struct {
+	gen    uint64
+	masks  []openflow.FieldSet // distinct masks with live entries, probe order
+	tables map[openflow.FieldSet]map[flowKey]*rule
+	count  int
+}
+
+func newMegaCache() *megaCache {
+	return &megaCache{tables: make(map[openflow.FieldSet]map[flowKey]*rule)}
+}
+
+// reset drops every entry, keeping the per-mask maps for reuse.
+func (c *megaCache) reset() {
+	for _, m := range c.masks {
+		clear(c.tables[m])
+	}
+	c.masks = c.masks[:0]
+	c.count = 0
+}
+
+// validate resets the cache when the switch generation moved.
+func (c *megaCache) validate(gen uint64) {
+	if gen != c.gen {
+		c.reset()
+		c.gen = gen
+	}
+}
+
+// lookup probes every installed mask with the frame attributes projected
+// onto it.
+func (c *megaCache) lookup(inPort uint32, src, dst packet.Addr, etherType uint16) (*rule, bool) {
+	for _, m := range c.masks {
+		if r, ok := c.tables[m][maskedKey(m, inPort, src, dst, etherType)]; ok {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// insert installs the slow path's decision for the frame under the mask
+// the classifier derived for it.
+func (c *megaCache) insert(mask openflow.FieldSet, inPort uint32, src, dst packet.Addr, etherType uint16, r *rule) {
+	if c.count >= megaCacheCap {
+		c.reset()
+	}
+	tbl := c.tables[mask]
+	if tbl == nil {
+		tbl = make(map[flowKey]*rule)
+		c.tables[mask] = tbl
+	}
+	if len(tbl) == 0 {
+		c.masks = append(c.masks, mask)
+	}
+	k := maskedKey(mask, inPort, src, dst, etherType)
+	if _, exists := tbl[k]; !exists {
+		c.count++
+	}
+	tbl[k] = r
+}

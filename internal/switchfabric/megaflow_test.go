@@ -1,0 +1,178 @@
+package switchfabric
+
+import (
+	"testing"
+	"time"
+
+	"typhoon/internal/openflow"
+	"typhoon/internal/packet"
+)
+
+// dstRule matches on destination only — the shape the megaflow cache is
+// built for: one wildcarded entry absorbing every source talking to dst.
+func dstRule(dst packet.Addr, outPort uint32, priority uint16) openflow.FlowMod {
+	return openflow.FlowMod{
+		Command:  openflow.FlowAdd,
+		Priority: priority,
+		Match:    openflow.Match{Fields: openflow.FieldDlDst, DlDst: dst},
+		Actions:  []openflow.Action{openflow.Output(outPort)},
+	}
+}
+
+// newMegaTestSwitch builds a started switch with the given extra options.
+func newMegaTestSwitch(t *testing.T, extra ...Option) *Switch {
+	t.Helper()
+	opts := []Option{Options{RingCapacity: 256, IdleScanInterval: 10 * time.Millisecond}}
+	opts = append(opts, extra...)
+	sw := New("host-m", 7, opts...)
+	sw.Start()
+	t.Cleanup(sw.Stop)
+	return sw
+}
+
+// scatter writes n frames to in, one per distinct source address, all
+// destined for dst, and asserts each one arrives on out.
+func scatter(t *testing.T, in, out *Port, dst packet.Addr, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		src := packet.WorkerAddr(9, uint32(i+1))
+		if !in.WriteFrame(frameFor(dst, src, "scatter")) {
+			t.Fatalf("WriteFrame %d failed", i)
+		}
+		f, err := packet.Decode(mustRead(t, out))
+		if err != nil || f.Src != src || f.Dst != dst {
+			t.Fatalf("frame %d: decoded %+v err=%v", i, f, err)
+		}
+	}
+}
+
+// TestMegaflowCoalescesScatter drives many distinct sources at a
+// destination-only rule. Every frame misses the exact-match microflow
+// cache (the key includes the source), but after the first upcall the
+// megaflow entry — masked to the destination field alone — answers all of
+// them: one slow-path lookup total, regardless of source fan-in.
+func TestMegaflowCoalescesScatter(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		extra []Option
+	}{
+		{"microflow-on", nil},
+		{"microflow-off", []Option{WithoutMicroflowCache()}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sw := newMegaTestSwitch(t, tc.extra...)
+			a2 := packet.WorkerAddr(1, 2)
+			p1, _ := sw.AddPort("w1", packet.WorkerAddr(1, 1))
+			p2, _ := sw.AddPort("w2", a2)
+			if err := sw.ApplyFlowMod(dstRule(a2, p2.No(), 100)); err != nil {
+				t.Fatal(err)
+			}
+			const n = 50
+			scatter(t, p1, p2, a2, n)
+			hits, misses := sw.MegaflowStats()
+			if hits != n-1 || misses != 1 {
+				t.Fatalf("megaflow hits/misses = %d/%d, want %d/1", hits, misses, n-1)
+			}
+			if up := sw.UpcallCount(); up != 1 {
+				t.Fatalf("upcalls = %d, want 1 (megaflow should absorb the scatter)", up)
+			}
+		})
+	}
+}
+
+// TestMegaflowInvalidation covers the staleness hazard of a wildcarded
+// cache: after the rule it answers for is deleted and replaced, frames
+// must follow the new rule, not the cached entry.
+func TestMegaflowInvalidation(t *testing.T) {
+	sw := newMegaTestSwitch(t)
+	a2 := packet.WorkerAddr(1, 2)
+	p1, _ := sw.AddPort("w1", packet.WorkerAddr(1, 1))
+	p2, _ := sw.AddPort("w2", a2)
+	p3, _ := sw.AddPort("w3", packet.WorkerAddr(1, 3))
+
+	if err := sw.ApplyFlowMod(dstRule(a2, p2.No(), 100)); err != nil {
+		t.Fatal(err)
+	}
+	scatter(t, p1, p2, a2, 5) // warm the megaflow entry
+
+	// Replace the route: delete the old rule, install one toward p3.
+	if err := sw.ApplyFlowMod(openflow.FlowMod{
+		Command: openflow.FlowDeleteStrict, Priority: 100,
+		Match: openflow.Match{Fields: openflow.FieldDlDst, DlDst: a2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.ApplyFlowMod(dstRule(a2, p3.No(), 100)); err != nil {
+		t.Fatal(err)
+	}
+	scatter(t, p1, p3, a2, 5) // must hit the fresh rule, not the stale entry
+}
+
+// TestMegaflowOverlapPriority installs a broad low-priority rule and a
+// narrow high-priority override. The megaflow mask for frames matching the
+// broad rule must include the source field (the probe consulted the
+// narrow sub-table on the way), so override traffic can never be captured
+// by a cached broad decision or vice versa.
+func TestMegaflowOverlapPriority(t *testing.T) {
+	sw := newMegaTestSwitch(t)
+	a2 := packet.WorkerAddr(1, 2)
+	special := packet.WorkerAddr(9, 500)
+	p1, _ := sw.AddPort("w1", packet.WorkerAddr(1, 1))
+	p2, _ := sw.AddPort("w2", a2)
+	p3, _ := sw.AddPort("w3", packet.WorkerAddr(1, 3))
+
+	if err := sw.ApplyFlowMod(dstRule(a2, p2.No(), 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.ApplyFlowMod(openflow.FlowMod{
+		Command:  openflow.FlowAdd,
+		Priority: 200,
+		Match: openflow.Match{
+			Fields: openflow.FieldDlSrc | openflow.FieldDlDst,
+			DlSrc:  special, DlDst: a2,
+		},
+		Actions: []openflow.Action{openflow.Output(p3.No())},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 3; round++ {
+		// Broad traffic from rotating sources lands on p2...
+		src := packet.WorkerAddr(9, uint32(100+round))
+		if !p1.WriteFrame(frameFor(a2, src, "broad")) {
+			t.Fatal("WriteFrame failed")
+		}
+		f, err := packet.Decode(mustRead(t, p2))
+		if err != nil || f.Src != src {
+			t.Fatalf("round %d broad: %+v err=%v", round, f, err)
+		}
+		// ...while the override source always lands on p3.
+		if !p1.WriteFrame(frameFor(a2, special, "override")) {
+			t.Fatal("WriteFrame failed")
+		}
+		f, err = packet.Decode(mustRead(t, p3))
+		if err != nil || f.Src != special {
+			t.Fatalf("round %d override: %+v err=%v", round, f, err)
+		}
+	}
+}
+
+// TestMegaflowDisabled pins the opt-out path: with both caches off every
+// frame is an upcall and the megaflow counters stay untouched.
+func TestMegaflowDisabled(t *testing.T) {
+	sw := newMegaTestSwitch(t, WithoutMicroflowCache(), WithoutMegaflowCache())
+	a2 := packet.WorkerAddr(1, 2)
+	p1, _ := sw.AddPort("w1", packet.WorkerAddr(1, 1))
+	p2, _ := sw.AddPort("w2", a2)
+	if err := sw.ApplyFlowMod(dstRule(a2, p2.No(), 100)); err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	scatter(t, p1, p2, a2, n)
+	if hits, misses := sw.MegaflowStats(); hits != 0 || misses != 0 {
+		t.Fatalf("megaflow stats = %d/%d with cache disabled", hits, misses)
+	}
+	if up := sw.UpcallCount(); up != n {
+		t.Fatalf("upcalls = %d, want %d", up, n)
+	}
+}

@@ -14,9 +14,12 @@
 // The per-frame pipeline is engineered to take zero locks and make zero
 // allocations in steady state:
 //
-//   - Each port pump owns a microflow cache (microflow.go) in front of the
-//     flow table, invalidated by a generation counter that every control
-//     mutation bumps.
+//   - Each port pump owns a two-level flow cache in front of the flow
+//     table — an exact-match microflow cache (microflow.go) and a
+//     wildcarded megaflow cache (megaflow.go) — both invalidated by a
+//     generation counter that every control mutation bumps. Misses fall
+//     through to the mask-staged classifier (flowtable.go), whose cost
+//     scales with distinct rule masks, not rule count.
 //   - Ports, groups and the controller sink are read from an immutable
 //     dataView snapshot swapped atomically on control-plane changes.
 //   - Frames are processed in batches: the view, the generation and a
@@ -61,9 +64,13 @@ type Options struct {
 	// selects 50 ms.
 	IdleScanInterval time.Duration
 	// DisableMicroflowCache turns off the per-port exact-match cache so
-	// every frame takes the full flow-table lookup. Benchmarks use it to
-	// measure the cache's contribution; production has no reason to.
+	// every frame takes the megaflow probe (or, with both caches off, the
+	// full flow-table lookup). Benchmarks use it to measure the cache's
+	// contribution; production has no reason to.
 	DisableMicroflowCache bool
+	// DisableMegaflowCache turns off the per-port wildcarded megaflow
+	// cache so microflow misses go straight to the staged flow table.
+	DisableMegaflowCache bool
 }
 
 // Option configures a Switch under construction. An Options literal is
@@ -92,6 +99,11 @@ func WithIdleScanInterval(d time.Duration) Option {
 // WithoutMicroflowCache disables the per-port exact-match cache.
 func WithoutMicroflowCache() Option {
 	return optionFunc(func(o *Options) { o.DisableMicroflowCache = true })
+}
+
+// WithoutMegaflowCache disables the per-port wildcarded megaflow cache.
+func WithoutMegaflowCache() Option {
+	return optionFunc(func(o *Options) { o.DisableMegaflowCache = true })
 }
 
 // pumpBatchSize is how many frames a port pump drains per wakeup; trace
@@ -129,6 +141,9 @@ type Switch struct {
 	replicated     atomic.Uint64
 	mfHits         atomic.Uint64
 	mfMisses       atomic.Uint64
+	megaHits       atomic.Uint64
+	megaMisses     atomic.Uint64
+	upcalls        atomic.Uint64
 }
 
 // dataView is the lock-free snapshot the per-frame path reads. Its maps are
@@ -158,10 +173,17 @@ type Counters struct {
 	// Malformed counts received frames discarded before lookup because
 	// their header failed to parse (also included in Dropped).
 	Malformed uint64
-	// MicroflowHits and MicroflowMisses count fast-path cache outcomes
+	// MicroflowHits and MicroflowMisses count exact-match cache outcomes
 	// across all port pumps.
 	MicroflowHits   uint64
 	MicroflowMisses uint64
+	// MegaflowHits and MegaflowMisses count wildcarded-cache outcomes for
+	// frames that missed the microflow cache.
+	MegaflowHits   uint64
+	MegaflowMisses uint64
+	// Upcalls counts slow-path classifier lookups (both caches missed, or
+	// caches disabled).
+	Upcalls uint64
 }
 
 type group struct {
@@ -493,10 +515,19 @@ func (s *Switch) NoMatchDrops() uint64 { return s.rxDropsNoMatch.Load() }
 // failed to parse.
 func (s *Switch) MalformedDrops() uint64 { return s.malformed.Load() }
 
-// MicroflowStats reports fast-path cache hits and misses across all pumps.
+// MicroflowStats reports exact-match cache hits and misses across all
+// pumps.
 func (s *Switch) MicroflowStats() (hits, misses uint64) {
 	return s.mfHits.Load(), s.mfMisses.Load()
 }
+
+// MegaflowStats reports wildcarded-cache hits and misses across all pumps.
+func (s *Switch) MegaflowStats() (hits, misses uint64) {
+	return s.megaHits.Load(), s.megaMisses.Load()
+}
+
+// UpcallCount reports slow-path classifier lookups across all pumps.
+func (s *Switch) UpcallCount() uint64 { return s.upcalls.Load() }
 
 // CountersSnapshot aggregates the switch's frame accounting across ports.
 func (s *Switch) CountersSnapshot() Counters {
@@ -506,6 +537,9 @@ func (s *Switch) CountersSnapshot() Counters {
 	c.Malformed = s.malformed.Load()
 	c.MicroflowHits = s.mfHits.Load()
 	c.MicroflowMisses = s.mfMisses.Load()
+	c.MegaflowHits = s.megaHits.Load()
+	c.MegaflowMisses = s.megaMisses.Load()
+	c.Upcalls = s.upcalls.Load()
 	c.Dropped = s.rxDropsNoMatch.Load() + c.Malformed
 	v := s.view.Load()
 	for _, p := range v.ports {
@@ -524,6 +558,10 @@ func (s *Switch) pump(p *Port) {
 	if !s.opts.DisableMicroflowCache {
 		mc = newMicroCache()
 	}
+	var mg *megaCache
+	if !s.opts.DisableMegaflowCache {
+		mg = newMegaCache()
+	}
 	batch := make([][]byte, 0, pumpBatchSize)
 	for {
 		batch = batch[:0]
@@ -532,7 +570,7 @@ func (s *Switch) pump(p *Port) {
 		if err != nil {
 			return
 		}
-		s.processBatch(p, batch, mc)
+		s.processBatch(p, batch, mc, mg)
 	}
 }
 
@@ -543,20 +581,26 @@ type batchAcct struct {
 	malformed, noMatch    uint64
 	forwarded, replicated uint64
 	mfHits, mfMisses      uint64
+	megaHits, megaMisses  uint64
+	upcalls               uint64
 }
 
 // processBatch runs a batch of ingress frames through the pipeline. The
 // data view, microflow generation and coarse clock are sampled once for the
 // whole batch: every frame in it was enqueued before this moment, so
 // forwarding it under the sampled state is linearizable.
-func (s *Switch) processBatch(in *Port, batch [][]byte, mc *microCache) {
+func (s *Switch) processBatch(in *Port, batch [][]byte, mc *microCache, mg *megaCache) {
 	if len(batch) == 0 {
 		return
 	}
 	v := s.view.Load()
 	now := clock.CoarseUnixNano()
+	gen := s.gen.Load()
 	if mc != nil {
-		mc.validate(s.gen.Load())
+		mc.validate(gen)
+	}
+	if mg != nil {
+		mg.validate(gen)
 	}
 	var acct batchAcct
 	for _, frame := range batch {
@@ -576,6 +620,12 @@ func (s *Switch) processBatch(in *Port, batch [][]byte, mc *microCache) {
 			frame = traced
 		}
 		etherType := binary.BigEndian.Uint16(frame[12:14])
+		// Lookup hierarchy: exact-match microflow cache → wildcarded
+		// megaflow cache → staged flow table (the upcall). The microflow
+		// cache is only populated on upcalls, never on megaflow hits: when
+		// one megaflow absorbs a scatter of distinct microflows, per-frame
+		// microflow inserts would be pure map churn (and allocation) for
+		// entries the megaflow already answers in one probe.
 		var r *rule
 		if mc != nil {
 			key := microKey{src: src, dst: dst, etherType: etherType}
@@ -583,14 +633,43 @@ func (s *Switch) processBatch(in *Port, batch [][]byte, mc *microCache) {
 				r = hit
 				acct.mfHits++
 			} else {
-				r = s.flows.lookup(in.no, src, dst, etherType)
 				acct.mfMisses++
+				if mg != nil {
+					if hit, ok := mg.lookup(in.no, src, dst, etherType); ok {
+						r = hit
+						acct.megaHits++
+					} else {
+						acct.megaMisses++
+					}
+				}
+				if r == nil {
+					var used openflow.FieldSet
+					r, used = s.flows.lookupMask(in.no, src, dst, etherType)
+					acct.upcalls++
+					if r != nil {
+						mc.insert(key, r)
+						if mg != nil {
+							mg.insert(used, in.no, src, dst, etherType, r)
+						}
+					}
+				}
+			}
+		} else if mg != nil {
+			if hit, ok := mg.lookup(in.no, src, dst, etherType); ok {
+				r = hit
+				acct.megaHits++
+			} else {
+				acct.megaMisses++
+				var used openflow.FieldSet
+				r, used = s.flows.lookupMask(in.no, src, dst, etherType)
+				acct.upcalls++
 				if r != nil {
-					mc.insert(key, r)
+					mg.insert(used, in.no, src, dst, etherType, r)
 				}
 			}
 		} else {
 			r = s.flows.lookup(in.no, src, dst, etherType)
+			acct.upcalls++
 		}
 		if r == nil {
 			acct.noMatch++
@@ -637,6 +716,15 @@ func (s *Switch) processBatch(in *Port, batch [][]byte, mc *microCache) {
 	}
 	if acct.mfMisses > 0 {
 		s.mfMisses.Add(acct.mfMisses)
+	}
+	if acct.megaHits > 0 {
+		s.megaHits.Add(acct.megaHits)
+	}
+	if acct.megaMisses > 0 {
+		s.megaMisses.Add(acct.megaMisses)
+	}
+	if acct.upcalls > 0 {
+		s.upcalls.Add(acct.upcalls)
 	}
 }
 
@@ -805,8 +893,13 @@ func (s *Switch) idleScanner() {
 		select {
 		case <-s.stopped:
 			return
-		case now := <-ticker.C:
-			removed := s.flows.expire(now)
+		case <-ticker.C:
+			// Judge idleness in the coarse-clock domain that stamps
+			// rule.lastHit: the ticker's real time.Now runs up to the
+			// coarse granularity (plus jitter) ahead of the cached clock,
+			// and that skew would shave the same amount off every idle
+			// timeout.
+			removed := s.flows.expire(clock.CoarseUnixNano())
 			s.notifyRemoved(removed, openflow.RemovedIdleTimeout)
 		}
 	}

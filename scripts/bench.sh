@@ -2,8 +2,10 @@
 # Benchmark artifacts for CI:
 #   BENCH_rescale.json   — managed stable rescale end to end (pause time +
 #                          throughput dip across the rescale).
-#   BENCH_dataplane.json — data-plane fast path (microflow cache speedup,
-#                          broadcast fan-out, codec and emit→recv allocs).
+#   BENCH_dataplane.json — data-plane fast path (flow-cache speedup, the
+#                          1/64/1k/10k-rule forwarding curve, megaflow
+#                          scatter hit rate, broadcast fan-out, codec and
+#                          emit→recv allocs).
 # Extra arguments are passed to `go test`.
 set -eux
 cd "$(dirname "$0")/.."
