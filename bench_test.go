@@ -418,3 +418,131 @@ func BenchmarkRescale(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFailover measures distributed control-plane failover end to
+// end: a 3-instance replicated control plane drives the conformance
+// pipeline at speed, the controller mastering h1 is killed, and the run
+// reports how long the survivors took to claim its switches (lease TTL +
+// campaign tick bound this), how many installed rules the new master had
+// to reconcile, and how many data-plane frames were dropped across the
+// failover — the zero-interruption target is exactly 0, because
+// reconciliation reinstalls identical rules and never disturbs the hot
+// flow caches. With BENCH_JSON set, the per-run series is written to that
+// file (CI uploads BENCH_failover.json as an artifact).
+func BenchmarkFailover(b *testing.B) {
+	type run struct {
+		FailoverMs       float64 `json:"failoverMs"`
+		RulesReinstalled int     `json:"rulesReinstalled"`
+		FramesDropped    uint64  `json:"framesDropped"`
+		BeforeTPS        float64 `json:"beforeTuplesPerSec"`
+		AfterTPS         float64 `json:"afterTuplesPerSec"`
+	}
+	hosts := []string{"h1", "h2"}
+	dropped := func(c *core.Cluster) uint64 {
+		var n uint64
+		for _, h := range hosts {
+			n += c.Host(h).Switch.CountersSnapshot().Dropped
+		}
+		return n
+	}
+	rate := func(rec *conformance.Recorder, window time.Duration) float64 {
+		n0 := rec.Total()
+		t0 := time.Now()
+		time.Sleep(window)
+		return float64(rec.Total()-n0) / time.Since(t0).Seconds()
+	}
+	var runs []run
+	for i := 0; i < b.N; i++ {
+		p := &conformance.Params{
+			Keys: 32, PerKey: 1 << 20, Window: 50, Seed: int64(7 + i),
+			ThrottleEvery: 64, ThrottleDelay: time.Millisecond,
+		}
+		c, err := core.NewCluster(core.Config{
+			Mode: core.ModeTyphoon, Hosts: hosts,
+			Controllers: 3, DefaultBatchSize: 100,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec := conformance.NewRecorder(*p, true)
+		c.Env.Set(conformance.EnvParams, p)
+		c.Env.Set(conformance.EnvRecorder, rec)
+		tb := topology.NewBuilder("bench-failover", 9)
+		tb.Source("src", conformance.LogicTaggedSource, 1)
+		tb.Node("count", conformance.LogicKeyedCounter, 2).Stateful().FieldsFrom("src", 0)
+		tb.Node("sink", conformance.LogicRecordingSink, 1).GlobalFrom("count")
+		l, err := tb.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Submit(l, 15*time.Second); err != nil {
+			b.Fatal(err)
+		}
+		deadline := time.Now().Add(15 * time.Second)
+		for rec.Total() < 2000 {
+			if time.Now().After(deadline) {
+				b.Fatal("pipeline never reached speed")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+
+		r := run{BeforeTPS: rate(rec, 300*time.Millisecond)}
+		victim, epoch0, ok := c.MasterOf("h1")
+		if !ok {
+			b.Fatal("no master elected for h1")
+		}
+		mastered := make([]string, 0, len(hosts))
+		for _, h := range hosts {
+			if owner, _, ok := c.MasterOf(h); ok && owner == victim {
+				mastered = append(mastered, h)
+			}
+		}
+		drop0 := dropped(c)
+		t0 := time.Now()
+		if err := c.KillController(victim); err != nil {
+			b.Fatal(err)
+		}
+		deadline = time.Now().Add(10 * time.Second)
+		for {
+			owner, epoch, ok := c.MasterOf("h1")
+			if ok && owner != victim && epoch > epoch0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				b.Fatal("h1 mastership never failed over")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		r.FailoverMs = float64(time.Since(t0).Microseconds()) / 1e3
+		for _, h := range mastered {
+			r.RulesReinstalled += c.Host(h).Switch.RuleCount()
+		}
+		r.AfterTPS = rate(rec, 300*time.Millisecond)
+		r.FramesDropped = dropped(c) - drop0
+		if bad, n := rec.Violations(); n != 0 {
+			b.Fatalf("%d conformance violations across failover (first: %v)", n, bad[0])
+		}
+		runs = append(runs, r)
+		c.Stop()
+	}
+	var failMs float64
+	var framesDropped uint64
+	for _, r := range runs {
+		failMs += r.FailoverMs
+		framesDropped += r.FramesDropped
+	}
+	b.ReportMetric(failMs/float64(len(runs)), "failover-ms")
+	b.ReportMetric(float64(framesDropped), "dropped-frames")
+	if path := os.Getenv("BENCH_JSON"); path != "" {
+		blob, err := json.MarshalIndent(map[string]any{
+			"benchmark": "BenchmarkFailover",
+			"runs":      runs,
+		}, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

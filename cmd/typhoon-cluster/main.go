@@ -34,6 +34,7 @@ func main() {
 		demo       = flag.Bool("demo", false, "submit a demo word-count topology")
 		metrics    = flag.String("metrics", "127.0.0.1:9090", "observability HTTP listen address (empty disables)")
 		traceEvery = flag.Int("trace-every", 0, "sample one in N frames for tuple-path tracing (0 = default, negative disables)")
+		ctls       = flag.Int("controllers", 1, "replicated SDN controller instances (typhoon mode; 1 = standalone)")
 	)
 	flag.Parse()
 
@@ -45,7 +46,9 @@ func main() {
 	if *mode == "storm" {
 		m = typhoon.ModeStorm
 	}
-	cluster, err := typhoon.NewCluster(typhoon.Config{Mode: m, Hosts: names, TraceEvery: *traceEvery})
+	cluster, err := typhoon.NewCluster(typhoon.Config{
+		Mode: m, Hosts: names, TraceEvery: *traceEvery, Controllers: *ctls,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +59,12 @@ func main() {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	fmt.Printf("cluster up: %d hosts (%s mode), coordinator at %s\n", *hosts, *mode, srv.Addr())
+	if *ctls > 1 {
+		fmt.Printf("cluster up: %d hosts (%s mode, %d replicated controllers), coordinator at %s\n",
+			*hosts, *mode, *ctls, srv.Addr())
+	} else {
+		fmt.Printf("cluster up: %d hosts (%s mode), coordinator at %s\n", *hosts, *mode, srv.Addr())
+	}
 
 	if cluster.Controller != nil {
 		// The live debugger doubles as the consumer of sampled tuple-path

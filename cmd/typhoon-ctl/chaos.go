@@ -80,6 +80,9 @@ func runChaos(addr string, args []string) {
 		s.Kind, s.Host = chaos.KindWipeFlows, pos[0]
 	case "outage":
 		s.Kind = chaos.KindControllerOutage
+	case "controller-kill":
+		needChaos(pos, 1, "chaos controller-kill CONTROLLER")
+		s.Kind, s.Controller = chaos.KindControllerKill, pos[0]
 	case "restore":
 		s.Kind = chaos.KindControllerRestore
 	case "packet-out-delay":
@@ -167,6 +170,8 @@ verbs:
   wipe-flows HOST                                clear a switch's flow table
   outage [-for D]                                take the SDN controller offline
   restore                                        bring the controller back
+  controller-kill CONTROLLER                     permanently stop one replicated controller
+                                                 (per-switch mastership fails over)
   packet-out-delay [-delay D]                    delay controller PacketOut operations
   log                                            print the injection record`)
 	os.Exit(2)

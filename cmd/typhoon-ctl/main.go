@@ -15,6 +15,7 @@
 //	typhoon-ctl -metrics-addr 127.0.0.1:9090 chaos crash wordcount 3
 //	typhoon-ctl -metrics-addr 127.0.0.1:9090 chaos log
 //	typhoon-ctl -metrics-addr 127.0.0.1:9090 rescale wordcount count 4
+//	typhoon-ctl -metrics-addr 127.0.0.1:9090 controlplane status
 //
 // Reconfigurations work because the streaming manager's logic runs against
 // the coordinator API: this binary embeds a manager speaking to the remote
@@ -64,6 +65,9 @@ func main() {
 		return
 	case "rescale":
 		runRescale(*metricsAddr, args[1:])
+		return
+	case "controlplane":
+		runControlPlane(*metricsAddr, args[1:])
 		return
 	}
 
@@ -141,7 +145,7 @@ func need(args []string, n int) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: typhoon-ctl [flags] {list | describe T | scale T NODE N | swap T NODE LOGIC | kill T | metrics | top | trace | chaos ... | rescale T NODE N [TIMEOUT]}")
+	fmt.Fprintln(os.Stderr, "usage: typhoon-ctl [flags] {list | describe T | scale T NODE N | swap T NODE LOGIC | kill T | metrics | top | trace | chaos ... | rescale T NODE N [TIMEOUT] | controlplane status}")
 	os.Exit(2)
 }
 

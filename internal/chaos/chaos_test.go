@@ -182,6 +182,7 @@ type fakeTarget struct {
 	outages  int
 	restores int
 	poDelay  time.Duration
+	killed   []string
 }
 
 func (f *fakeTarget) Netem() *Netem { return f.netem }
@@ -231,6 +232,12 @@ func (f *fakeTarget) SetPacketOutDelay(d time.Duration) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.poDelay = d
+	return nil
+}
+func (f *fakeTarget) KillController(id string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.killed = append(f.killed, id)
 	return nil
 }
 

@@ -36,6 +36,9 @@ type Target interface {
 	EndControllerOutage() error
 	// SetPacketOutDelay delays every controller PACKET_OUT by d.
 	SetPacketOutDelay(d time.Duration) error
+	// KillController permanently stops one replicated controller
+	// instance; its switches fail over to a surviving peer.
+	KillController(id string) error
 }
 
 // Injection records one applied fault.
@@ -197,6 +200,10 @@ func (e *Engine) Apply(s Spec) error {
 		}
 	case KindPacketOutDelay:
 		if err := e.target.SetPacketOutDelay(s.Delay); err != nil {
+			return err
+		}
+	case KindControllerKill:
+		if err := e.target.KillController(s.Controller); err != nil {
 			return err
 		}
 	}

@@ -40,6 +40,10 @@ const (
 	// KindPacketOutDelay delays every controller PACKET_OUT by Delay
 	// (zero Delay removes the impairment).
 	KindPacketOutDelay Kind = "packet-out-delay"
+	// KindControllerKill permanently stops the replicated controller
+	// instance named by Controller, driving coordinator-elected failover
+	// of its mastered switches to a surviving peer.
+	KindControllerKill Kind = "controller-kill"
 )
 
 // Spec is one declarative fault. Only the fields its Kind documents are
@@ -67,6 +71,10 @@ type Spec struct {
 
 	// Delay is a per-operation delay (slow, packet-out-delay).
 	Delay time.Duration `json:"delay,omitempty"`
+
+	// Controller selects a replicated controller instance by ID
+	// (controller-kill).
+	Controller string `json:"controller,omitempty"`
 }
 
 // Validate checks the spec is complete for its kind.
@@ -99,6 +107,10 @@ func (s Spec) Validate() error {
 		}
 	case KindControllerOutage, KindControllerRestore, KindPacketOutDelay:
 		// No required fields.
+	case KindControllerKill:
+		if s.Controller == "" {
+			return fmt.Errorf("chaos: controller-kill requires controller")
+		}
 	default:
 		return fmt.Errorf("chaos: unknown fault kind %q", s.Kind)
 	}
@@ -122,6 +134,8 @@ func (s Spec) String() string {
 		return fmt.Sprintf("%s %s", s.Kind, s.Host)
 	case KindPortDown, KindWorkerCrash, KindWorkerHang, KindWorkerSlow:
 		return fmt.Sprintf("%s %s/%d", s.Kind, s.Topo, s.Worker)
+	case KindControllerKill:
+		return fmt.Sprintf("%s %s", s.Kind, s.Controller)
 	default:
 		return string(s.Kind)
 	}

@@ -168,6 +168,9 @@ func (a *AutoScaler) OnTick(c *Controller) {
 	a.mu.Unlock()
 
 	for _, pol := range policies {
+		if !c.OwnsTopology(pol.Topo) {
+			continue // another controller owns this topology's scaling
+		}
 		l, p := c.Topology(pol.Topo)
 		if l == nil {
 			continue

@@ -28,9 +28,13 @@ type MetricsCollector struct {
 	// TTL drops cached rows not refreshed within it; zero selects 30 s.
 	TTL time.Duration
 
-	mu       sync.Mutex
-	rows     map[string]map[topology.WorkerID]workerMetric // topo -> worker
-	lastPoll time.Time
+	mu   sync.Mutex
+	rows map[string]map[topology.WorkerID]workerMetric // topo -> worker
+	// lastPoll is tracked per controller ID: one collector instance may be
+	// shared by every controller of a replicated control plane (so /api/top
+	// sees all shards), and each controller sweeps the topologies it owns
+	// on its own schedule.
+	lastPoll map[string]time.Time
 	token    uint64
 	polls    uint64
 	resps    uint64
@@ -44,7 +48,10 @@ type workerMetric struct {
 
 // NewMetricsCollector builds the app.
 func NewMetricsCollector() *MetricsCollector {
-	return &MetricsCollector{rows: make(map[string]map[topology.WorkerID]workerMetric)}
+	return &MetricsCollector{
+		rows:     make(map[string]map[topology.WorkerID]workerMetric),
+		lastPoll: make(map[string]time.Time),
+	}
 }
 
 // Name implements App.
@@ -65,6 +72,12 @@ func (m *MetricsCollector) OnControlTuple(c *Controller, host string, src packet
 	if topoName == "" {
 		return
 	}
+	// PACKET_IN is broadcast to every controller of a replicated control
+	// plane; a shared collector would record each response n times. Only
+	// the topology's owner writes the row.
+	if !c.OwnsTopology(topoName) {
+		return
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.rows[topoName] == nil {
@@ -82,9 +95,9 @@ func (m *MetricsCollector) OnTick(c *Controller) {
 		interval = time.Second
 	}
 	m.mu.Lock()
-	due := interval > 0 && time.Since(m.lastPoll) >= interval
+	due := interval > 0 && time.Since(m.lastPoll[c.ID()]) >= interval
 	if due {
-		m.lastPoll = time.Now()
+		m.lastPoll[c.ID()] = time.Now()
 	}
 	m.expireLocked()
 	m.mu.Unlock()
@@ -104,6 +117,11 @@ func (m *MetricsCollector) Poll(c *Controller) {
 	m.mu.Unlock()
 	req := control.Encode(control.KindMetricReq, control.MetricReq{Token: token})
 	for _, name := range c.TopologyNames() {
+		// Sharded control plane: the topology's owner polls it; everyone
+		// else stays quiet so workers see one METRIC_REQ stream.
+		if !c.OwnsTopology(name) {
+			continue
+		}
 		_, p := c.Topology(name)
 		if p == nil {
 			continue

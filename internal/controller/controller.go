@@ -71,6 +71,15 @@ func (BaseApp) OnTick(*Controller) {}
 type Options struct {
 	// Addr is the listen address; empty selects 127.0.0.1:0.
 	Addr string
+	// ID names this controller instance within a replicated control plane.
+	// Empty (the default) runs standalone: no lease machinery, implicit
+	// mastership of every switch — exactly the single-controller behaviour.
+	ID string
+	// LeaseTTL bounds the registration heartbeat and switch-mastership
+	// leases in replicated mode; a crashed controller's switches fail over
+	// after at most one TTL plus a campaign tick. Zero selects
+	// 5 × TickInterval.
+	LeaseTTL time.Duration
 	// TickInterval drives periodic reconciliation and app ticks.
 	TickInterval time.Duration
 	// RuleIdleTimeout, when non-zero, installs data rules with an idle
@@ -182,6 +191,12 @@ type Controller struct {
 	apps   []App
 	mgr    ManagerAPI
 	nextGp uint32
+	// masters is this controller's view of per-switch mastership leases,
+	// refreshed by campaign(); roleSent tracks the last role asserted per
+	// datapath so ROLE_REQUEST goes out only on change. Both are empty in
+	// standalone mode.
+	masters  map[string]coordinator.Lease
+	roleSent map[string]roleState
 
 	// outage simulates a controller failure (chaos): while set, switch
 	// events are discarded, reconciliation is suspended and PACKET_OUT
@@ -207,19 +222,24 @@ func New(kv coordinator.KV, opts Options) (*Controller, error) {
 	if opts.StatefulFlushDelay <= 0 {
 		opts.StatefulFlushDelay = 50 * time.Millisecond
 	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 5 * opts.TickInterval
+	}
 	ln, err := net.Listen("tcp", opts.Addr)
 	if err != nil {
 		return nil, err
 	}
 	return &Controller{
-		kv:     kv,
-		opts:   opts,
-		ln:     ln,
-		dps:    make(map[string]*Datapath),
-		conns:  make(map[net.Conn]struct{}),
-		topos:  make(map[string]*topoState),
-		stopCh: make(chan struct{}),
-		nextGp: 1,
+		kv:       kv,
+		opts:     opts,
+		ln:       ln,
+		dps:      make(map[string]*Datapath),
+		conns:    make(map[net.Conn]struct{}),
+		topos:    make(map[string]*topoState),
+		masters:  make(map[string]coordinator.Lease),
+		roleSent: make(map[string]roleState),
+		stopCh:   make(chan struct{}),
+		nextGp:   1,
 	}, nil
 }
 
@@ -254,10 +274,22 @@ func (c *Controller) appsSnapshot() []App {
 }
 
 // Start launches the accept loop, the coordinator watch, and the ticker.
+// Replicated controllers additionally campaign for switch mastership and
+// watch the control-plane tree for lease movement.
 func (c *Controller) Start() error {
 	events, cancel, err := c.kv.Watch(paths.Topologies)
 	if err != nil {
 		return err
+	}
+	if c.replicated() {
+		cpEvents, cpCancel, err := c.kv.Watch(paths.ControlPlane)
+		if err != nil {
+			cancel()
+			return err
+		}
+		c.campaign()
+		c.wg.Add(1)
+		go c.controlPlaneLoop(cpEvents, cpCancel)
 	}
 	c.wg.Add(3)
 	go c.acceptLoop()
@@ -276,6 +308,17 @@ func (c *Controller) Stop() {
 	}
 	c.mu.Unlock()
 	c.wg.Wait()
+}
+
+// Stopped reports whether Stop has been called — the controller is dead
+// and can take no further action on the cluster.
+func (c *Controller) Stopped() bool {
+	select {
+	case <-c.stopCh:
+		return true
+	default:
+		return false
+	}
 }
 
 // BeginOutage starts a simulated controller outage (chaos). Switch events
@@ -381,6 +424,8 @@ func (c *Controller) serveDatapath(nc net.Conn) {
 				c.mu.Lock()
 				if c.dps[dp.host] == dp {
 					delete(c.dps, dp.host)
+					// A reconnection needs a fresh role assertion.
+					delete(c.roleSent, dp.host)
 				}
 				c.mu.Unlock()
 			}
@@ -401,6 +446,7 @@ func (c *Controller) serveDatapath(nc net.Conn) {
 			c.mu.Lock()
 			c.dps[m.Host] = dp
 			c.mu.Unlock()
+			c.assertRole(dp)
 			// A new datapath may unblock pending topology syncs.
 			c.syncAll()
 		case openflow.StatsReply:
@@ -488,6 +534,7 @@ func (c *Controller) tickLoop() {
 			if c.outage.Load() {
 				continue
 			}
+			c.campaign()
 			c.syncAll()
 			for _, app := range c.appsSnapshot() {
 				app.OnTick(c)

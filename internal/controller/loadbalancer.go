@@ -108,6 +108,9 @@ func (lb *LoadBalancer) OnTick(c *Controller) {
 	token := lb.token
 	lb.mu.Unlock()
 	for _, pol := range policies {
+		if !c.OwnsTopology(pol.Topo) {
+			continue // another controller owns this topology's balancing
+		}
 		l, p := c.Topology(pol.Topo)
 		if l == nil {
 			continue

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"typhoon/internal/openflow"
 	"typhoon/internal/switchfabric"
@@ -59,8 +60,16 @@ func (a *OFAgent) FlowRemoved(m openflow.FlowRemoved) { _, _ = a.conn.Send(m) }
 
 func (a *OFAgent) serve() {
 	defer close(a.done)
+	serveOF(a.conn, a.sw, a)
+}
+
+// serveOF runs the switch side of one controller connection until it fails,
+// dispatching every controller-to-switch message. The sink identifies this
+// connection in the switch's controller registry (mastership claims attach
+// to it).
+func serveOF(conn *openflow.Conn, sw *switchfabric.Switch, sink switchfabric.ControllerSink) {
 	for {
-		xid, msg, err := a.conn.Receive()
+		xid, msg, err := conn.Receive()
 		if err != nil {
 			return
 		}
@@ -68,34 +77,173 @@ func (a *OFAgent) serve() {
 		case openflow.Hello:
 			// Peer greeting; nothing to do.
 		case openflow.EchoRequest:
-			_ = a.conn.SendXID(xid, openflow.EchoReply{Payload: m.Payload})
+			_ = conn.SendXID(xid, openflow.EchoReply{Payload: m.Payload})
 		case openflow.FeaturesRequest:
-			_ = a.conn.SendXID(xid, openflow.FeaturesReply{
-				DatapathID: a.sw.DatapathID(),
-				Host:       a.sw.Name(),
-				Ports:      a.sw.Ports(),
+			_ = conn.SendXID(xid, openflow.FeaturesReply{
+				DatapathID: sw.DatapathID(),
+				Host:       sw.Name(),
+				Ports:      sw.Ports(),
 			})
+		case openflow.RoleRequest:
+			// Epoch-fenced mastership claim from a replicated controller;
+			// the switch refuses stale epochs (see Switch.ClaimMaster).
+			if m.Master {
+				sw.ClaimMaster(sink, m.Epoch)
+			} else {
+				sw.ReleaseMaster(sink, m.Epoch)
+			}
 		case openflow.FlowMod:
-			if err := a.sw.ApplyFlowMod(m); err != nil {
-				_ = a.conn.SendXID(xid, openflow.Error{Code: openflow.ErrCodeBadRequest, Msg: err.Error()})
+			if err := sw.ApplyFlowMod(m); err != nil {
+				_ = conn.SendXID(xid, openflow.Error{Code: openflow.ErrCodeBadRequest, Msg: err.Error()})
 			}
 		case openflow.GroupMod:
-			if err := a.sw.ApplyGroupMod(m); err != nil {
-				_ = a.conn.SendXID(xid, openflow.Error{Code: openflow.ErrCodeUnknownGroup, Msg: err.Error()})
+			if err := sw.ApplyGroupMod(m); err != nil {
+				_ = conn.SendXID(xid, openflow.Error{Code: openflow.ErrCodeUnknownGroup, Msg: err.Error()})
 			}
 		case openflow.PacketOut:
-			if err := a.sw.Inject(m); err != nil {
-				_ = a.conn.SendXID(xid, openflow.Error{Code: openflow.ErrCodeBadRequest, Msg: err.Error()})
+			if err := sw.Inject(m); err != nil {
+				_ = conn.SendXID(xid, openflow.Error{Code: openflow.ErrCodeBadRequest, Msg: err.Error()})
 			}
 		case openflow.StatsRequest:
 			reply := openflow.StatsReply{Kind: m.Kind}
 			switch m.Kind {
 			case openflow.StatsPort:
-				reply.Ports = a.sw.PortStatsSnapshot()
+				reply.Ports = sw.PortStatsSnapshot()
 			case openflow.StatsFlow:
-				reply.Flows = a.sw.FlowStatsSnapshot()
+				reply.Flows = sw.FlowStatsSnapshot()
 			}
-			_ = a.conn.SendXID(xid, reply)
+			_ = conn.SendXID(xid, reply)
 		}
 	}
 }
+
+// Agent redial backoff, matching the data-plane tunnel pattern.
+const (
+	agentRedialBase = 50 * time.Millisecond
+	agentRedialMax  = 5 // max backoff shift: 50ms << 5 = 1.6s
+)
+
+// MultiAgent connects one switch to every controller of a replicated
+// control plane. Each endpoint gets a dedicated link that attaches as a
+// controller sink and is maintained forever: when a controller dies, the
+// link redials with exponential backoff until it is back, then re-attaches
+// so the controller can re-assert its role. Mastership is claimed per-link
+// via ROLE_REQUEST, so the switch always knows which connection is master.
+type MultiAgent struct {
+	sw *switchfabric.Switch
+
+	mu     sync.Mutex
+	conns  map[*openflow.Conn]struct{}
+	closed bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// ConnectSwitchMulti starts one maintained connection per controller
+// address. Unlike ConnectSwitch it does not fail if a controller is down:
+// the link keeps dialing in the background, which is exactly the behaviour
+// a switch needs while a controller restarts.
+func ConnectSwitchMulti(addrs []string, sw *switchfabric.Switch) *MultiAgent {
+	m := &MultiAgent{
+		sw:    sw,
+		conns: make(map[*openflow.Conn]struct{}),
+		stop:  make(chan struct{}),
+	}
+	for _, addr := range addrs {
+		m.wg.Add(1)
+		go m.maintain(addr)
+	}
+	return m
+}
+
+// Close severs every link and stops redialing.
+func (m *MultiAgent) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	close(m.stop)
+	for conn := range m.conns {
+		_ = conn.Close()
+	}
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+// track registers a live connection for Close to sever; it reports false
+// when the agent is already closed.
+func (m *MultiAgent) track(conn *openflow.Conn) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.conns[conn] = struct{}{}
+	return true
+}
+
+func (m *MultiAgent) untrack(conn *openflow.Conn) {
+	m.mu.Lock()
+	delete(m.conns, conn)
+	m.mu.Unlock()
+}
+
+func (m *MultiAgent) maintain(addr string) {
+	defer m.wg.Done()
+	fails := 0
+	for {
+		select {
+		case <-m.stop:
+			return
+		default:
+		}
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			shift := fails
+			if shift > agentRedialMax {
+				shift = agentRedialMax
+			}
+			select {
+			case <-m.stop:
+				return
+			case <-time.After(agentRedialBase << shift):
+			}
+			fails++
+			continue
+		}
+		fails = 0
+		conn := openflow.NewConn(nc)
+		if !m.track(conn) {
+			_ = conn.Close()
+			return
+		}
+		link := &ofLink{conn: conn}
+		if _, err := conn.Send(openflow.Hello{}); err == nil {
+			m.sw.AttachController(link)
+			serveOF(conn, m.sw, link)
+			// Detach releases mastership if this link held it; the switch
+			// buffers master-only events until a successor claims the role.
+			m.sw.DetachController(link)
+		}
+		m.untrack(conn)
+		_ = conn.Close()
+	}
+}
+
+// ofLink is one controller connection of a MultiAgent.
+type ofLink struct {
+	conn *openflow.Conn
+}
+
+// PacketIn implements switchfabric.ControllerSink.
+func (l *ofLink) PacketIn(m openflow.PacketIn) { _, _ = l.conn.Send(m) }
+
+// PortStatus implements switchfabric.ControllerSink.
+func (l *ofLink) PortStatus(m openflow.PortStatus) { _, _ = l.conn.Send(m) }
+
+// FlowRemoved implements switchfabric.ControllerSink.
+func (l *ofLink) FlowRemoved(m openflow.FlowRemoved) { _, _ = l.conn.Send(m) }

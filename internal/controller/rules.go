@@ -145,6 +145,28 @@ func (c *Controller) SyncTopology(name string) {
 		}
 	}
 
+	// Replicated control plane: shard by switch mastership. This controller
+	// programs only the switches it masters; the rest of the rule set is
+	// some other master's job, and stale cache entries for hosts we lost
+	// are forgotten without sends (the new master already owns them).
+	repl := c.replicated()
+	var mine map[string]bool
+	if repl {
+		mine = c.masteredHosts()
+		for key := range desired {
+			if !mine[key.host] {
+				delete(desired, key)
+			}
+		}
+		kept := make([]hostGroupMod, 0, len(groups))
+		for _, g := range groups {
+			if mine[g.host] {
+				kept = append(kept, g)
+			}
+		}
+		groups = kept
+	}
+
 	// Program groups first so rules never reference a missing group.
 	for _, g := range groups {
 		if dp := c.datapath(g.host); dp != nil {
@@ -165,6 +187,9 @@ func (c *Controller) SyncTopology(name string) {
 		if _, ok := desired[key]; ok {
 			continue
 		}
+		if repl && !mine[key.host] {
+			continue // mastership moved away; the new master owns this rule
+		}
 		if dp := c.datapath(key.host); dp != nil {
 			// §3.5: rules of removed workers are not deleted abruptly —
 			// in-flight tuples may still match them while predecessors'
@@ -184,6 +209,23 @@ func (c *Controller) SyncTopology(name string) {
 	ts.ready = true
 	c.mu.Unlock()
 
+	// Announce per-host readiness: each switch's master marks the hosts it
+	// just programmed so the topology owner can tell when the whole data
+	// plane carries this generation before issuing control tuples.
+	if repl {
+		gen := strconv.FormatInt(l.Generation, 10)
+		for _, host := range p.Hosts() {
+			if mine[host] {
+				c.putMarker(paths.NetReadyHost(name, host), gen)
+			}
+		}
+	}
+
+	// Control tuples are the topology owner's job: exactly one controller
+	// (the master of the topology's home switch) drives §3.5, so workers
+	// never see duplicate SIGNAL/ROUTING/ACTIVATE streams.
+	owns := c.ownsPhysical(p)
+
 	// A managed rescale (updater app) pauses the topology: while the
 	// marker is up, the updater owns the §3.5 choreography — state moves
 	// by snapshot/restore rather than SIGNAL flush, and sources stay
@@ -191,6 +233,12 @@ func (c *Controller) SyncTopology(name string) {
 	paused := c.topologyPaused(name)
 
 	if ctlGen < l.Generation {
+		if !owns {
+			return
+		}
+		if repl && !c.hostsReady(name, p, l.Generation, mine) {
+			return // other masters have not installed this generation yet
+		}
 		// Stable update (§3.5): flush stateful nodes whose instance sets
 		// changed, then refresh routing state everywhere, then activate.
 		if prevPhysical != nil && prevLogical != nil && !paused {
@@ -225,15 +273,18 @@ func (c *Controller) SyncTopology(name string) {
 		ts.ctlGen = l.Generation
 		c.mu.Unlock()
 		_, _ = c.kv.Put(paths.NetReady(name), []byte(strconv.FormatInt(l.Generation, 10)))
-	} else if adds > 0 {
+	} else if owns {
 		// Port churn without a generation change (e.g. a crashed worker
 		// locally restarted on a fresh port): re-arm routing and re-activate
 		// sources that restarted throttled. Routing goes to every worker of
 		// the topology, not just the churned ones — the fault detector may
 		// have steered predecessors away from a worker that is now back, and
-		// only a full refresh re-includes it in their route tables.
+		// only a full refresh re-includes it in their route tables. Churn is
+		// detected from the physical assignment rather than local rule adds
+		// because in a sharded control plane the churned host may belong to
+		// a different master.
+		churned := false
 		if prevPhysical != nil {
-			churned := false
 			for _, as := range p.Workers {
 				prev := prevPhysical.Worker(as.Worker)
 				if prev == nil || prev.Port != as.Port || prev.Host != as.Host {
@@ -241,18 +292,47 @@ func (c *Controller) SyncTopology(name string) {
 					break
 				}
 			}
-			if churned {
-				for _, as := range p.Workers {
-					routes := topology.RoutesFor(l, p, as.Node)
-					_ = c.SendControlTuple(name, as.Worker,
-						control.Encode(control.KindRouting, control.Routing{Routes: routes}))
-				}
+		}
+		if churned {
+			for _, as := range p.Workers {
+				routes := topology.RoutesFor(l, p, as.Node)
+				_ = c.SendControlTuple(name, as.Worker,
+					control.Encode(control.KindRouting, control.Routing{Routes: routes}))
 			}
 		}
-		if !paused {
+		if (adds > 0 || churned) && !paused {
 			c.activateSources(name, l, p)
 		}
 	}
+}
+
+// putMarker writes a marker node only when its value changes, so
+// steady-state reconciliation generates no coordinator watch traffic.
+func (c *Controller) putMarker(path, val string) {
+	if raw, _, err := c.kv.Get(path); err == nil && string(raw) == val {
+		return
+	}
+	_, _ = c.kv.Put(path, []byte(val))
+}
+
+// hostsReady reports whether every host of the topology carries the rules
+// of generation gen, per the per-host markers each switch's master writes.
+// Our own hosts are implicitly ready — this sync just installed them.
+func (c *Controller) hostsReady(name string, p *topology.Physical, gen int64, mine map[string]bool) bool {
+	for _, h := range p.Hosts() {
+		if mine[h] {
+			continue
+		}
+		raw, _, err := c.kv.Get(paths.NetReadyHost(name, h))
+		if err != nil {
+			return false
+		}
+		g, err := strconv.ParseInt(string(raw), 10, 64)
+		if err != nil || g < gen {
+			return false
+		}
+	}
+	return true
 }
 
 // topologyPaused reports whether a managed rescale holds the topology's

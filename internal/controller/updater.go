@@ -116,14 +116,27 @@ func (u *Updater) Rescale(c *Controller, topoName, node string, parallelism int,
 	oldInstances := append([]topology.Assignment(nil), p.Instances(node)...)
 
 	// Phase 1: pause. The marker gates the reconciliation loop; the
-	// DEACTIVATE tuples throttle sources through the data plane.
-	if _, err := c.kv.Put(paths.Paused(topoName), []byte("1")); err != nil {
+	// DEACTIVATE tuples throttle sources through the data plane. In a
+	// replicated control plane the marker carries the driver's ID so peers
+	// can reap it if this controller dies mid-rescale (see OnTick).
+	marker := "1"
+	if c.replicated() {
+		marker = c.opts.ID
+	}
+	if _, err := c.kv.Put(paths.Paused(topoName), []byte(marker)); err != nil {
 		return nil, fmt.Errorf("updater: pause marker: %w", err)
 	}
 	pauseStart := time.Now()
 	resumed := false
 	resume := func() {
 		if resumed {
+			return
+		}
+		if c.Stopped() {
+			// The driving controller died mid-rescale. A dead controller
+			// cannot clean up after itself: the pause marker stays, and a
+			// surviving peer's reaper (OnTick) resumes the topology once the
+			// driver's heartbeat lapses.
 			return
 		}
 		resumed = true
@@ -221,6 +234,9 @@ func (u *Updater) drain(c *Controller, topoName string, deadline time.Time) erro
 	var lastProcessed uint64
 	stableOnce := false
 	for time.Now().Before(deadline) {
+		if c.Stopped() {
+			return fmt.Errorf("updater: controller stopped mid-drain")
+		}
 		queued, processed, complete := u.metricSweep(c, topoName, deadline)
 		if complete && queued == 0 {
 			if stableOnce && processed == lastProcessed {
@@ -287,6 +303,9 @@ func (u *Updater) collectSnapshots(c *Controller, topoName string, instances []t
 	token := u.register(func(t uint64) { u.snapshots[t] = ch })
 	defer u.unregister(func() { delete(u.snapshots, token) })
 	for len(pendingSet) > 0 {
+		if c.Stopped() {
+			return nil, fmt.Errorf("updater: controller stopped mid-snapshot")
+		}
 		if !time.Now().Before(deadline) {
 			return nil, fmt.Errorf("updater: %d snapshot(s) of %q never arrived", len(pendingSet), topoName)
 		}
@@ -346,6 +365,9 @@ func (u *Updater) restoreState(c *Controller, topoName string, instances []topol
 	token := u.register(func(t uint64) { u.restores[t] = ch })
 	defer u.unregister(func() { delete(u.restores, token) })
 	for len(pendingSet) > 0 {
+		if c.Stopped() {
+			return fmt.Errorf("updater: controller stopped mid-restore")
+		}
 		if !time.Now().Before(deadline) {
 			return fmt.Errorf("updater: %d restore ack(s) of %q never arrived", len(pendingSet), topoName)
 		}
@@ -366,6 +388,35 @@ func (u *Updater) restoreState(c *Controller, topoName string, instances []topol
 		}
 	}
 	return nil
+}
+
+// OnTick implements App: reap pause markers orphaned by a dead controller.
+// A rescale whose driver dies mid-flight must degrade to a pause, never a
+// wedged pipeline — the marker would otherwise gate source activation
+// forever. When the marker names a controller whose registration heartbeat
+// has lapsed, the topology's current owner deletes it and re-activates
+// sources; the half-finished rescale is abandoned, but the pipeline runs.
+func (u *Updater) OnTick(c *Controller) {
+	if !c.replicated() {
+		return
+	}
+	for _, name := range c.TopologyNames() {
+		if !c.OwnsTopology(name) {
+			continue
+		}
+		raw, _, err := c.kv.Get(paths.Paused(name))
+		if err != nil {
+			continue
+		}
+		owner := string(raw)
+		if owner == "" || owner == "1" || owner == c.ID() || c.ControllerLive(owner) {
+			continue
+		}
+		_ = c.kv.Delete(paths.Paused(name))
+		if l, p := c.Topology(name); l != nil && p != nil {
+			c.activateSources(name, l, p)
+		}
+	}
 }
 
 // netReady reports whether the controller has programmed the data plane

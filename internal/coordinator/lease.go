@@ -1,0 +1,132 @@
+// Lease-based mastership for the replicated control plane.
+//
+// A lease is a versioned KV node whose JSON value names the holder, an
+// epoch, and a renewal deadline. Holders renew with CompareAndSet so two
+// contenders can never both believe they won: the version check serializes
+// every transition through the coordinator, exactly as the znode-based
+// master election of "Controlling a Software-Defined Network via
+// Distributed Controllers" (Yazıcı et al.). The epoch increments on every
+// change of ownership and fences downstream consumers — a switch ignores
+// role claims carrying an epoch older than the highest it has accepted, so
+// a paused ex-master waking up after its lease expired cannot reassert
+// itself over its successor.
+package coordinator
+
+import (
+	"encoding/json"
+	"errors"
+	"time"
+)
+
+// Lease is the decoded value of a mastership or registration node.
+type Lease struct {
+	// Owner identifies the holder (a controller ID).
+	Owner string `json:"owner"`
+	// Epoch counts ownership transfers; it never decreases.
+	Epoch uint64 `json:"epoch"`
+	// RenewedAtNanos is the holder's clock at the last renewal.
+	RenewedAtNanos int64 `json:"renewedAtNanos"`
+	// TTLNanos bounds how stale a renewal may be before the lease is
+	// considered abandoned and open to takeover.
+	TTLNanos int64 `json:"ttlNanos"`
+}
+
+// Expired reports whether the lease is past its renewal deadline.
+func (l Lease) Expired(now time.Time) bool {
+	return now.UnixNano()-l.RenewedAtNanos > l.TTLNanos
+}
+
+// Encode serializes the lease value.
+func (l Lease) Encode() []byte {
+	b, _ := json.Marshal(l)
+	return b
+}
+
+// DecodeLease parses a lease value.
+func DecodeLease(raw []byte) (Lease, error) {
+	var l Lease
+	if err := json.Unmarshal(raw, &l); err != nil {
+		return Lease{}, err
+	}
+	if l.Owner == "" {
+		return Lease{}, errors.New("coordinator: lease has no owner")
+	}
+	return l, nil
+}
+
+// AcquireLease acquires, renews, or takes over the lease at path for owner
+// and returns the resulting lease plus whether owner now holds it. The
+// outcome is decided by the coordinator's version check:
+//
+//   - absent           → Create a fresh epoch-1 lease
+//   - held by owner    → CompareAndSet renewal, same epoch
+//   - expired by other → CompareAndSet takeover, epoch+1
+//   - live by other    → no write; the current lease is returned
+//
+// A lost race (ErrExists / ErrBadVersion) is not an error: the winner's
+// lease is re-read and reported.
+func AcquireLease(kv KV, path, owner string, ttl time.Duration, now time.Time) (Lease, bool, error) {
+	for attempt := 0; attempt < 3; attempt++ {
+		raw, version, err := kv.Get(path)
+		if errors.Is(err, ErrNotFound) {
+			fresh := Lease{Owner: owner, Epoch: 1, RenewedAtNanos: now.UnixNano(), TTLNanos: int64(ttl)}
+			if err := kv.Create(path, fresh.Encode()); err != nil {
+				if errors.Is(err, ErrExists) {
+					continue // lost the creation race; re-read the winner
+				}
+				return Lease{}, false, err
+			}
+			return fresh, true, nil
+		}
+		if err != nil {
+			return Lease{}, false, err
+		}
+		cur, err := DecodeLease(raw)
+		if err != nil {
+			// A corrupt lease must not wedge the control plane forever:
+			// claim it as a takeover.
+			cur = Lease{Owner: "?", Epoch: 0, RenewedAtNanos: 0, TTLNanos: int64(ttl)}
+		}
+		switch {
+		case cur.Owner == owner:
+			next := cur
+			next.RenewedAtNanos = now.UnixNano()
+			next.TTLNanos = int64(ttl)
+			if _, err := kv.CompareAndSet(path, next.Encode(), version); err != nil {
+				if errors.Is(err, ErrBadVersion) || errors.Is(err, ErrNotFound) {
+					continue // someone took over between Get and CAS
+				}
+				return Lease{}, false, err
+			}
+			return next, true, nil
+		case cur.Expired(now):
+			next := Lease{Owner: owner, Epoch: cur.Epoch + 1, RenewedAtNanos: now.UnixNano(), TTLNanos: int64(ttl)}
+			if _, err := kv.CompareAndSet(path, next.Encode(), version); err != nil {
+				if errors.Is(err, ErrBadVersion) || errors.Is(err, ErrNotFound) {
+					continue // lost the takeover race
+				}
+				return Lease{}, false, err
+			}
+			return next, true, nil
+		default:
+			return cur, false, nil
+		}
+	}
+	// Three straight CAS races means another holder is actively writing;
+	// report whatever is there now.
+	raw, _, err := kv.Get(path)
+	if err != nil {
+		return Lease{}, false, err
+	}
+	cur, err := DecodeLease(raw)
+	return cur, cur.Owner == owner, err
+}
+
+// ReadLease returns the current lease at path, if any.
+func ReadLease(kv KV, path string) (Lease, error) {
+	raw, _, err := kv.Get(path)
+	if err != nil {
+		return Lease{}, err
+	}
+	return DecodeLease(raw)
+}

@@ -1,0 +1,84 @@
+package coordinator
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLeaseAcquireRenewTakeover(t *testing.T) {
+	st := NewStore()
+	defer st.Close()
+	const path = "/controlplane/masters/h1"
+	ttl := 100 * time.Millisecond
+	t0 := time.Unix(0, 0)
+
+	l, held, err := AcquireLease(st, path, "ctl-0", ttl, t0)
+	if err != nil || !held {
+		t.Fatalf("initial acquire: held=%v err=%v", held, err)
+	}
+	if l.Owner != "ctl-0" || l.Epoch != 1 {
+		t.Fatalf("fresh lease = %+v, want owner ctl-0 epoch 1", l)
+	}
+
+	// A live lease resists a contender.
+	l2, held, err := AcquireLease(st, path, "ctl-1", ttl, t0.Add(ttl/2))
+	if err != nil || held {
+		t.Fatalf("contender acquired live lease: held=%v err=%v", held, err)
+	}
+	if l2.Owner != "ctl-0" || l2.Epoch != 1 {
+		t.Fatalf("contender saw %+v, want holder ctl-0 epoch 1", l2)
+	}
+
+	// The holder renews; the deadline moves.
+	l3, held, err := AcquireLease(st, path, "ctl-0", ttl, t0.Add(ttl/2))
+	if err != nil || !held {
+		t.Fatalf("renewal: held=%v err=%v", held, err)
+	}
+	if l3.Epoch != 1 || l3.RenewedAtNanos != t0.Add(ttl/2).UnixNano() {
+		t.Fatalf("renewed lease = %+v", l3)
+	}
+
+	// Past the deadline the contender takes over with a bumped epoch.
+	l4, held, err := AcquireLease(st, path, "ctl-1", ttl, t0.Add(3*ttl))
+	if err != nil || !held {
+		t.Fatalf("takeover: held=%v err=%v", held, err)
+	}
+	if l4.Owner != "ctl-1" || l4.Epoch != 2 {
+		t.Fatalf("takeover lease = %+v, want owner ctl-1 epoch 2", l4)
+	}
+
+	// The ex-holder's next attempt observes the loss.
+	l5, held, err := AcquireLease(st, path, "ctl-0", ttl, t0.Add(3*ttl))
+	if err != nil || held {
+		t.Fatalf("ex-holder reacquired: held=%v err=%v", held, err)
+	}
+	if l5.Owner != "ctl-1" {
+		t.Fatalf("ex-holder saw %+v", l5)
+	}
+}
+
+func TestLeaseCASRace(t *testing.T) {
+	st := NewStore()
+	defer st.Close()
+	const path = "/controlplane/masters/h1"
+	ttl := 50 * time.Millisecond
+	t0 := time.Unix(0, 0)
+
+	if _, held, err := AcquireLease(st, path, "ctl-0", ttl, t0); err != nil || !held {
+		t.Fatalf("seed acquire: held=%v err=%v", held, err)
+	}
+	// Two contenders race for the expired lease; exactly one may win and
+	// the loser must observe the winner, not an error.
+	late := t0.Add(10 * ttl)
+	la, heldA, errA := AcquireLease(st, path, "ctl-1", ttl, late)
+	lb, heldB, errB := AcquireLease(st, path, "ctl-2", ttl, late)
+	if errA != nil || errB != nil {
+		t.Fatalf("race errors: %v %v", errA, errB)
+	}
+	if heldA == heldB {
+		t.Fatalf("want exactly one winner, got heldA=%v heldB=%v", heldA, heldB)
+	}
+	if la.Epoch != 2 || lb.Epoch != 2 {
+		t.Fatalf("epochs after race: %d %d, want 2", la.Epoch, lb.Epoch)
+	}
+}

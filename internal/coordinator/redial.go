@@ -1,0 +1,354 @@
+package coordinator
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Redial backoff mirrors the data-plane tunnel pattern: exponential from
+// redialBase, capped at redialMax, reset on success.
+const (
+	redialBase = 50 * time.Millisecond
+	redialMax  = 2 * time.Second
+)
+
+// ReconnectingClient wraps Client with transparent redial so a coordinator
+// restart does not kill its consumers: an operation that fails on a dead
+// connection blocks (with exponential backoff) until the server is back,
+// then retries. Domain errors — ErrNotFound, ErrExists, ErrBadVersion,
+// ErrBadPath — pass straight through; only transport failures trigger a
+// redial.
+//
+// Watches survive reconnection: each subscription is re-established on the
+// new connection and then replayed a resync — one EventCreated per node
+// currently under the watched prefix — because any change during the gap
+// was missed. Consumers already treat watch events as re-read triggers, so
+// the replay converges them on the post-restart state.
+//
+// Operations block while the server stays down; Close unblocks them with
+// ErrClosed.
+type ReconnectingClient struct {
+	addr string
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	cur     *Client // nil while disconnected
+	closed  bool
+	subs    map[int64]*resub
+	nextSub int64
+}
+
+type resub struct {
+	prefix string
+	out    chan Event
+
+	mu        sync.Mutex
+	closed    bool
+	cancelCur func()
+}
+
+// deliver forwards one event with the drop-oldest overflow policy of the
+// underlying watch channels.
+func (s *resub) deliver(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	select {
+	case s.out <- ev:
+	default:
+		select {
+		case <-s.out:
+		default:
+		}
+		select {
+		case s.out <- ev:
+		default:
+		}
+	}
+}
+
+// DialReconnecting connects to a coordinator server, returning a KV that
+// transparently redials across server restarts. The initial dial must
+// succeed (a wrong address should fail fast, not retry forever).
+func DialReconnecting(addr string) (*ReconnectingClient, error) {
+	cli, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	rc := &ReconnectingClient{addr: addr, cur: cli, subs: make(map[int64]*resub)}
+	rc.cond = sync.NewCond(&rc.mu)
+	return rc, nil
+}
+
+// Close releases the client; blocked operations fail with ErrClosed.
+func (rc *ReconnectingClient) Close() error {
+	rc.mu.Lock()
+	if rc.closed {
+		rc.mu.Unlock()
+		return nil
+	}
+	rc.closed = true
+	cur := rc.cur
+	rc.cur = nil
+	subs := make([]*resub, 0, len(rc.subs))
+	for _, s := range rc.subs {
+		subs = append(subs, s)
+	}
+	rc.subs = map[int64]*resub{}
+	rc.cond.Broadcast()
+	rc.mu.Unlock()
+	for _, s := range subs {
+		s.mu.Lock()
+		if !s.closed {
+			s.closed = true
+			close(s.out)
+		}
+		s.mu.Unlock()
+	}
+	if cur != nil {
+		return cur.Close()
+	}
+	return nil
+}
+
+// take returns the live connection, waiting out any redial in progress.
+func (rc *ReconnectingClient) take() (*Client, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for rc.cur == nil && !rc.closed {
+		rc.cond.Wait()
+	}
+	if rc.closed {
+		return nil, ErrClosed
+	}
+	return rc.cur, nil
+}
+
+// dropped reports a connection as dead; the first reporter starts the
+// redial loop, later reporters are no-ops (cur has already moved on).
+func (rc *ReconnectingClient) dropped(failed *Client) {
+	rc.mu.Lock()
+	if rc.closed || rc.cur != failed {
+		rc.mu.Unlock()
+		return
+	}
+	rc.cur = nil
+	rc.mu.Unlock()
+	_ = failed.Close()
+	go rc.redialLoop()
+}
+
+func (rc *ReconnectingClient) redialLoop() {
+	fails := 0
+	for {
+		rc.mu.Lock()
+		closed := rc.closed
+		rc.mu.Unlock()
+		if closed {
+			return
+		}
+		cli, err := Dial(rc.addr)
+		if err != nil {
+			shift := fails
+			if shift > 5 {
+				shift = 5
+			}
+			time.Sleep(redialBase << shift)
+			fails++
+			continue
+		}
+		rc.mu.Lock()
+		if rc.closed {
+			rc.mu.Unlock()
+			_ = cli.Close()
+			return
+		}
+		rc.cur = cli
+		subs := make([]*resub, 0, len(rc.subs))
+		for _, s := range rc.subs {
+			subs = append(subs, s)
+		}
+		rc.cond.Broadcast()
+		rc.mu.Unlock()
+		for _, s := range subs {
+			if err := rc.attach(cli, s); err != nil {
+				// The fresh connection died already; the next operation
+				// will report it and restart the loop.
+				return
+			}
+			rc.resync(cli, s)
+		}
+		return
+	}
+}
+
+// attach subscribes one watch on the given connection and pumps its events
+// into the subscription's stable output channel.
+func (rc *ReconnectingClient) attach(cli *Client, s *resub) error {
+	ch, cancel, err := cli.Watch(s.prefix)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		return nil
+	}
+	s.cancelCur = cancel
+	s.mu.Unlock()
+	go func() {
+		for ev := range ch {
+			s.deliver(ev)
+		}
+	}()
+	return nil
+}
+
+// resync replays the current subtree under a watch prefix as EventCreated
+// events, covering whatever changed while the connection was down.
+func (rc *ReconnectingClient) resync(cli *Client, s *resub) {
+	var walk func(p string)
+	walk = func(p string) {
+		if data, ver, err := cli.Get(p); err == nil {
+			s.deliver(Event{Type: EventCreated, Path: p, Data: data, Version: ver})
+		}
+		kids, err := cli.Children(p)
+		if err != nil {
+			return
+		}
+		for _, k := range kids {
+			walk(p + "/" + k)
+		}
+	}
+	walk(s.prefix)
+}
+
+// retryable reports whether an error is a transport failure worth a
+// redial, as opposed to a coordinator domain error.
+func retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	switch {
+	case errors.Is(err, ErrNotFound), errors.Is(err, ErrExists),
+		errors.Is(err, ErrBadVersion), errors.Is(err, ErrBadPath):
+		return false
+	}
+	return true
+}
+
+// do runs one operation against the live connection, redialing and
+// retrying on transport failure until it succeeds or the client closes.
+func (rc *ReconnectingClient) do(op func(*Client) error) error {
+	for {
+		cli, err := rc.take()
+		if err != nil {
+			return err
+		}
+		err = op(cli)
+		if !retryable(err) {
+			return err
+		}
+		rc.dropped(cli)
+	}
+}
+
+// Create implements KV.
+func (rc *ReconnectingClient) Create(path string, data []byte) error {
+	return rc.do(func(c *Client) error { return c.Create(path, data) })
+}
+
+// Put implements KV.
+func (rc *ReconnectingClient) Put(path string, data []byte) (int64, error) {
+	var v int64
+	err := rc.do(func(c *Client) error {
+		var e error
+		v, e = c.Put(path, data)
+		return e
+	})
+	return v, err
+}
+
+// CompareAndSet implements KV.
+func (rc *ReconnectingClient) CompareAndSet(path string, data []byte, version int64) (int64, error) {
+	var v int64
+	err := rc.do(func(c *Client) error {
+		var e error
+		v, e = c.CompareAndSet(path, data, version)
+		return e
+	})
+	return v, err
+}
+
+// Get implements KV.
+func (rc *ReconnectingClient) Get(path string) ([]byte, int64, error) {
+	var (
+		data []byte
+		v    int64
+	)
+	err := rc.do(func(c *Client) error {
+		var e error
+		data, v, e = c.Get(path)
+		return e
+	})
+	return data, v, err
+}
+
+// Delete implements KV.
+func (rc *ReconnectingClient) Delete(path string) error {
+	return rc.do(func(c *Client) error { return c.Delete(path) })
+}
+
+// Children implements KV.
+func (rc *ReconnectingClient) Children(path string) ([]string, error) {
+	var kids []string
+	err := rc.do(func(c *Client) error {
+		var e error
+		kids, e = c.Children(path)
+		return e
+	})
+	return kids, err
+}
+
+// Watch implements KV. The returned channel survives reconnection; cancel
+// releases it.
+func (rc *ReconnectingClient) Watch(prefix string) (<-chan Event, func(), error) {
+	s := &resub{prefix: prefix, out: make(chan Event, 256)}
+	var id int64
+	err := rc.do(func(c *Client) error {
+		if err := rc.attach(c, s); err != nil {
+			return err
+		}
+		rc.mu.Lock()
+		rc.nextSub++
+		id = rc.nextSub
+		rc.subs[id] = s
+		rc.mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	cancel := func() {
+		rc.mu.Lock()
+		delete(rc.subs, id)
+		rc.mu.Unlock()
+		s.mu.Lock()
+		cc := s.cancelCur
+		if !s.closed {
+			s.closed = true
+			close(s.out)
+		}
+		s.mu.Unlock()
+		if cc != nil {
+			cc()
+		}
+	}
+	return s.out, cancel, nil
+}
+
+var _ KV = (*ReconnectingClient)(nil)

@@ -93,6 +93,11 @@ func (t chaosTarget) EndControllerOutage() error {
 	return nil
 }
 
+// KillController implements chaos.Target.
+func (t chaosTarget) KillController(id string) error {
+	return t.c.KillController(id)
+}
+
 // SetPacketOutDelay implements chaos.Target.
 func (t chaosTarget) SetPacketOutDelay(d time.Duration) error {
 	if t.c.Controller == nil {

@@ -74,6 +74,11 @@ type Config struct {
 	// (Typhoon mode). Zero selects observe.DefaultTraceEvery; negative
 	// disables tracing.
 	TraceEvery int
+	// Controllers is the number of SDN controller instances (Typhoon
+	// mode). 0 or 1 runs one standalone controller; n > 1 runs a
+	// replicated control plane with coordinator-elected per-switch
+	// mastership and zero-interruption failover.
+	Controllers int
 	// Chaos is an optional fault-injection plan executed once the cluster
 	// is up; its Seed drives the link impairment table.
 	Chaos chaos.Plan
@@ -85,8 +90,9 @@ type Host struct {
 	Switch *switchfabric.Switch
 	Agent  *agent.Agent
 
-	ofAgent *controller.OFAgent
-	tunnel  *tunnelEndpoint
+	ofAgent    *controller.OFAgent
+	multiAgent *controller.MultiAgent
+	tunnel     *tunnelEndpoint
 }
 
 // Cluster is a running emulated deployment.
@@ -111,7 +117,12 @@ type Cluster struct {
 	fabric   *tunnelFabric
 	netem    *chaos.Netem
 	stormNet *storm.Network
-	updater  *controller.Updater
+	// controllers holds every SDN controller instance; Controller aliases
+	// controllers[0]. updaters parallels controllers (one updater app per
+	// instance, so rescale response tokens stay per-controller).
+	controllers []*controller.Controller
+	updaters    []*controller.Updater
+	updater     *controller.Updater
 
 	rescalePause *observe.Histogram
 	rescaleKeys  *observe.Counter
@@ -146,28 +157,51 @@ func NewCluster(options ...Option) (*Cluster, error) {
 
 	if cfg.Mode == ModeTyphoon {
 		c.netem = chaos.NewNetem(cfg.Chaos.Seed)
-		ctl, err := controller.New(c.Store, controller.Options{
-			RuleIdleTimeout: cfg.RuleIdleTimeout,
-		})
-		if err != nil {
-			return nil, err
+		n := cfg.Controllers
+		if n < 1 {
+			n = 1
 		}
-		c.Controller = ctl
-		c.Obs.Registry.GaugeFunc("typhoon_controller_datapaths",
-			"Switches connected to the SDN controller.", nil,
-			func() float64 { return float64(len(ctl.Datapaths())) })
+		// One collector instance is shared by every controller so /api/top
+		// aggregates all shards; each controller polls only the topologies
+		// it owns.
 		c.Obs.Collector = controller.NewMetricsCollector()
 		c.Obs.Collector.Register(c.Obs.Registry)
-		ctl.AddApp(c.Obs.Collector)
-		c.updater = controller.NewUpdater()
-		ctl.AddApp(c.updater)
+		for i := 0; i < n; i++ {
+			opts := controller.Options{RuleIdleTimeout: cfg.RuleIdleTimeout}
+			var labels observe.Labels
+			if n > 1 {
+				// Replicated control plane: tight ticks so mastership
+				// campaigns — and therefore failover detection — run at
+				// tens of milliseconds.
+				opts.ID = fmt.Sprintf("ctl-%d", i)
+				opts.TickInterval = 50 * time.Millisecond
+				opts.LeaseTTL = 300 * time.Millisecond
+				labels = observe.Labels{"controller": opts.ID}
+			}
+			ctl, err := controller.New(c.Store, opts)
+			if err != nil {
+				c.Stop()
+				return nil, err
+			}
+			c.controllers = append(c.controllers, ctl)
+			c.Obs.Registry.GaugeFunc("typhoon_controller_datapaths",
+				"Switches connected to the SDN controller.", labels,
+				func() float64 { return float64(len(ctl.Datapaths())) })
+			ctl.AddApp(c.Obs.Collector)
+			u := controller.NewUpdater()
+			c.updaters = append(c.updaters, u)
+			ctl.AddApp(u)
+			if err := ctl.Start(); err != nil {
+				c.Stop()
+				return nil, err
+			}
+		}
+		c.Controller = c.controllers[0]
+		c.updater = c.updaters[0]
 		c.rescalePause = c.Obs.Registry.Histogram("typhoon_rescale_pause_seconds",
 			"Source pause duration of managed stable rescales.", nil, nil)
 		c.rescaleKeys = c.Obs.Registry.Counter("typhoon_rescale_keys_migrated_total",
 			"State entries migrated by managed stable rescales.", nil)
-		if err := ctl.Start(); err != nil {
-			return nil, err
-		}
 		c.fabric = newTunnelFabric()
 	} else {
 		c.stormNet = storm.NewNetwork()
@@ -178,8 +212,8 @@ func NewCluster(options ...Option) (*Cluster, error) {
 		HeartbeatTimeout: cfg.HeartbeatTimeout,
 		MonitorInterval:  cfg.MonitorInterval,
 	})
-	if c.Controller != nil {
-		c.Controller.SetManager(c.Manager)
+	for _, ctl := range c.controllers {
+		ctl.SetManager(c.Manager)
 	}
 
 	for i, name := range cfg.Hosts {
@@ -213,12 +247,20 @@ func NewCluster(options ...Option) (*Cluster, error) {
 				return nil, err
 			}
 			h.tunnel = tun
-			ofa, err := controller.ConnectSwitch(c.Controller.Addr(), sw)
-			if err != nil {
-				c.Stop()
-				return nil, err
+			if len(c.controllers) > 1 {
+				addrs := make([]string, 0, len(c.controllers))
+				for _, ctl := range c.controllers {
+					addrs = append(addrs, ctl.Addr())
+				}
+				h.multiAgent = controller.ConnectSwitchMulti(addrs, sw)
+			} else {
+				ofa, err := controller.ConnectSwitch(c.Controller.Addr(), sw)
+				if err != nil {
+					c.Stop()
+					return nil, err
+				}
+				h.ofAgent = ofa
 			}
-			h.ofAgent = ofa
 			agentOpts.Mode = agent.ModeSDN
 			agentOpts.Switch = sw
 			agentOpts.FrameSampler = c.Obs.Sampler
@@ -256,6 +298,52 @@ func NewCluster(options ...Option) (*Cluster, error) {
 
 // Host returns a host by name, or nil.
 func (c *Cluster) Host(name string) *Host { return c.hosts[name] }
+
+// Controllers lists the SDN controller instances: one in standalone mode,
+// n under WithControllers(n). Empty in ModeStorm.
+func (c *Cluster) Controllers() []*controller.Controller {
+	return append([]*controller.Controller(nil), c.controllers...)
+}
+
+// ControllerByID finds a controller instance by its control-plane ID, or
+// nil (standalone controllers have ID "").
+func (c *Cluster) ControllerByID(id string) *controller.Controller {
+	for _, ctl := range c.controllers {
+		if ctl.ID() == id {
+			return ctl
+		}
+	}
+	return nil
+}
+
+// KillController terminates one controller instance by ID (chaos): its
+// switch connections drop, its heartbeat and lease renewals stop, and —
+// in a replicated control plane — surviving peers take over its switches
+// once the leases expire, reconciling rules with zero interruption to
+// cached-path forwarding.
+func (c *Cluster) KillController(id string) error {
+	ctl := c.ControllerByID(id)
+	if ctl == nil {
+		return fmt.Errorf("core: unknown controller %q", id)
+	}
+	ctl.Stop()
+	return nil
+}
+
+// MasterOf reports which controller currently masters a host's switch, as
+// seen by the first live controller. Stopped instances are skipped — their
+// cached view freezes at the moment of death.
+func (c *Cluster) MasterOf(host string) (owner string, epoch uint64, ok bool) {
+	for _, ctl := range c.controllers {
+		if ctl.Stopped() {
+			continue
+		}
+		if owner, epoch, ok = ctl.MasterOf(host); ok {
+			return owner, epoch, ok
+		}
+	}
+	return "", 0, false
+}
 
 // Submit submits a topology and, in Typhoon mode, waits until the SDN
 // controller has programmed the data plane and activated the sources. It
@@ -346,13 +434,37 @@ func (c *Cluster) Rescale(ctx context.Context, topo, node string, parallelism in
 	if dl, ok := ctx.Deadline(); ok {
 		timeout = time.Until(dl)
 	}
-	report, err := c.updater.Rescale(c.Controller, topo, node, parallelism, timeout)
-	if err != nil {
-		return nil, err
+	// Drive through the first live instance: after a controller kill the
+	// surviving replicas still accept rescales.
+	for i, ctl := range c.controllers {
+		if ctl.Stopped() {
+			continue
+		}
+		report, err := c.updaters[i].Rescale(ctl, topo, node, parallelism, timeout)
+		if err != nil {
+			return nil, err
+		}
+		c.rescalePause.Observe(report.Pause.Seconds())
+		c.rescaleKeys.Add(uint64(report.KeysMigrated))
+		return report, nil
 	}
-	c.rescalePause.Observe(report.Pause.Seconds())
-	c.rescaleKeys.Add(uint64(report.KeysMigrated))
-	return report, nil
+	return nil, fmt.Errorf("core: no live controller to drive the rescale")
+}
+
+// RescaleVia runs a managed rescale driven by a specific controller
+// instance of a replicated control plane (chaos experiments kill the
+// driver mid-flight to prove the protocol degrades to a pause).
+func (c *Cluster) RescaleVia(ctx context.Context, controllerID, topo, node string, parallelism int) (*controller.RescaleReport, error) {
+	timeout := 30 * time.Second
+	if dl, ok := ctx.Deadline(); ok {
+		timeout = time.Until(dl)
+	}
+	for i, ctl := range c.controllers {
+		if ctl.ID() == controllerID {
+			return c.updaters[i].Rescale(ctl, topo, node, parallelism, timeout)
+		}
+	}
+	return nil, fmt.Errorf("core: unknown controller %q", controllerID)
 }
 
 // StopCtx tears the cluster down, abandoning the wait (but not the
@@ -385,12 +497,15 @@ func (c *Cluster) Stop() {
 			h.Agent.Stop()
 		}
 	}
-	if c.Controller != nil {
-		c.Controller.Stop()
+	for _, ctl := range c.controllers {
+		ctl.Stop()
 	}
 	for _, h := range c.hosts {
 		if h.ofAgent != nil {
 			h.ofAgent.Close()
+		}
+		if h.multiAgent != nil {
+			h.multiAgent.Close()
 		}
 		if h.Switch != nil {
 			h.Switch.Stop()

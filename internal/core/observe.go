@@ -132,15 +132,33 @@ func (c *Cluster) ObserveHandler() http.Handler {
 	if c.updater != nil {
 		rescaleHandler = http.HandlerFunc(c.serveRescale)
 	}
+	var controlPlaneHandler http.Handler
+	if c.Controller != nil {
+		controlPlaneHandler = http.HandlerFunc(c.serveControlPlane)
+	}
 	return observe.Handler(observe.ServerOptions{
-		Registry:    c.Obs.Registry,
-		Traces:      c.Obs.Traces,
-		Top:         c.TopSnapshot,
-		Poll:        poll,
-		Chaos:       chaosHandler,
-		Rescale:     rescaleHandler,
-		EnablePprof: true,
+		Registry:     c.Obs.Registry,
+		Traces:       c.Obs.Traces,
+		Top:          c.TopSnapshot,
+		Poll:         poll,
+		Chaos:        chaosHandler,
+		Rescale:      rescaleHandler,
+		ControlPlane: controlPlaneHandler,
+		EnablePprof:  true,
 	})
+}
+
+// serveControlPlane reports controller registrations and per-switch
+// mastership from coordinator state. In standalone mode both lists are
+// empty — there are no leases to inspect.
+func (c *Cluster) serveControlPlane(w http.ResponseWriter, _ *http.Request) {
+	info, err := controller.ReadControlPlaneInfo(c.Store)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(info)
 }
 
 // serveRescale executes a managed stable rescale over HTTP: POST with

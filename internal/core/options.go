@@ -103,6 +103,16 @@ func WithTraceEvery(n int) Option {
 	return optionFunc(func(c *Config) { c.TraceEvery = n })
 }
 
+// WithControllers runs n SDN controller instances as a replicated control
+// plane (Typhoon mode): each switch gets a coordinator-elected master and
+// the rest stay as hot-standby slaves, control-plane apps shard by
+// topology ownership, and killing any controller fails its switches over
+// to a peer without interrupting cached-path forwarding. Default (0 or 1):
+// one standalone controller, identical to the single-controller behaviour.
+func WithControllers(n int) Option {
+	return optionFunc(func(c *Config) { c.Controllers = n })
+}
+
 // WithChaos schedules a fault-injection plan against the cluster: the plan
 // seeds the link impairment table and its events fire on the cluster clock
 // once NewCluster returns. Default: no plan (faults can still be injected
@@ -141,6 +151,12 @@ func (c *Config) validate() error {
 		if d.v < 0 {
 			return fmt.Errorf("core: negative %s", d.name)
 		}
+	}
+	if c.Controllers < 0 {
+		return fmt.Errorf("core: negative Controllers")
+	}
+	if c.Controllers > 1 && c.Mode != ModeTyphoon {
+		return fmt.Errorf("core: replicated controllers require ModeTyphoon")
 	}
 	if err := c.Chaos.Validate(); err != nil {
 		return err

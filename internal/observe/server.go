@@ -62,6 +62,9 @@ type ServerOptions struct {
 	// Rescale, when non-nil, is mounted at /api/rescale (POST triggers a
 	// managed stable rescale and returns its report).
 	Rescale http.Handler
+	// ControlPlane, when non-nil, is mounted at /api/controlplane (GET
+	// returns controller registrations and per-switch mastership).
+	ControlPlane http.Handler
 	// EnablePprof adds net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 }
@@ -74,6 +77,7 @@ type ServerOptions struct {
 //	/api/traces?n=N   recent completed tuple-path traces
 //	/api/chaos        fault injection (GET log, POST spec)
 //	/api/rescale      managed stable rescale (POST topo/node/parallelism)
+//	/api/controlplane controller registrations and switch mastership
 //	/debug/pprof/*    standard Go profiling endpoints
 func Handler(o ServerOptions) http.Handler {
 	mux := http.NewServeMux()
@@ -105,6 +109,9 @@ func Handler(o ServerOptions) http.Handler {
 	}
 	if o.Rescale != nil {
 		mux.Handle("/api/rescale", o.Rescale)
+	}
+	if o.ControlPlane != nil {
+		mux.Handle("/api/controlplane", o.ControlPlane)
 	}
 	if o.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

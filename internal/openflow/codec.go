@@ -125,6 +125,8 @@ func decodeBody(t MsgType, b []byte) (Message, error) {
 			return nil, ErrBadType
 		}
 		m = sr
+	case TypeRoleRequest:
+		m = RoleRequest{Master: r.u8() != 0, Epoch: r.u64()}
 	default:
 		return nil, ErrBadType
 	}
@@ -238,6 +240,15 @@ func (m StatsReply) appendBody(dst []byte) []byte {
 		}
 	}
 	return dst
+}
+
+func (m RoleRequest) appendBody(dst []byte) []byte {
+	b := byte(0)
+	if m.Master {
+		b = 1
+	}
+	dst = append(dst, b)
+	return binary.BigEndian.AppendUint64(dst, m.Epoch)
 }
 
 // --- shared field helpers -------------------------------------------------

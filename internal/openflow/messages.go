@@ -255,3 +255,18 @@ type StatsReply struct {
 
 // MsgType implements Message.
 func (StatsReply) MsgType() MsgType { return TypeStatsReply }
+
+// RoleRequest sets the sender's role on the receiving switch. In a
+// replicated control plane a controller claims (Master=true) or cedes
+// (Master=false) master status for the datapath after winning or losing the
+// coordinator-elected mastership lease. Epoch carries the lease epoch so a
+// partitioned ex-master's stale claim can never override its successor's:
+// the switch accepts a claim only when the epoch is no older than the
+// highest it has seen.
+type RoleRequest struct {
+	Master bool
+	Epoch  uint64
+}
+
+// MsgType implements Message.
+func (RoleRequest) MsgType() MsgType { return TypeRoleRequest }

@@ -50,6 +50,7 @@ const (
 	TypePortStatus
 	TypeStatsRequest
 	TypeStatsReply
+	TypeRoleRequest
 )
 
 func (t MsgType) String() string {
@@ -82,6 +83,8 @@ func (t MsgType) String() string {
 		return "STATS_REQUEST"
 	case TypeStatsReply:
 		return "STATS_REPLY"
+	case TypeRoleRequest:
+		return "ROLE_REQUEST"
 	default:
 		return fmt.Sprintf("TYPE(%d)", uint8(t))
 	}

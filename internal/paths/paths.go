@@ -6,8 +6,11 @@
 //	/agents/<host>                JSON agent registration (agents → manager, controller)
 //	/heartbeats/<name>/<worker>   unix-nano timestamp     (agents → manager fault monitor)
 //	/status/<name>/netready       generation the SDN controller finished programming
+//	/status/<name>/netready.<h>   per-host generation (replicated control plane)
 //	/status/<name>/activated      baseline activation marker (manager → agents)
 //	/status/<name>/paused         managed-rescale pause marker (updater app → controller)
+//	/controlplane/controllers/<id>  JSON controller registration + liveness lease
+//	/controlplane/masters/<host>    JSON switch-mastership lease (coordinator-elected)
 package paths
 
 import (
@@ -28,6 +31,17 @@ const Heartbeats = "/heartbeats"
 
 // Status is the prefix covering controller-written readiness markers.
 const Status = "/status"
+
+// ControlPlane is the prefix covering the replicated control plane: the
+// controller registrations and the per-switch mastership leases of the
+// distributed-controllers design (Yazıcı et al.).
+const ControlPlane = "/controlplane"
+
+// Controllers is the prefix covering controller registrations.
+const Controllers = ControlPlane + "/controllers"
+
+// Masters is the prefix covering per-switch mastership leases.
+const Masters = ControlPlane + "/masters"
 
 // Logical returns the logical-topology node for a topology name.
 func Logical(name string) string { return Topologies + "/" + name + "/logical" }
@@ -52,6 +66,16 @@ func HeartbeatPrefix(name string) string { return Heartbeats + "/" + name }
 // NetReady returns the controller-readiness node of one topology.
 func NetReady(name string) string { return Status + "/" + name + "/netready" }
 
+// NetReadyHost returns the per-host readiness node of one topology. In a
+// replicated control plane each controller programs only the switches it
+// masters and records the generation here; the topology's owning controller
+// aggregates these into the plain NetReady marker the manager waits on. The
+// host rides inside the marker element (dot separator) so ParseStatus keeps
+// working on the two-element status layout.
+func NetReadyHost(name, host string) string {
+	return Status + "/" + name + "/netready." + host
+}
+
 // Activated returns the activation marker of one topology (baseline mode:
 // sources stay throttled until the manager activates the topology).
 func Activated(name string) string { return Status + "/" + name + "/activated" }
@@ -61,6 +85,31 @@ func Activated(name string) string { return Status + "/" + name + "/activated" }
 // nor injects SIGNAL flushes: the updater app owns the stable-update
 // choreography (§3.5) until it removes the marker.
 func Paused(name string) string { return Status + "/" + name + "/paused" }
+
+// ControllerReg returns the registration node of one controller instance.
+func ControllerReg(id string) string { return Controllers + "/" + id }
+
+// SwitchMaster returns the mastership-lease node of one switch host.
+func SwitchMaster(host string) string { return Masters + "/" + host }
+
+// ParseControllerReg parses a controller registration path back into the
+// controller ID.
+func ParseControllerReg(p string) (id string, ok bool) {
+	rest, found := strings.CutPrefix(p, Controllers+"/")
+	if !found || !ValidName(rest) {
+		return "", false
+	}
+	return rest, true
+}
+
+// ParseSwitchMaster parses a mastership-lease path back into the host name.
+func ParseSwitchMaster(p string) (host string, ok bool) {
+	rest, found := strings.CutPrefix(p, Masters+"/")
+	if !found || !ValidName(rest) {
+		return "", false
+	}
+	return rest, true
+}
 
 // ValidName reports whether a name is usable as one path element: non-empty
 // and free of the separator. Constructors do not validate (callers pass

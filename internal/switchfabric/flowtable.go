@@ -217,14 +217,25 @@ func (t *flowTable) add(fm openflow.FlowMod) {
 	nr.lastHit.Store(clock.CoarseUnixNano())
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	defer t.bump()
 	st := t.sub(m.Fields)
 	key := ruleKey(m)
 	bucket := st.entries[key]
 	for i, r := range bucket {
 		if r.priority == fm.Priority {
+			if ruleUnchanged(r, fm) {
+				// Identical re-add: refresh the idle timer (exactly what a
+				// replacement would do) but keep the installed rule, its
+				// counters, and — critically — the cache generation. A new
+				// master reconciling after failover re-sends every rule it
+				// believes installed; treating those as no-ops keeps the
+				// microflow/megaflow caches hot, so the data plane never
+				// notices the control plane re-homing.
+				r.lastHit.Store(clock.CoarseUnixNano())
+				return
+			}
 			nr.seq = r.seq // replacement keeps the original's tie-break rank
 			bucket[i] = nr
+			t.bump()
 			return
 		}
 	}
@@ -240,6 +251,28 @@ func (t *flowTable) add(fm openflow.FlowMod) {
 		st.maxPriority = fm.Priority
 	}
 	t.resort()
+	t.bump()
+}
+
+// ruleUnchanged reports whether an installed rule is semantically identical
+// to an incoming FlowAdd with the same (normalized) match and priority.
+func ruleUnchanged(r *rule, fm openflow.FlowMod) bool {
+	return r.cookie == fm.Cookie &&
+		r.idleTimeoutMs == fm.IdleTimeoutMs &&
+		r.flags == fm.Flags &&
+		actionsEqual(r.loadActions(), fm.Actions)
+}
+
+func actionsEqual(a, b []openflow.Action) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // modify replaces the actions of rules subsumed by the match; it returns

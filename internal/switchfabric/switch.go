@@ -120,10 +120,28 @@ type Switch struct {
 	ports    map[uint32]*Port
 	nextPort uint32
 	groups   map[uint32]*group
-	sink     ControllerSink
 
-	// view is the immutable snapshot of ports/groups/sink the data path
-	// reads; rebuilt under mu on every control-plane change.
+	// sinks are the attached controller channels. PACKET_IN broadcasts to
+	// every sink (each replicated controller filters by its own shard);
+	// PORT_STATUS and FLOW_REMOVED go to the master only, because exactly
+	// one controller may react to switch events (fault steering, rule
+	// reinstallation) without duplicating work.
+	sinks       []ControllerSink
+	master      ControllerSink
+	masterEpoch uint64
+	// pendingEv buffers master-only events raised while the master role is
+	// vacant (a failover window); they flush to the next master so no
+	// fault or rule-expiry notification is lost across a controller crash.
+	pendingEv []masterEvent
+
+	// ctlSinks is the lock-free snapshot of sinks the punt path reads.
+	// Kept outside dataView so controller churn (attach/detach during
+	// failover) does not bump the flow-cache generation: the cached
+	// forwarding path stays hot while the control plane re-homes.
+	ctlSinks atomic.Pointer[[]ControllerSink]
+
+	// view is the immutable snapshot of ports/groups the data path reads;
+	// rebuilt under mu on every control-plane change.
 	view atomic.Pointer[dataView]
 	// gen invalidates microflow caches; bumped inside the mutating critical
 	// section of every flow-table, group-table and port change.
@@ -151,8 +169,16 @@ type Switch struct {
 type dataView struct {
 	ports  map[uint32]*Port
 	groups map[uint32]*group
-	sink   ControllerSink
 }
+
+// masterEvent is one buffered master-only event (exactly one field set).
+type masterEvent struct {
+	ps *openflow.PortStatus
+	fr *openflow.FlowRemoved
+}
+
+// pendingEventCap bounds the vacant-master event buffer (drop-oldest).
+const pendingEventCap = 256
 
 // Counters is a switch-level snapshot of frame accounting, the per-switch
 // rows of the cluster observability layer.
@@ -269,6 +295,7 @@ func New(name string, dpid uint64, options ...Option) *Switch {
 		stopped: make(chan struct{}),
 	}
 	s.flows.gen = &s.gen
+	s.ctlSinks.Store(&[]ControllerSink{})
 	s.rebuildView()
 	return s
 }
@@ -279,7 +306,6 @@ func (s *Switch) rebuildView() {
 	v := &dataView{
 		ports:  make(map[uint32]*Port, len(s.ports)),
 		groups: make(map[uint32]*group, len(s.groups)),
-		sink:   s.sink,
 	}
 	for no, p := range s.ports {
 		v.ports[no] = p
@@ -297,12 +323,146 @@ func (s *Switch) Name() string { return s.name }
 // DatapathID returns the datapath identifier.
 func (s *Switch) DatapathID() uint64 { return s.dpid }
 
-// SetController attaches the controller event sink.
+// SetController attaches a single controller event sink with the master
+// role, replacing any existing attachments — the standalone (single
+// controller) wiring. Replicated control planes use AttachController +
+// ClaimMaster instead.
 func (s *Switch) SetController(sink ControllerSink) {
 	s.mu.Lock()
+	if sink == nil {
+		s.sinks = nil
+		s.master = nil
+		s.publishSinksLocked()
+		s.mu.Unlock()
+		return
+	}
+	s.sinks = []ControllerSink{sink}
+	s.master = sink
+	s.masterEpoch++
+	s.publishSinksLocked()
+	pend := s.takePendingLocked()
+	s.mu.Unlock()
+	flushPending(sink, pend)
+}
+
+// AttachController adds a controller event sink in the slave role: it
+// receives PACKET_IN broadcasts but no master-only events until it claims
+// mastership.
+func (s *Switch) AttachController(sink ControllerSink) {
+	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.sink = sink
-	s.rebuildView()
+	for _, existing := range s.sinks {
+		if existing == sink {
+			return
+		}
+	}
+	s.sinks = append(s.sinks, sink)
+	s.publishSinksLocked()
+}
+
+// DetachController removes a controller event sink (its connection died).
+// If it held the master role the role becomes vacant and master-only
+// events buffer until the next claim.
+func (s *Switch) DetachController(sink ControllerSink) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, existing := range s.sinks {
+		if existing == sink {
+			s.sinks = append(s.sinks[:i], s.sinks[i+1:]...)
+			break
+		}
+	}
+	if s.master == sink {
+		s.master = nil
+	}
+	s.publishSinksLocked()
+}
+
+// ClaimMaster grants the master role to an attached sink, fenced by the
+// mastership-lease epoch: a claim older than the highest accepted epoch is
+// refused, so a partitioned ex-master can never displace its successor.
+// Events buffered while the role was vacant flush to the new master.
+func (s *Switch) ClaimMaster(sink ControllerSink, epoch uint64) bool {
+	s.mu.Lock()
+	if epoch < s.masterEpoch {
+		s.mu.Unlock()
+		return false
+	}
+	s.masterEpoch = epoch
+	s.master = sink
+	pend := s.takePendingLocked()
+	s.mu.Unlock()
+	flushPending(sink, pend)
+	return true
+}
+
+// ReleaseMaster cedes the master role if the sink still holds it at the
+// given epoch (a newer claim wins over a stale release).
+func (s *Switch) ReleaseMaster(sink ControllerSink, epoch uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.master == sink && epoch >= s.masterEpoch {
+		s.master = nil
+	}
+}
+
+// MasterEpoch reports the highest mastership epoch the switch has accepted
+// and whether a master is currently attached.
+func (s *Switch) MasterEpoch() (epoch uint64, held bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.masterEpoch, s.master != nil
+}
+
+// publishSinksLocked snapshots the sink registry for the punt path.
+func (s *Switch) publishSinksLocked() {
+	cp := make([]ControllerSink, len(s.sinks))
+	copy(cp, s.sinks)
+	s.ctlSinks.Store(&cp)
+}
+
+func (s *Switch) takePendingLocked() []masterEvent {
+	pend := s.pendingEv
+	s.pendingEv = nil
+	return pend
+}
+
+func flushPending(sink ControllerSink, pend []masterEvent) {
+	for _, ev := range pend {
+		switch {
+		case ev.ps != nil:
+			sink.PortStatus(*ev.ps)
+		case ev.fr != nil:
+			sink.FlowRemoved(*ev.fr)
+		}
+	}
+}
+
+// emitToMaster routes one master-only event: delivered to the master when
+// one is attached, buffered during a vacancy (only if any controller is
+// attached at all — a bare switch with no control plane drops events, as
+// before), capped drop-oldest.
+func (s *Switch) emitToMaster(ev masterEvent) {
+	s.mu.Lock()
+	m := s.master
+	if m == nil {
+		if len(s.sinks) > 0 {
+			if len(s.pendingEv) >= pendingEventCap {
+				n := copy(s.pendingEv, s.pendingEv[1:])
+				s.pendingEv = s.pendingEv[:n]
+			}
+			s.pendingEv = append(s.pendingEv, ev)
+		}
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	switch {
+	case ev.ps != nil:
+		m.PortStatus(*ev.ps)
+	case ev.fr != nil:
+		m.FlowRemoved(*ev.fr)
+	}
 }
 
 // Start launches the idle-timeout scanner. Port pumps start as ports are
@@ -353,19 +513,17 @@ func (s *Switch) addPort(name string, addr packet.Addr, tunnel bool) (*Port, err
 	}
 	s.ports[p.no] = p
 	s.rebuildView()
-	sink := s.sink
 	s.mu.Unlock()
 
 	s.wg.Add(1)
 	go s.pump(p)
 
-	if sink != nil {
-		sink.PortStatus(openflow.PortStatus{
-			Reason: openflow.PortAdded,
-			Port:   openflow.PortInfo{No: p.no, Name: p.name},
-			Addr:   p.addr,
-		})
+	ev := openflow.PortStatus{
+		Reason: openflow.PortAdded,
+		Port:   openflow.PortInfo{No: p.no, Name: p.name},
+		Addr:   p.addr,
 	}
+	s.emitToMaster(masterEvent{ps: &ev})
 	return p, nil
 }
 
@@ -379,20 +537,18 @@ func (s *Switch) RemovePort(no uint32) error {
 		delete(s.ports, no)
 		s.rebuildView()
 	}
-	sink := s.sink
 	s.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("switchfabric: no port %d", no)
 	}
 	p.rx.Close()
 	p.tx.Close()
-	if sink != nil {
-		sink.PortStatus(openflow.PortStatus{
-			Reason: openflow.PortDeleted,
-			Port:   openflow.PortInfo{No: p.no, Name: p.name},
-			Addr:   p.addr,
-		})
+	ev := openflow.PortStatus{
+		Reason: openflow.PortDeleted,
+		Port:   openflow.PortInfo{No: p.no, Name: p.name},
+		Addr:   p.addr,
 	}
+	s.emitToMaster(masterEvent{ps: &ev})
 	return nil
 }
 
@@ -433,6 +589,12 @@ func (s *Switch) ApplyGroupMod(gm openflow.GroupMod) error {
 	defer s.mu.Unlock()
 	switch gm.Command {
 	case openflow.GroupAdd, openflow.GroupModify:
+		if old := s.groups[gm.GroupID]; old != nil && groupUnchanged(old, gm) {
+			// Identical re-add (controller reconciliation re-sends every
+			// group each sync): keep the installed group and the cache
+			// generation so cached paths through the group stay valid.
+			return nil
+		}
 		g := &group{typ: gm.Type, buckets: gm.Buckets}
 		for _, b := range gm.Buckets {
 			w := uint32(b.Weight)
@@ -444,12 +606,29 @@ func (s *Switch) ApplyGroupMod(gm openflow.GroupMod) error {
 		}
 		s.groups[gm.GroupID] = g
 	case openflow.GroupDelete:
+		if _, ok := s.groups[gm.GroupID]; !ok {
+			return nil
+		}
 		delete(s.groups, gm.GroupID)
 	default:
 		return fmt.Errorf("switchfabric: bad group command %d", gm.Command)
 	}
 	s.rebuildView()
 	return nil
+}
+
+// groupUnchanged reports whether an installed group is semantically
+// identical to an incoming add/modify.
+func groupUnchanged(g *group, gm openflow.GroupMod) bool {
+	if g.typ != gm.Type || len(g.buckets) != len(gm.Buckets) {
+		return false
+	}
+	for i, b := range gm.Buckets {
+		if g.buckets[i].Weight != b.Weight || !actionsEqual(g.buckets[i].Actions, b.Actions) {
+			return false
+		}
+	}
+	return true
 }
 
 // Inject processes a controller PACKET_OUT: the data frame is run through
@@ -820,8 +999,8 @@ func (s *Switch) executeGroup(v *dataView, inPort uint32, frame []byte, id uint3
 // reports how many copies were actually delivered (0 or 1).
 func (s *Switch) deliver(v *dataView, portNo uint32, frame []byte, tunDst string, now int64, consumed *bool) int {
 	if portNo == openflow.PortController {
-		sink := v.sink
-		if sink == nil {
+		sinks := *s.ctlSinks.Load()
+		if len(sinks) == 0 {
 			return 0
 		}
 		if packet.Traced(frame) {
@@ -830,13 +1009,17 @@ func (s *Switch) deliver(v *dataView, portNo uint32, frame []byte, tunDst string
 				Kind: packet.HopController, Actor: s.dpid, Detail: portNo, At: now,
 			})
 		} else {
-			// The controller holds punted frames indefinitely; give it a
+			// The controllers hold punted frames indefinitely; give them a
 			// plain (non-pooled) copy so the original stays uniquely owned.
+			// One copy serves every sink: sends are sequential and sinks
+			// never mutate the frame.
 			cp := make([]byte, len(frame))
 			copy(cp, frame)
 			frame = cp
 		}
-		sink.PacketIn(openflow.PacketIn{InPort: portNo, Reason: openflow.ReasonAction, Data: frame})
+		for _, sink := range sinks {
+			sink.PacketIn(openflow.PacketIn{InPort: portNo, Reason: openflow.ReasonAction, Data: frame})
+		}
 		return 1
 	}
 	p := v.ports[portNo]
@@ -909,27 +1092,22 @@ func (s *Switch) notifyRemoved(rules []*rule, reason openflow.FlowRemovedReason)
 	s.notify(rules, reason, false)
 }
 
-// notify emits FlowRemoved events; forced bypasses the FlagSendFlowRem
-// opt-in (used when rules vanish behind the controller's back).
+// notify emits FlowRemoved events to the master controller; forced
+// bypasses the FlagSendFlowRem opt-in (used when rules vanish behind the
+// controller's back).
 func (s *Switch) notify(rules []*rule, reason openflow.FlowRemovedReason, forced bool) {
-	if len(rules) == 0 {
-		return
-	}
-	sink := s.view.Load().sink
-	if sink == nil {
-		return
-	}
 	for _, r := range rules {
 		if !forced && r.flags&openflow.FlagSendFlowRem == 0 {
 			continue
 		}
-		sink.FlowRemoved(openflow.FlowRemoved{
+		ev := openflow.FlowRemoved{
 			Match:    r.match,
 			Priority: r.priority,
 			Cookie:   r.cookie,
 			Reason:   reason,
 			Packets:  r.packets.Load(),
 			Bytes:    r.bytes.Load(),
-		})
+		}
+		s.emitToMaster(masterEvent{fr: &ev})
 	}
 }

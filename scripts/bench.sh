@@ -6,6 +6,9 @@
 #                          1/64/1k/10k-rule forwarding curve, megaflow
 #                          scatter hit rate, broadcast fan-out, codec and
 #                          emit→recv allocs).
+#   BENCH_failover.json  — replicated control-plane failover (detection
+#                          latency, rules reconciled, frames dropped —
+#                          target 0).
 # Extra arguments are passed to `go test`.
 set -eux
 cd "$(dirname "$0")/.."
@@ -15,3 +18,6 @@ test -s "${BENCH_RESCALE_JSON:-BENCH_rescale.json}"
 BENCH_JSON="${BENCH_DATAPLANE_JSON:-BENCH_dataplane.json}" \
 	go test -run '^$' -bench '^BenchmarkDataplane$' -benchtime 1x "$@" .
 test -s "${BENCH_DATAPLANE_JSON:-BENCH_dataplane.json}"
+BENCH_JSON="${BENCH_FAILOVER_JSON:-BENCH_failover.json}" \
+	go test -run '^$' -bench '^BenchmarkFailover$' -benchtime 1x "$@" .
+test -s "${BENCH_FAILOVER_JSON:-BENCH_failover.json}"

@@ -178,6 +178,9 @@ var (
 	WithOnWorkerCrash = core.WithOnWorkerCrash
 	// WithTraceEvery samples one in n frames for tuple-path tracing.
 	WithTraceEvery = core.WithTraceEvery
+	// WithControllers runs n replicated SDN controllers with
+	// coordinator-elected per-switch mastership (default: one standalone).
+	WithControllers = core.WithControllers
 	// WithChaos schedules a fault-injection plan (see package chaos).
 	WithChaos = core.WithChaos
 )
