@@ -35,6 +35,8 @@ func main() {
 		metrics    = flag.String("metrics", "127.0.0.1:9090", "observability HTTP listen address (empty disables)")
 		traceEvery = flag.Int("trace-every", 0, "sample one in N frames for tuple-path tracing (0 = default, negative disables)")
 		ctls       = flag.Int("controllers", 1, "replicated SDN controller instances (typhoon mode; 1 = standalone)")
+		qos        = flag.Bool("qos", false, "enable multi-tenant QoS: meters, weighted egress queues, bandwidth allocator")
+		linkBps    = flag.Uint64("link-bps", 0, "QoS per-host link capacity in bytes/s (0 = allocator default)")
 	)
 	flag.Parse()
 
@@ -48,6 +50,7 @@ func main() {
 	}
 	cluster, err := typhoon.NewCluster(typhoon.Config{
 		Mode: m, Hosts: names, TraceEvery: *traceEvery, Controllers: *ctls,
+		QoS: typhoon.QoSConfig{Enable: *qos, LinkCapacityBps: *linkBps},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -90,6 +93,9 @@ func main() {
 
 	if *demo {
 		b := typhoon.NewTopology("wordcount", 1)
+		if *qos {
+			b.QoS(typhoon.QoSGuaranteed, 0)
+		}
 		b.Source("input", workload.LogicSentenceSource, 1)
 		b.Node("split", workload.LogicSplitter, 2).ShuffleFrom("input")
 		b.Node("count", workload.LogicCounter, 2).FieldsFrom("split", 0).Stateful()

@@ -1,35 +1,31 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"typhoon/internal/apiclient"
 	"typhoon/internal/chaos"
 	"typhoon/internal/topology"
 )
 
-// runChaos drives the cluster's fault-injection engine over the
-// observability endpoint's /api/chaos route. Positional operands come
-// first, option flags after:
+// runChaos drives the cluster's fault-injection engine over the API's
+// /api/v1/chaos route. Positional operands come first, option flags after:
 //
 //	typhoon-ctl chaos partition h1 h2 -for 5s
 //	typhoon-ctl chaos crash wordcount 3
 //	typhoon-ctl chaos log
-func runChaos(addr string, args []string) {
+func runChaos(cl *apiclient.Client, args []string) {
 	if len(args) == 0 {
 		chaosUsage()
 	}
 	verb, rest := args[0], args[1:]
 	if verb == "log" {
-		runChaosLog(addr)
+		runChaosLog(cl)
 		return
 	}
 
@@ -94,38 +90,20 @@ func runChaos(addr string, args []string) {
 		fatal(err)
 	}
 
-	body, err := json.Marshal(s)
+	applied, err := cl.ChaosApply(s)
 	if err != nil {
 		fatal(err)
 	}
-	cl := &http.Client{Timeout: 10 * time.Second}
-	resp, err := cl.Post("http://"+addr+"/api/chaos", "application/json", bytes.NewReader(body))
-	if err != nil {
-		fatal(fmt.Errorf("cannot reach chaos endpoint (%w); is typhoon-cluster running with -metrics?", err))
+	if applied == "" {
+		applied = s.String()
 	}
-	defer resp.Body.Close()
-	out, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		fatal(fmt.Errorf("chaos endpoint returned %s: %s", resp.Status, strings.TrimSpace(string(out))))
-	}
-	var applied struct {
-		Applied string `json:"applied"`
-	}
-	if err := json.Unmarshal(out, &applied); err != nil || applied.Applied == "" {
-		fmt.Println(strings.TrimSpace(string(out)))
-		return
-	}
-	fmt.Println("injected:", applied.Applied)
+	fmt.Println("injected:", applied)
 }
 
 // runChaosLog prints the engine's injection record, oldest first.
-func runChaosLog(addr string) {
-	body, err := httpGet("http://" + addr + "/api/chaos")
+func runChaosLog(cl *apiclient.Client) {
+	log, err := cl.ChaosLog()
 	if err != nil {
-		fatal(err)
-	}
-	var log []chaos.Injection
-	if err := json.Unmarshal(body, &log); err != nil {
 		fatal(err)
 	}
 	if len(log) == 0 {

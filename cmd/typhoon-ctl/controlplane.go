@@ -1,54 +1,28 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
-	"strings"
 	"text/tabwriter"
-	"time"
+
+	"typhoon/internal/apiclient"
 )
 
 // runControlPlane renders the replicated control plane's state from the
-// observability endpoint's /api/controlplane route:
+// API's /api/v1/controlplane route:
 //
 //	typhoon-ctl -metrics-addr 127.0.0.1:9090 controlplane status
 //
 // The output is two tables — controller registrations (with heartbeat
 // liveness) and per-switch mastership leases (owner + fencing epoch).
 // Both are empty for a standalone single-controller cluster.
-func runControlPlane(addr string, args []string) {
+func runControlPlane(cl *apiclient.Client, args []string) {
 	if len(args) < 1 || args[0] != "status" {
 		fmt.Fprintln(os.Stderr, "usage: typhoon-ctl [flags] controlplane status")
 		os.Exit(2)
 	}
-	cl := &http.Client{Timeout: 10 * time.Second}
-	resp, err := cl.Get("http://" + addr + "/api/controlplane")
+	info, err := cl.ControlPlane()
 	if err != nil {
-		fatal(fmt.Errorf("cannot reach control-plane endpoint (%w); is typhoon-cluster running with -metrics?", err))
-	}
-	defer resp.Body.Close()
-	body, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		fatal(fmt.Errorf("control-plane endpoint returned %s: %s", resp.Status, strings.TrimSpace(string(body))))
-	}
-	var info struct {
-		Controllers []struct {
-			ID        string `json:"id"`
-			Addr      string `json:"addr"`
-			Live      bool   `json:"live"`
-			AgeMillis int64  `json:"ageMillis"`
-		} `json:"controllers"`
-		Masters []struct {
-			Host    string `json:"host"`
-			Owner   string `json:"owner"`
-			Epoch   uint64 `json:"epoch"`
-			Expired bool   `json:"expired"`
-		} `json:"masters"`
-	}
-	if err := json.Unmarshal(body, &info); err != nil {
 		fatal(err)
 	}
 	if len(info.Controllers) == 0 && len(info.Masters) == 0 {

@@ -1,7 +1,7 @@
 // Command typhoon-ctl inspects and reconfigures a running cluster through
 // its coordinator's TCP endpoint — the dynamic topology manager operations
 // of §3.2 from another process — and observes it through the cluster's
-// observability HTTP endpoint.
+// versioned observability API (/api/v1, spoken via internal/apiclient).
 //
 //	typhoon-ctl -coordinator 127.0.0.1:7000 list
 //	typhoon-ctl -coordinator 127.0.0.1:7000 describe wordcount
@@ -16,12 +16,14 @@
 //	typhoon-ctl -metrics-addr 127.0.0.1:9090 chaos log
 //	typhoon-ctl -metrics-addr 127.0.0.1:9090 rescale wordcount count 4
 //	typhoon-ctl -metrics-addr 127.0.0.1:9090 controlplane status
+//	typhoon-ctl -metrics-addr 127.0.0.1:9090 qos status
+//	typhoon-ctl -metrics-addr 127.0.0.1:9090 qos set wordcount guaranteed
 //
 // Reconfigurations work because the streaming manager's logic runs against
 // the coordinator API: this binary embeds a manager speaking to the remote
 // store, and the cluster's controller and agents converge on the updated
 // global state exactly as for in-process requests. The observability
-// subcommands poll typhoon-cluster's -metrics endpoint; every /api/top
+// subcommands poll typhoon-cluster's -metrics endpoint; every /api/v1/top
 // request makes the controller issue a METRIC_REQ sweep through the
 // control-tuple path, so the rendered table is live.
 package main
@@ -33,6 +35,7 @@ import (
 	"strconv"
 	"time"
 
+	"typhoon/internal/apiclient"
 	"typhoon/internal/coordinator"
 	"typhoon/internal/manager"
 	"typhoon/internal/paths"
@@ -50,24 +53,28 @@ func main() {
 		usage()
 	}
 
+	api := apiclient.New(*metricsAddr)
 	switch args[0] {
 	case "metrics":
-		runMetrics(*metricsAddr)
+		runMetrics(api)
 		return
 	case "top":
-		runTop(*metricsAddr, *interval, *once)
+		runTop(api, *interval, *once)
 		return
 	case "trace":
-		runTrace(*metricsAddr, *count)
+		runTrace(api, *count)
 		return
 	case "chaos":
-		runChaos(*metricsAddr, args[1:])
+		runChaos(api, args[1:])
 		return
 	case "rescale":
-		runRescale(*metricsAddr, args[1:])
+		runRescale(api, args[1:])
 		return
 	case "controlplane":
-		runControlPlane(*metricsAddr, args[1:])
+		runControlPlane(api, args[1:])
+		return
+	case "qos":
+		runQoS(api, args[1:])
 		return
 	}
 
@@ -145,7 +152,7 @@ func need(args []string, n int) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: typhoon-ctl [flags] {list | describe T | scale T NODE N | swap T NODE LOGIC | kill T | metrics | top | trace | chaos ... | rescale T NODE N [TIMEOUT] | controlplane status}")
+	fmt.Fprintln(os.Stderr, "usage: typhoon-ctl [flags] {list | describe T | scale T NODE N | swap T NODE LOGIC | kill T | metrics | top | trace | chaos ... | rescale T NODE N [TIMEOUT] | controlplane status | qos {status | set T CLASS [RATE]}}")
 	os.Exit(2)
 }
 

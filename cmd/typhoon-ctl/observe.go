@@ -1,23 +1,21 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"text/tabwriter"
 	"time"
 
+	"typhoon/internal/apiclient"
 	"typhoon/internal/observe"
 	"typhoon/internal/packet"
 )
 
 // runMetrics dumps the cluster's Prometheus exposition to stdout.
-func runMetrics(addr string) {
-	body, err := httpGet("http://" + addr + "/metrics")
+func runMetrics(cl *apiclient.Client) {
+	body, err := cl.MetricsText()
 	if err != nil {
 		fatal(err)
 	}
@@ -27,14 +25,14 @@ func runMetrics(addr string) {
 // runTop renders the live cluster table, refreshing until interrupted.
 // Every request makes the controller issue a METRIC_REQ sweep, so the
 // worker rows track the data plane live.
-func runTop(addr string, interval time.Duration, once bool) {
+func runTop(cl *apiclient.Client, interval time.Duration, once bool) {
 	if interval <= 0 {
 		interval = 2 * time.Second
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	for {
-		snap, err := fetchTop(addr)
+		snap, err := cl.Top()
 		if err != nil {
 			fatal(err)
 		}
@@ -51,16 +49,6 @@ func runTop(addr string, interval time.Duration, once bool) {
 		case <-time.After(interval):
 		}
 	}
-}
-
-func fetchTop(addr string) (observe.TopSnapshot, error) {
-	var snap observe.TopSnapshot
-	body, err := httpGet("http://" + addr + "/api/top")
-	if err != nil {
-		return snap, err
-	}
-	err = json.Unmarshal(body, &snap)
-	return snap, err
 }
 
 func printTop(snap observe.TopSnapshot) {
@@ -83,13 +71,9 @@ func printTop(snap observe.TopSnapshot) {
 // runTrace prints recent completed tuple-path traces, one hop chain per
 // trace: spout emit → switch ingress → rule match → egress/tunnel →
 // sink dequeue.
-func runTrace(addr string, n int) {
-	body, err := httpGet(fmt.Sprintf("http://%s/api/traces?n=%d", addr, n))
+func runTrace(cl *apiclient.Client, n int) {
+	traces, err := cl.Traces(n)
 	if err != nil {
-		fatal(err)
-	}
-	var traces []observe.TraceRecord
-	if err := json.Unmarshal(body, &traces); err != nil {
 		fatal(err)
 	}
 	if len(traces) == 0 {
@@ -108,17 +92,4 @@ func runTrace(addr string, n int) {
 				float64(h.At-base)/1e6, packet.HopKind(h.Kind).String(), h.Actor, h.Detail)
 		}
 	}
-}
-
-func httpGet(url string) ([]byte, error) {
-	cl := &http.Client{Timeout: 10 * time.Second}
-	resp, err := cl.Get(url)
-	if err != nil {
-		return nil, fmt.Errorf("cannot reach observability endpoint (%w); is typhoon-cluster running with -metrics?", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("observability endpoint returned %s", resp.Status)
-	}
-	return io.ReadAll(resp.Body)
 }

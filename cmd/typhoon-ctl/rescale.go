@@ -1,19 +1,16 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"io"
-	"net/http"
-	"net/url"
 	"os"
 	"strconv"
-	"strings"
 	"time"
+
+	"typhoon/internal/apiclient"
 )
 
-// runRescale triggers a managed stable rescale (§3.5) through the
-// observability endpoint's /api/rescale route and prints the report:
+// runRescale triggers a managed stable rescale (§3.5) through the API's
+// /api/v1/rescale route and prints the report:
 //
 //	typhoon-ctl -metrics-addr 127.0.0.1:9090 rescale wordcount count 4
 //
@@ -21,55 +18,29 @@ import (
 // logical topology, this runs the full three-phase protocol: pause and
 // drain sources, migrate keyed state onto the new instance set, reprogram
 // flow rules, and resume.
-func runRescale(addr string, args []string) {
+func runRescale(cl *apiclient.Client, args []string) {
 	if len(args) < 3 {
 		fmt.Fprintln(os.Stderr, "usage: typhoon-ctl [flags] rescale TOPO NODE N [TIMEOUT]")
 		os.Exit(2)
 	}
-	if _, err := strconv.Atoi(args[2]); err != nil {
+	parallelism, err := strconv.Atoi(args[2])
+	if err != nil {
 		fatal(fmt.Errorf("bad parallelism %q: %w", args[2], err))
 	}
-	q := url.Values{}
-	q.Set("topo", args[0])
-	q.Set("node", args[1])
-	q.Set("parallelism", args[2])
-	clientTimeout := 35 * time.Second
+	var timeout time.Duration
 	if len(args) >= 4 {
-		d, err := time.ParseDuration(args[3])
+		timeout, err = time.ParseDuration(args[3])
 		if err != nil {
 			fatal(fmt.Errorf("bad timeout %q: %w", args[3], err))
 		}
-		q.Set("timeout", args[3])
-		clientTimeout = d + 5*time.Second
 	}
-	cl := &http.Client{Timeout: clientTimeout}
-	resp, err := cl.Post("http://"+addr+"/api/rescale?"+q.Encode(), "application/json", nil)
+	report, err := cl.Rescale(args[0], args[1], parallelism, timeout)
 	if err != nil {
-		fatal(fmt.Errorf("cannot reach rescale endpoint (%w); is typhoon-cluster running with -metrics?", err))
-	}
-	defer resp.Body.Close()
-	body, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		fatal(fmt.Errorf("rescale endpoint returned %s: %s", resp.Status, strings.TrimSpace(string(body))))
-	}
-	var report struct {
-		Topology     string `json:"topology"`
-		Node         string `json:"node"`
-		From         int    `json:"from"`
-		To           int    `json:"to"`
-		PauseNanos   int64  `json:"pauseNanos"`
-		DrainNanos   int64  `json:"drainNanos"`
-		KeysMigrated int    `json:"keysMigrated"`
-		StateBytes   int    `json:"stateBytes"`
-		Generation   int64  `json:"generation"`
-	}
-	if err := json.Unmarshal(body, &report); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("rescaled %s/%s %d -> %d (generation %d)\n",
 		report.Topology, report.Node, report.From, report.To, report.Generation)
-	fmt.Printf("  paused  %v (drain %v)\n",
-		time.Duration(report.PauseNanos), time.Duration(report.DrainNanos))
+	fmt.Printf("  paused  %v (drain %v)\n", report.Pause, report.Drain)
 	fmt.Printf("  state   %d key(s), %d byte(s) migrated\n",
 		report.KeysMigrated, report.StateBytes)
 }

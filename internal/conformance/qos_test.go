@@ -1,0 +1,346 @@
+package conformance
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"typhoon/internal/core"
+	"typhoon/internal/topology"
+	"typhoon/internal/tuple"
+	"typhoon/internal/worker"
+)
+
+// QoS contention scenario: a low-rate guaranteed tenant and a flooding
+// best-effort tenant share the same two hosts (and therefore the same
+// tunnel). With meters, weighted egress queues, and the bandwidth
+// allocator online, the guaranteed tenant must lose nothing and keep a
+// bounded tail latency while the flood is policed.
+
+const (
+	logicQoSPacedSource = "conformance/qos-paced-source"
+	logicQoSLatencySink = "conformance/qos-latency-sink"
+	logicQoSFloodSource = "conformance/qos-flood-source"
+	logicQoSBlackhole   = "conformance/qos-blackhole-sink"
+
+	// envQoSMeter holds the run's *latencyMeter.
+	envQoSMeter = "conformance.qos.meter"
+)
+
+func init() {
+	worker.RegisterLogic(logicQoSPacedSource, func() worker.Component { return &qosPacedSource{} })
+	worker.RegisterLogic(logicQoSLatencySink, func() worker.Component { return &qosLatencySink{} })
+	worker.RegisterLogic(logicQoSFloodSource, func() worker.Component { return &qosFloodSource{} })
+	worker.RegisterLogic(logicQoSBlackhole, func() worker.Component { return &qosBlackhole{} })
+}
+
+// latencyMeter audits the guaranteed tenant: exactly-once delivery of the
+// paced sequence and the emit-to-sink latency distribution.
+type latencyMeter struct {
+	// total tuples the paced source emits; pace is the per-tuple delay.
+	total int64
+	pace  time.Duration
+
+	mu   sync.Mutex
+	seen map[int64]bool
+	dups int64
+	lat  []time.Duration
+}
+
+func newLatencyMeter(total int64, pace time.Duration) *latencyMeter {
+	return &latencyMeter{total: total, pace: pace, seen: make(map[int64]bool)}
+}
+
+func (m *latencyMeter) record(seq int64, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.seen[seq] {
+		m.dups++
+		return
+	}
+	m.seen[seq] = true
+	m.lat = append(m.lat, d)
+}
+
+func (m *latencyMeter) delivered() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int64(len(m.seen))
+}
+
+func (m *latencyMeter) duplicates() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dups
+}
+
+// p99 returns the 99th-percentile emit-to-sink latency.
+func (m *latencyMeter) p99() time.Duration {
+	m.mu.Lock()
+	lat := append([]time.Duration(nil), m.lat...)
+	m.mu.Unlock()
+	if len(lat) == 0 {
+		return 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return lat[(len(lat)-1)*99/100]
+}
+
+func qosMeter(ctx *worker.Context) *latencyMeter {
+	if e := ctx.Env(); e != nil {
+		if m, ok := e.Get(envQoSMeter).(*latencyMeter); ok {
+			return m
+		}
+	}
+	return newLatencyMeter(1, 0)
+}
+
+// qosPacedSource emits (seq, emitNanos) at a steady low rate — the
+// guaranteed tenant's workload, far below link capacity.
+type qosPacedSource struct {
+	m   *latencyMeter
+	seq int64
+}
+
+func (s *qosPacedSource) Open(ctx *worker.Context) error { s.m = qosMeter(ctx); return nil }
+func (s *qosPacedSource) Close(*worker.Context) error    { return nil }
+
+func (s *qosPacedSource) Next(ctx *worker.Context) (bool, error) {
+	if s.seq >= s.m.total {
+		return false, nil
+	}
+	if s.m.pace > 0 {
+		time.Sleep(s.m.pace)
+	}
+	ctx.Emit(tuple.Int(s.seq), tuple.Int(time.Now().UnixNano()))
+	s.seq++
+	return true, nil
+}
+
+// qosLatencySink records each guaranteed delivery and its latency.
+type qosLatencySink struct{ m *latencyMeter }
+
+func (s *qosLatencySink) Open(ctx *worker.Context) error { s.m = qosMeter(ctx); return nil }
+func (s *qosLatencySink) Close(*worker.Context) error    { return nil }
+
+func (s *qosLatencySink) Execute(_ *worker.Context, in tuple.Tuple) error {
+	if in.Stream.IsSignal() {
+		return nil
+	}
+	seq := in.Field(0).AsInt()
+	stamp := in.Field(1).AsInt()
+	s.m.record(seq, time.Duration(time.Now().UnixNano()-stamp))
+	return nil
+}
+
+// qosFloodSource emits 512-byte payloads as fast as the worker loop runs —
+// the background tenant that would crowd the link without QoS.
+type qosFloodSource struct{ payload string }
+
+func (s *qosFloodSource) Open(*worker.Context) error {
+	s.payload = strings.Repeat("x", 512)
+	return nil
+}
+func (s *qosFloodSource) Close(*worker.Context) error { return nil }
+
+func (s *qosFloodSource) Next(ctx *worker.Context) (bool, error) {
+	ctx.Emit(tuple.String(s.payload))
+	return true, nil
+}
+
+// qosBlackhole discards the flood.
+type qosBlackhole struct{}
+
+func (qosBlackhole) Open(*worker.Context) error                 { return nil }
+func (qosBlackhole) Close(*worker.Context) error                { return nil }
+func (qosBlackhole) Execute(*worker.Context, tuple.Tuple) error { return nil }
+
+// goldLatencyBound is the guaranteed-class tail-latency ceiling under
+// flood. Uncontended delivery is sub-millisecond; the bound is generous
+// for -race and loaded CI machines while still catching a collapse to
+// FIFO behavior, where the flood's standing queues add seconds.
+const goldLatencyBound = 2 * time.Second
+
+func TestQoSContentionGuaranteedTenantProtected(t *testing.T) {
+	meter := newLatencyMeter(1500, 2*time.Millisecond)
+	c, err := core.NewCluster(core.Config{
+		Mode:              core.ModeTyphoon,
+		Hosts:             []string{"h1", "h2"},
+		HeartbeatInterval: 100 * time.Millisecond,
+		HeartbeatTimeout:  2 * time.Second,
+		MonitorInterval:   200 * time.Millisecond,
+		DrainDelay:        100 * time.Millisecond,
+		RestartDelay:      200 * time.Millisecond,
+		DefaultBatchSize:  50,
+		QoS: core.QoSConfig{
+			Enable: true,
+			// A small link budget so the flood saturates it instantly and
+			// the allocator's caps visibly police.
+			LinkCapacityBps: 2 << 20,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	c.Env.Set(envQoSMeter, meter)
+
+	gold := topology.NewBuilder("qos-gold", 11)
+	gold.Source("src", logicQoSPacedSource, 1)
+	gold.Node("sink", logicQoSLatencySink, 1).GlobalFrom("src")
+	gold.QoS(topology.QoSGuaranteed, 256<<10)
+	gl, err := gold.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(gl, 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, 30*time.Second, "guaranteed stream underway", func() bool {
+		return meter.delivered() > 50
+	})
+
+	flood := topology.NewBuilder("qos-flood", 12)
+	flood.Source("fsrc", logicQoSFloodSource, 2)
+	flood.Node("void", logicQoSBlackhole, 2).ShuffleFrom("fsrc")
+	flood.QoS(topology.QoSBestEffort, 0)
+	fl, err := flood.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(fl, 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	waitCond(t, 60*time.Second, "guaranteed stream completion under flood", func() bool {
+		return meter.delivered() >= meter.total
+	})
+
+	if d := meter.duplicates(); d != 0 {
+		t.Errorf("guaranteed tenant saw %d duplicate deliveries", d)
+	}
+	if got := meter.delivered(); got != meter.total {
+		t.Errorf("guaranteed tenant delivered %d of %d tuples (loss under flood)", got, meter.total)
+	}
+	p99 := meter.p99()
+	if p99 <= 0 || p99 > goldLatencyBound {
+		t.Errorf("guaranteed p99 latency %v outside (0, %v]", p99, goldLatencyBound)
+	}
+
+	// The flood must actually have contended: the allocator assigned it a
+	// cap and the data plane policed it.
+	st := c.QoSStatus()
+	if !st.Enabled {
+		t.Fatal("QoSStatus reports disabled on a QoS cluster")
+	}
+	classes := map[string]string{}
+	var floodCapped bool
+	for _, row := range st.Topologies {
+		classes[row.Topology] = row.Class
+		if row.Topology == "qos-flood" {
+			for _, r := range row.HostRates {
+				if r > 0 {
+					floodCapped = true
+				}
+			}
+		}
+	}
+	if classes["qos-gold"] != topology.QoSGuaranteed || classes["qos-flood"] != topology.QoSBestEffort {
+		t.Errorf("topology classes = %v", classes)
+	}
+	if !floodCapped {
+		t.Error("allocator never assigned the flooding tenant a meter rate")
+	}
+	var meterDrops uint64
+	for _, h := range st.Hosts {
+		meterDrops += h.MeterDrops
+		for _, mi := range h.Meters {
+			t.Logf("host %s meter %d: rate=%d burst=%d drops=%d", h.Host, mi.ID, mi.RateBps, mi.BurstBytes, mi.Drops)
+		}
+		for _, qs := range h.Queues {
+			t.Logf("host %s queue %s: depth=%d enq=%d drop=%d", h.Host, qs.Class, qs.Depth, qs.Enqueued, qs.Dropped)
+		}
+	}
+	for _, sw := range c.TopSnapshot().Switches {
+		t.Logf("switch %s: rx=%d fwd=%d drop=%d", sw.Host, sw.RxFrames, sw.Forwarded, sw.Dropped)
+	}
+	if meterDrops == 0 {
+		t.Error("no meter drops recorded — the flood was never policed")
+	}
+	t.Logf("guaranteed: %d/%d delivered, p99=%v; flood policed: %d meter drops",
+		meter.delivered(), meter.total, p99, meterDrops)
+}
+
+// TestQoSReassignOnline flips the flooding tenant's class at runtime and
+// asserts the control plane converges: the topology reports the new class
+// and the allocator's rate assignment follows it.
+func TestQoSReassignOnline(t *testing.T) {
+	c, err := core.NewCluster(core.Config{
+		Mode:              core.ModeTyphoon,
+		Hosts:             []string{"h1", "h2"},
+		HeartbeatInterval: 100 * time.Millisecond,
+		HeartbeatTimeout:  2 * time.Second,
+		MonitorInterval:   200 * time.Millisecond,
+		DrainDelay:        100 * time.Millisecond,
+		RestartDelay:      200 * time.Millisecond,
+		DefaultBatchSize:  50,
+		QoS:               core.QoSConfig{Enable: true, LinkCapacityBps: 4 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+
+	b := topology.NewBuilder("qos-shift", 13)
+	b.Source("fsrc", logicQoSFloodSource, 1)
+	b.Node("void", logicQoSBlackhole, 1).GlobalFrom("fsrc")
+	b.QoS(topology.QoSBestEffort, 0)
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(l, 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, 15*time.Second, "best-effort cap assigned", func() bool {
+		for _, row := range c.QoSStatus().Topologies {
+			if row.Topology == "qos-shift" {
+				for _, r := range row.HostRates {
+					if r > 0 {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	})
+
+	if err := c.SetTopologyQoS("qos-shift", topology.QoSGuaranteed, 512<<10); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, 15*time.Second, "reassignment to guaranteed converges", func() bool {
+		for _, row := range c.QoSStatus().Topologies {
+			if row.Topology != "qos-shift" {
+				continue
+			}
+			if row.Class != topology.QoSGuaranteed || row.ConfiguredBps != 512<<10 {
+				return false
+			}
+			// Guaranteed tenants run unmetered: every assigned host rate
+			// must have converged to 0.
+			for _, r := range row.HostRates {
+				if r != 0 {
+					return false
+				}
+			}
+			return len(row.HostRates) > 0
+		}
+		return false
+	})
+
+	if err := c.SetTopologyQoS("qos-shift", "priority", 0); err == nil {
+		t.Fatal("SetTopologyQoS accepted an unknown class")
+	}
+}

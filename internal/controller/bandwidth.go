@@ -1,0 +1,354 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"typhoon/internal/control"
+	"typhoon/internal/openflow"
+	"typhoon/internal/packet"
+	"typhoon/internal/topology"
+	"typhoon/internal/tuple"
+)
+
+// TopologyQoS is one topology's row of the QoS status surface: its rate
+// class, the operator-configured rate, and the bandwidth allocator's
+// current per-host meter assignment (0 = admit everything).
+type TopologyQoS struct {
+	Topology      string            `json:"topology"`
+	Class         string            `json:"class"`
+	ConfiguredBps uint64            `json:"configuredBps"`
+	HostRates     map[string]uint64 `json:"hostRates,omitempty"`
+}
+
+// QoSEnabled reports whether this controller compiles QoS into rules.
+func (c *Controller) QoSEnabled() bool { return c.opts.EnableQoS }
+
+// QoSStatus snapshots the QoS assignment of every tracked topology.
+func (c *Controller) QoSStatus() []TopologyQoS {
+	c.mu.Lock()
+	out := make([]TopologyQoS, 0, len(c.topos))
+	for name, ts := range c.topos {
+		if ts.logical == nil {
+			continue
+		}
+		row := TopologyQoS{
+			Topology:      name,
+			Class:         ts.logical.QoSClass,
+			ConfiguredBps: ts.logical.QoSRateBps,
+		}
+		if row.Class == "" {
+			row.Class = topology.QoSBestEffort
+		}
+		if len(ts.meterRates) > 0 {
+			row.HostRates = make(map[string]uint64, len(ts.meterRates))
+			for h, r := range ts.meterRates {
+				row.HostRates[h] = r
+			}
+		}
+		out = append(out, row)
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Topology < out[j].Topology })
+	return out
+}
+
+// SetMeterRate assigns a topology's meter rate on one host (bytes/sec,
+// 0 = admit everything) and reprograms the switch when this controller
+// masters it. The assignment is remembered in controller state so
+// reconciliation re-sends it after switch reconnects and mastership moves.
+func (c *Controller) SetMeterRate(topoName, host string, rateBps uint64) error {
+	c.mu.Lock()
+	ts := c.topos[topoName]
+	if ts == nil {
+		c.mu.Unlock()
+		return fmt.Errorf("controller: unknown topology %q", topoName)
+	}
+	meterID := ts.meterID
+	if ts.meterRates == nil {
+		ts.meterRates = make(map[string]uint64)
+	}
+	prev, had := ts.meterRates[host]
+	ts.meterRates[host] = rateBps
+	c.mu.Unlock()
+	if meterID == 0 {
+		return fmt.Errorf("controller: topology %q has no meter (QoS disabled?)", topoName)
+	}
+	if had && prev == rateBps {
+		return nil // steady state: nothing to send
+	}
+	if !c.IsMaster(host) {
+		return nil // recorded; the host's master programs its own view
+	}
+	dp := c.datapath(host)
+	if dp == nil {
+		return fmt.Errorf("controller: no datapath for host %s", host)
+	}
+	// MeterAdd retunes in place when the meter exists, so the same command
+	// covers first assignment and every reassignment after.
+	_, err := dp.conn.Send(openflow.MeterMod{
+		Command: openflow.MeterAdd, MeterID: meterID, RateBps: rateBps,
+	})
+	return err
+}
+
+// BandwidthConfig tunes the bandwidth-allocator app.
+type BandwidthConfig struct {
+	// LinkCapacityBps is the egress budget managed per host (bytes/sec).
+	LinkCapacityBps uint64
+	// Hysteresis is the fractional rate change below which reassignment is
+	// suppressed; defaults to 0.1 (10%).
+	Hysteresis float64
+	// MinShareFrac floors every metered tenant's rate at this fraction of
+	// the link capacity; defaults to 0.05 (5%).
+	MinShareFrac float64
+}
+
+// BandwidthAllocator is the QoS control plane app: an online feedback loop
+// that polls worker statistics with METRIC_REQ sweeps (like the
+// auto-scaler) and continuously reassigns per-topology meter rates from
+// observed demand. Guaranteed tenants are never policed — their protection
+// is the egress queue weight plus the caps this app keeps on everyone
+// else; burstable tenants split the spare capacity left after guaranteed
+// floors in proportion to demand; best-effort tenants share a quarter of
+// the spare so a flooding tenant is firmly rate-capped.
+//
+// Sharding and failover follow the replicated control plane: each
+// topology's owner runs its metric sweep, each switch's master applies the
+// rates for its host, and because every input is recomputed from the
+// coordinator-backed topology view plus fresh metrics, a controller that
+// inherits a switch converges on the next tick with no handoff protocol.
+type BandwidthAllocator struct {
+	BaseApp
+
+	cfg BandwidthConfig
+
+	mu    sync.Mutex
+	token uint64
+	// latest maps app ID → worker → newest metric response.
+	latest map[uint16]map[topology.WorkerID]control.MetricResp
+	// prevEmitted remembers the last emitted counter per worker so demand
+	// is a per-tick delta, not a lifetime total.
+	prevEmitted map[topology.WorkerID]uint64
+	reassigns   int
+}
+
+// NewBandwidthAllocator builds the app.
+func NewBandwidthAllocator(cfg BandwidthConfig) *BandwidthAllocator {
+	if cfg.LinkCapacityBps == 0 {
+		cfg.LinkCapacityBps = 64 << 20 // 64 MB/s default budget
+	}
+	if cfg.Hysteresis <= 0 {
+		cfg.Hysteresis = 0.1
+	}
+	if cfg.MinShareFrac <= 0 {
+		cfg.MinShareFrac = 0.05
+	}
+	return &BandwidthAllocator{
+		cfg:         cfg,
+		latest:      make(map[uint16]map[topology.WorkerID]control.MetricResp),
+		prevEmitted: make(map[topology.WorkerID]uint64),
+	}
+}
+
+// Name implements App.
+func (b *BandwidthAllocator) Name() string { return "bandwidth-allocator" }
+
+// Reassigns reports how many meter-rate reassignments were issued.
+func (b *BandwidthAllocator) Reassigns() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.reassigns
+}
+
+// OnControlTuple implements App: collect METRIC_RESP statistics keyed by
+// the sender's application ID (the topology's data-plane identity).
+func (b *BandwidthAllocator) OnControlTuple(c *Controller, host string, src packet.Addr, t tuple.Tuple) {
+	kind, err := control.DecodeKind(t)
+	if err != nil || kind != control.KindMetricResp {
+		return
+	}
+	var mr control.MetricResp
+	if control.DecodePayload(t, &mr) != nil {
+		return
+	}
+	b.mu.Lock()
+	app := src.App()
+	if b.latest[app] == nil {
+		b.latest[app] = make(map[topology.WorkerID]control.MetricResp)
+	}
+	b.latest[app][mr.Worker] = mr
+	b.mu.Unlock()
+}
+
+// tenant is one topology's per-tick allocation state on one host.
+type tenant struct {
+	name   string
+	class  string
+	conf   uint64 // configured rate
+	demand uint64 // emitted delta + backlog, the proportional-share weight
+}
+
+// OnTick implements App: sweep metrics for owned topologies, then compute
+// and apply per-host rate assignments for mastered switches.
+func (b *BandwidthAllocator) OnTick(c *Controller) {
+	b.mu.Lock()
+	b.token++
+	token := b.token
+	b.mu.Unlock()
+
+	// Per-host tenant sets, built from every tracked topology. The metric
+	// sweep is sharded by topology ownership (one controller polls each
+	// topology); allocation below is sharded by switch mastership inside
+	// SetMeterRate, so overlapping views never fight.
+	tenants := make(map[string][]*tenant)
+	for _, name := range c.TopologyNames() {
+		l, p := c.Topology(name)
+		if l == nil || p == nil {
+			continue
+		}
+		if c.OwnsTopology(name) {
+			for _, as := range p.Workers {
+				_ = c.SendControlTuple(name, as.Worker,
+					control.Encode(control.KindMetricReq, control.MetricReq{Token: token}))
+			}
+		}
+		class := l.QoSClass
+		if class == "" {
+			class = topology.QoSBestEffort
+		}
+		b.mu.Lock()
+		stats := b.latest[l.App]
+		perHost := make(map[string]*tenant)
+		for _, as := range p.Workers {
+			tn := perHost[as.Host]
+			if tn == nil {
+				tn = &tenant{name: name, class: class, conf: l.QoSRateBps}
+				perHost[as.Host] = tn
+			}
+			mr, ok := stats[as.Worker]
+			if !ok {
+				continue
+			}
+			delta := mr.Emitted - b.prevEmitted[as.Worker]
+			if mr.Emitted < b.prevEmitted[as.Worker] {
+				delta = mr.Emitted // worker restarted; counter reset
+			}
+			b.prevEmitted[as.Worker] = mr.Emitted
+			tn.demand += delta + uint64(mr.QueueLen)
+		}
+		b.mu.Unlock()
+		for host, tn := range perHost {
+			tenants[host] = append(tenants[host], tn)
+		}
+	}
+
+	for host, tns := range tenants {
+		if !c.IsMaster(host) {
+			continue // the host's master runs this host's allocation
+		}
+		b.allocateHost(c, host, tns)
+	}
+}
+
+// allocateHost computes and applies one host's rate assignment.
+func (b *BandwidthAllocator) allocateHost(c *Controller, host string, tns []*tenant) {
+	capacity := b.cfg.LinkCapacityBps
+	floor := uint64(float64(capacity) * b.cfg.MinShareFrac)
+
+	var reserved uint64
+	var burst, best []*tenant
+	for _, tn := range tns {
+		switch tn.class {
+		case topology.QoSGuaranteed:
+			if tn.conf < capacity {
+				reserved += tn.conf
+			} else {
+				reserved += capacity
+			}
+		case topology.QoSBurstable:
+			burst = append(burst, tn)
+		default:
+			best = append(best, tn)
+		}
+	}
+	spare := capacity - reserved
+	if spare < capacity/10 {
+		spare = capacity / 10
+	}
+
+	apply := func(tn *tenant, rate uint64) {
+		if rate != 0 && rate < floor {
+			rate = floor
+		}
+		if b.withinHysteresis(c, tn.name, host, rate) {
+			return
+		}
+		if err := c.SetMeterRate(tn.name, host, rate); err == nil {
+			b.mu.Lock()
+			b.reassigns++
+			b.mu.Unlock()
+		}
+	}
+
+	// Guaranteed tenants are never policed by their own meter.
+	for _, tn := range tns {
+		if tn.class == topology.QoSGuaranteed {
+			apply(tn, 0)
+		}
+	}
+	// Burstable tenants share the whole spare pool by demand; best-effort
+	// tenants share a quarter of it, so a flood is capped well below the
+	// point where it could crowd the link.
+	shareOut(burst, spare, apply)
+	shareOut(best, spare/4, apply)
+}
+
+// shareOut splits a pool across tenants in proportion to demand; with no
+// demand signal at all, the split is even.
+func shareOut(tns []*tenant, pool uint64, apply func(*tenant, uint64)) {
+	if len(tns) == 0 {
+		return
+	}
+	var total uint64
+	for _, tn := range tns {
+		total += tn.demand
+	}
+	for _, tn := range tns {
+		var rate uint64
+		if total == 0 {
+			rate = pool / uint64(len(tns))
+		} else {
+			rate = uint64(float64(pool) * float64(tn.demand) / float64(total))
+		}
+		apply(tn, rate)
+	}
+}
+
+// withinHysteresis reports whether the new rate is close enough to the
+// current assignment that re-sending would only churn the data plane.
+func (b *BandwidthAllocator) withinHysteresis(c *Controller, topo, host string, rate uint64) bool {
+	c.mu.Lock()
+	ts := c.topos[topo]
+	var cur uint64
+	var had bool
+	if ts != nil && ts.meterRates != nil {
+		cur, had = ts.meterRates[host]
+	}
+	c.mu.Unlock()
+	if !had {
+		return false
+	}
+	if cur == rate {
+		return true
+	}
+	if cur == 0 || rate == 0 {
+		return false // metered ↔ unmetered is always worth sending
+	}
+	diff := float64(rate) - float64(cur)
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff/float64(cur) < b.cfg.Hysteresis
+}

@@ -89,6 +89,11 @@ type Options struct {
 	// StatefulFlushDelay separates SIGNAL flushes from the routing
 	// updates that follow during stable stateful reconfiguration.
 	StatefulFlushDelay time.Duration
+	// EnableQoS compiles multi-tenant QoS into the rule set: data rules
+	// carry the topology's meter and a set_queue action selecting its rate
+	// class's egress queue, and per-topology meters are programmed on every
+	// sync. Off by default so QoS-unaware clusters get byte-identical rules.
+	EnableQoS bool
 }
 
 // Datapath is one connected switch.
@@ -124,6 +129,14 @@ type topoState struct {
 	// SDN load balancer; like mirrors, they are controller state so
 	// reconciliation re-applies rather than clobbers them.
 	lbWeights map[topology.WorkerID]uint16
+	// meterID is the topology's data-plane meter (one ID, programmed on
+	// every host carrying its workers); zero until QoS allocates one.
+	meterID uint32
+	// meterRates holds the bandwidth allocator's current per-host rate
+	// assignment (bytes/sec, 0 = admit everything). Like lbWeights it is
+	// controller state: reconciliation re-programs it after reconnects
+	// and mastership moves instead of falling back to the configured rate.
+	meterRates map[string]uint64
 }
 
 // SetGroupWeights sets select-group bucket weights for destination workers
@@ -191,6 +204,7 @@ type Controller struct {
 	apps   []App
 	mgr    ManagerAPI
 	nextGp uint32
+	nextMt uint32
 	// masters is this controller's view of per-switch mastership leases,
 	// refreshed by campaign(); roleSent tracks the last role asserted per
 	// datapath so ROLE_REQUEST goes out only on change. Both are empty in
@@ -240,6 +254,7 @@ func New(kv coordinator.KV, opts Options) (*Controller, error) {
 		roleSent: make(map[string]roleState),
 		stopCh:   make(chan struct{}),
 		nextGp:   1,
+		nextMt:   1,
 	}, nil
 }
 

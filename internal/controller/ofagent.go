@@ -100,6 +100,10 @@ func serveOF(conn *openflow.Conn, sw *switchfabric.Switch, sink switchfabric.Con
 			if err := sw.ApplyGroupMod(m); err != nil {
 				_ = conn.SendXID(xid, openflow.Error{Code: openflow.ErrCodeUnknownGroup, Msg: err.Error()})
 			}
+		case openflow.MeterMod:
+			if err := sw.ApplyMeterMod(m); err != nil {
+				_ = conn.SendXID(xid, openflow.Error{Code: openflow.ErrCodeBadRequest, Msg: err.Error()})
+			}
 		case openflow.PacketOut:
 			if err := sw.Inject(m); err != nil {
 				_ = conn.SendXID(xid, openflow.Error{Code: openflow.ErrCodeBadRequest, Msg: err.Error()})

@@ -102,6 +102,20 @@ func (c *Controller) SyncTopology(name string) {
 	for w, wt := range ts.lbWeights {
 		weightsSnap[w] = wt
 	}
+	// QoS: every topology owns one meter ID; its data rules reference it
+	// and classify onto the egress queue of the topology's rate class.
+	var meterID uint32
+	if c.opts.EnableQoS {
+		if ts.meterID == 0 {
+			ts.meterID = c.nextMt
+			c.nextMt++
+		}
+		meterID = ts.meterID
+	}
+	ratesSnap := make(map[string]uint64, len(ts.meterRates))
+	for h, r := range ts.meterRates {
+		ratesSnap[h] = r
+	}
 	c.mu.Unlock()
 	weightOf := func(w topology.WorkerID) uint16 {
 		if wt, ok := weightsSnap[w]; ok && wt > 0 {
@@ -114,7 +128,7 @@ func (c *Controller) SyncTopology(name string) {
 	if c.opts.RuleIdleTimeout > 0 {
 		idle = uint32(c.opts.RuleIdleTimeout / time.Millisecond)
 	}
-	desired, groups := compileRules(l, p, tun, groupOf, weightOf, idle)
+	desired, groups := compileRules(l, p, tun, groupOf, weightOf, idle, meterID)
 
 	// Apply live-debugger taps: mirror the tapped workers' egress rules
 	// to their debug ports. Doing it here keeps taps stable across
@@ -165,6 +179,28 @@ func (c *Controller) SyncTopology(name string) {
 			}
 		}
 		groups = kept
+	}
+
+	// Program meters before rules. A rule referencing a not-yet-programmed
+	// meter passes unmetered, so ordering is a courtesy, not a correctness
+	// requirement; identical re-adds are switch-side no-ops and rate changes
+	// retune in place, so resending every sync keeps reconciliation simple
+	// and makes mastership failover self-healing.
+	if meterID != 0 {
+		for _, host := range p.Hosts() {
+			if repl && !mine[host] {
+				continue
+			}
+			rate, ok := ratesSnap[host]
+			if !ok {
+				rate = l.QoSRateBps // configured rate until the allocator speaks
+			}
+			if dp := c.datapath(host); dp != nil {
+				_, _ = dp.conn.Send(openflow.MeterMod{
+					Command: openflow.MeterAdd, MeterID: meterID, RateBps: rate,
+				})
+			}
+		}
 	}
 
 	// Program groups first so rules never reference a missing group.
@@ -375,13 +411,24 @@ func (c *Controller) teardownTopology(name string) {
 	if ts == nil {
 		return
 	}
+	hosts := make(map[string]bool)
 	for key, fm := range ts.installed {
+		hosts[key.host] = true
 		if dp := c.datapath(key.host); dp != nil {
 			_, _ = dp.conn.Send(openflow.FlowMod{
 				Command:  openflow.FlowDeleteStrict,
 				Priority: fm.Priority,
 				Match:    fm.Match,
 			})
+		}
+	}
+	if ts.meterID != 0 {
+		for host := range hosts {
+			if dp := c.datapath(host); dp != nil {
+				_, _ = dp.conn.Send(openflow.MeterMod{
+					Command: openflow.MeterDelete, MeterID: ts.meterID,
+				})
+			}
 		}
 	}
 }
@@ -417,17 +464,25 @@ func tunnelPort(dp *Datapath) (uint32, bool) {
 }
 
 // compileRules translates a scheduled topology into the Table 3 rule set.
+// With a non-zero meterID, data rules (not control punts) are metered and
+// classified onto the egress queue of the topology's rate class, which is
+// how tenant traffic picks up its QoS treatment at every switch and tunnel.
 func compileRules(l *topology.Logical, p *topology.Physical, tun map[string]uint32,
 	groupOf func(topology.WorkerID) uint32, weightOf func(topology.WorkerID) uint16,
-	idleMs uint32) (map[ruleKey]openflow.FlowMod, []hostGroupMod) {
+	idleMs uint32, meterID uint32) (map[ruleKey]openflow.FlowMod, []hostGroupMod) {
 
 	rules := make(map[ruleKey]openflow.FlowMod)
 	var groups []hostGroupMod
+	queue := topology.QoSClassID(l.QoSClass)
 	addr := func(id topology.WorkerID) packet.Addr {
 		return packet.WorkerAddr(l.App, uint32(id))
 	}
 	add := func(host string, fm openflow.FlowMod) {
 		fm.IdleTimeoutMs = idleMs
+		if meterID != 0 && fm.Priority != prioControl {
+			fm.Meter = meterID
+			fm.Actions = append([]openflow.Action{openflow.SetQueue(queue)}, fm.Actions...)
+		}
 		rules[ruleKey{host: host, match: fm.Match.String(), priority: fm.Priority}] = fm
 	}
 

@@ -42,7 +42,7 @@ func unitWeight(topology.WorkerID) uint16 { return 1 }
 func compile(t *testing.T, policy topology.RoutingPolicy) map[ruleKey]openflow.FlowMod {
 	t.Helper()
 	l, p := fixture(policy)
-	rules, _ := compileRules(l, p, testTun, func(topology.WorkerID) uint32 { return 1 }, unitWeight, 0)
+	rules, _ := compileRules(l, p, testTun, func(topology.WorkerID) uint32 { return 1 }, unitWeight, 0, 0)
 	return rules
 }
 
@@ -155,7 +155,7 @@ func TestCompileBroadcast(t *testing.T) {
 
 func TestCompileSDNBalancedGroups(t *testing.T) {
 	l, p := fixture(topology.SDNBalanced)
-	rules, groups := compileRules(l, p, testTun, func(topology.WorkerID) uint32 { return 7 }, unitWeight, 0)
+	rules, groups := compileRules(l, p, testTun, func(topology.WorkerID) uint32 { return 7 }, unitWeight, 0, 0)
 	if len(groups) != 1 || groups[0].host != "h1" {
 		t.Fatalf("groups = %+v", groups)
 	}
@@ -185,7 +185,7 @@ func TestCompileSDNBalancedGroups(t *testing.T) {
 
 func TestCompileIdleTimeoutApplied(t *testing.T) {
 	l, p := fixture(topology.Shuffle)
-	rules, _ := compileRules(l, p, testTun, func(topology.WorkerID) uint32 { return 1 }, unitWeight, 1234)
+	rules, _ := compileRules(l, p, testTun, func(topology.WorkerID) uint32 { return 1 }, unitWeight, 1234, 0)
 	for _, fm := range rules {
 		if fm.IdleTimeoutMs != 1234 {
 			t.Fatalf("idle timeout not applied: %+v", fm)
@@ -200,7 +200,7 @@ func TestCompileAckEdges(t *testing.T) {
 		From: "src", To: "sink", Policy: topology.Fields,
 		HashFields: []int{1}, Stream: tuple.AckStream,
 	})
-	rules, _ := compileRules(l, p, testTun, func(topology.WorkerID) uint32 { return 1 }, unitWeight, 0)
+	rules, _ := compileRules(l, p, testTun, func(topology.WorkerID) uint32 { return 1 }, unitWeight, 0, 0)
 	if findRule(rules, "h1", func(fm openflow.FlowMod) bool {
 		return fm.Match.DlDst == packet.WorkerAddr(1, 4) && fm.Match.InPort == 10
 	}) == nil {
@@ -214,5 +214,35 @@ func TestStaleRuleIdleMs(t *testing.T) {
 	}
 	if staleRuleIdleMs(500000000) != 500 { // 500ms in ns
 		t.Fatal("configured stale idle timeout")
+	}
+}
+
+// QoS compilation: data rules carry the topology meter and a set_queue
+// selecting the rate class's egress queue; control punts stay untouched.
+func TestCompileRulesQoS(t *testing.T) {
+	l, p := fixture(topology.Shuffle)
+	l.QoSClass = topology.QoSBurstable
+	rules, _ := compileRules(l, p, testTun, func(topology.WorkerID) uint32 { return 1 }, unitWeight, 0, 42)
+	for _, fm := range rules {
+		if fm.Priority == prioControl {
+			if fm.Meter != 0 {
+				t.Fatalf("control rule got metered: %+v", fm)
+			}
+			continue
+		}
+		if fm.Meter != 42 {
+			t.Fatalf("data rule missing meter: %+v", fm)
+		}
+		a := fm.Actions[0]
+		if a.Type != openflow.ActSetQueue || a.Queue != topology.QoSClassID(topology.QoSBurstable) {
+			t.Fatalf("data rule missing class queue: %+v", fm)
+		}
+	}
+	// QoS off (meterID 0): byte-identical to the legacy rule set.
+	plain, _ := compileRules(l, p, testTun, func(topology.WorkerID) uint32 { return 1 }, unitWeight, 0, 0)
+	for _, fm := range plain {
+		if fm.Meter != 0 || fm.Actions[0].Type == openflow.ActSetQueue {
+			t.Fatalf("QoS leaked into non-QoS compilation: %+v", fm)
+		}
 	}
 }

@@ -82,6 +82,8 @@ type Config struct {
 	// Chaos is an optional fault-injection plan executed once the cluster
 	// is up; its Seed drives the link impairment table.
 	Chaos chaos.Plan
+	// QoS configures multi-tenant QoS; see WithQoS.
+	QoS QoSConfig
 }
 
 // Host is one emulated compute host.
@@ -123,6 +125,9 @@ type Cluster struct {
 	controllers []*controller.Controller
 	updaters    []*controller.Updater
 	updater     *controller.Updater
+	// allocators parallels controllers when QoS is enabled (one
+	// bandwidth-allocator app per instance, sharded like the updaters).
+	allocators []*controller.BandwidthAllocator
 
 	rescalePause *observe.Histogram
 	rescaleKeys  *observe.Counter
@@ -167,7 +172,10 @@ func NewCluster(options ...Option) (*Cluster, error) {
 		c.Obs.Collector = controller.NewMetricsCollector()
 		c.Obs.Collector.Register(c.Obs.Registry)
 		for i := 0; i < n; i++ {
-			opts := controller.Options{RuleIdleTimeout: cfg.RuleIdleTimeout}
+			opts := controller.Options{
+				RuleIdleTimeout: cfg.RuleIdleTimeout,
+				EnableQoS:       cfg.QoS.Enable,
+			}
 			var labels observe.Labels
 			if n > 1 {
 				// Replicated control plane: tight ticks so mastership
@@ -191,6 +199,13 @@ func NewCluster(options ...Option) (*Cluster, error) {
 			u := controller.NewUpdater()
 			c.updaters = append(c.updaters, u)
 			ctl.AddApp(u)
+			if cfg.QoS.Enable {
+				ba := controller.NewBandwidthAllocator(controller.BandwidthConfig{
+					LinkCapacityBps: cfg.QoS.LinkCapacityBps,
+				})
+				c.allocators = append(c.allocators, ba)
+				ctl.AddApp(ba)
+			}
 			if err := ctl.Start(); err != nil {
 				c.Stop()
 				return nil, err
@@ -230,9 +245,13 @@ func NewCluster(options ...Option) (*Cluster, error) {
 			OnWorkerCrash:     cfg.OnWorkerCrash,
 		}
 		if cfg.Mode == ModeTyphoon {
-			sw := switchfabric.New(name, uint64(i+1), switchfabric.Options{
+			swOpts := switchfabric.Options{
 				RingCapacity: cfg.SwitchRingCapacity,
-			})
+			}
+			if cfg.QoS.Enable {
+				swOpts.EgressQueues = cfg.QoS.queueClasses()
+			}
+			sw := switchfabric.New(name, uint64(i+1), swOpts)
 			sw.Start()
 			h.Switch = sw
 			c.Obs.registerSwitch(sw)

@@ -68,6 +68,7 @@ func (o *Observability) registerSwitch(sw *switchfabric.Switch) {
 		counter("typhoon_switch_megaflow_hits_total", "Microflow misses answered by the wildcarded megaflow cache.", cnt.MegaflowHits)
 		counter("typhoon_switch_megaflow_misses_total", "Frames that missed both flow caches.", cnt.MegaflowMisses)
 		counter("typhoon_switch_upcalls_total", "Slow-path staged flow-table lookups.", cnt.Upcalls)
+		counter("typhoon_switch_meter_dropped_frames_total", "Frames dropped by QoS meters (rate policing).", cnt.MeterDrops)
 		ports := sw.Ports()
 		emit(observe.Sample{Name: "typhoon_switch_flow_rules", Kind: observe.KindGauge,
 			Help: "Installed flow rules.", Labels: host, Value: float64(sw.RuleCount())})
@@ -136,6 +137,10 @@ func (c *Cluster) ObserveHandler() http.Handler {
 	if c.Controller != nil {
 		controlPlaneHandler = http.HandlerFunc(c.serveControlPlane)
 	}
+	var qosHandler http.Handler
+	if c.cfg.QoS.Enable {
+		qosHandler = http.HandlerFunc(c.serveQoS)
+	}
 	return observe.Handler(observe.ServerOptions{
 		Registry:     c.Obs.Registry,
 		Traces:       c.Obs.Traces,
@@ -144,6 +149,7 @@ func (c *Cluster) ObserveHandler() http.Handler {
 		Chaos:        chaosHandler,
 		Rescale:      rescaleHandler,
 		ControlPlane: controlPlaneHandler,
+		Qos:          qosHandler,
 		EnablePprof:  true,
 	})
 }

@@ -113,6 +113,17 @@ func WithControllers(n int) Option {
 	return optionFunc(func(c *Config) { c.Controllers = n })
 }
 
+// WithQoS enables multi-tenant QoS (Typhoon mode): per-topology meters in
+// every switch, weighted fair queueing at switch and tunnel egress, and the
+// bandwidth-allocator control plane app continuously reassigning meter
+// rates from observed demand. Zero-value fields take defaults.
+func WithQoS(q QoSConfig) Option {
+	return optionFunc(func(c *Config) {
+		q.Enable = true
+		c.QoS = q
+	})
+}
+
 // WithChaos schedules a fault-injection plan against the cluster: the plan
 // seeds the link impairment table and its events fire on the cluster clock
 // once NewCluster returns. Default: no plan (faults can still be injected
@@ -157,6 +168,9 @@ func (c *Config) validate() error {
 	}
 	if c.Controllers > 1 && c.Mode != ModeTyphoon {
 		return fmt.Errorf("core: replicated controllers require ModeTyphoon")
+	}
+	if c.QoS.Enable && c.Mode != ModeTyphoon {
+		return fmt.Errorf("core: QoS requires ModeTyphoon")
 	}
 	if err := c.Chaos.Validate(); err != nil {
 		return err

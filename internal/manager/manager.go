@@ -508,3 +508,18 @@ func withAckers(l *topology.Logical) *topology.Logical {
 	}
 	return out
 }
+
+// SetQoS reassigns a running topology's rate class and configured
+// bandwidth (bytes/sec). The generation bump rides the standard
+// reconfiguration path, so every SDN controller recompiles the topology's
+// rules with the new class queue and meter treatment on its next sync.
+func (m *Manager) SetQoS(name, class string, rateBps uint64) error {
+	if !topology.ValidQoSClass(class) {
+		return fmt.Errorf("manager: unknown QoS class %q", class)
+	}
+	return m.reconfigure(name, func(l *topology.Logical, p *topology.Physical) (*topology.Physical, error) {
+		l.QoSClass = class
+		l.QoSRateBps = rateBps
+		return p, nil
+	})
+}

@@ -1,10 +1,12 @@
 package observe
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -65,53 +67,87 @@ type ServerOptions struct {
 	// ControlPlane, when non-nil, is mounted at /api/controlplane (GET
 	// returns controller registrations and per-switch mastership).
 	ControlPlane http.Handler
+	// Qos, when non-nil, is mounted at /api/qos (GET reports per-topology
+	// rate classes and meter/queue statistics, POST reassigns a topology's
+	// class and configured rate).
+	Qos http.Handler
 	// EnablePprof adds net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 }
 
-// Handler assembles the observability HTTP mux:
+// Envelope is the uniform /api/v1 response body: exactly one of Data and
+// Error is set. Legacy /api/* routes keep their bare payloads for one
+// release; new consumers should read /api/v1/* only.
+type Envelope struct {
+	Data  json.RawMessage `json:"data,omitempty"`
+	Error *APIError       `json:"error,omitempty"`
+}
+
+// APIError is the error half of the /api/v1 envelope.
+type APIError struct {
+	// Code mirrors the HTTP status code.
+	Code int `json:"code"`
+	// Message is a human-readable description.
+	Message string `json:"message"`
+}
+
+// Handler assembles the observability HTTP mux. The versioned surface is
+// /api/v1/*, every response wrapped in the Envelope contract:
 //
-//	/metrics          Prometheus text exposition
-//	/api/metrics      the same samples as JSON
-//	/api/top          live cluster table (switches + workers)
-//	/api/traces?n=N   recent completed tuple-path traces
-//	/api/chaos        fault injection (GET log, POST spec)
-//	/api/rescale      managed stable rescale (POST topo/node/parallelism)
-//	/api/controlplane controller registrations and switch mastership
-//	/debug/pprof/*    standard Go profiling endpoints
+//	/metrics                 Prometheus text exposition
+//	/api/v1/metrics          registry samples as JSON
+//	/api/v1/top              live cluster table (switches + workers)
+//	/api/v1/traces?n=N       recent completed tuple-path traces
+//	/api/v1/chaos            fault injection (GET log, POST spec)
+//	/api/v1/rescale          managed stable rescale (POST topo/node/parallelism)
+//	/api/v1/controlplane     controller registrations and switch mastership
+//	/api/v1/qos              rate classes and meter/queue stats (GET), class/rate set (POST)
+//	/debug/pprof/*           standard Go profiling endpoints
+//
+// The pre-versioning /api/* routes remain as aliases serving their legacy
+// bare payloads for one release.
 func Handler(o ServerOptions) http.Handler {
 	mux := http.NewServeMux()
+	// route mounts one endpoint twice: the legacy handler verbatim at
+	// /api/<name>, and its envelope-wrapped form at /api/v1/<name>.
+	route := func(name string, h http.Handler) {
+		mux.Handle("/api/"+name, h)
+		mux.Handle("/api/v1/"+name, envelopeWrap(h))
+	}
 	if o.Registry != nil {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			_ = o.Registry.WritePrometheus(w)
 		})
-		mux.HandleFunc("/api/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		route("metrics", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 			writeJSON(w, o.Registry.Snapshot())
-		})
+		}))
 	}
 	if o.Traces != nil {
-		mux.HandleFunc("/api/traces", func(w http.ResponseWriter, r *http.Request) {
+		route("traces", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			n, _ := strconv.Atoi(r.URL.Query().Get("n"))
 			writeJSON(w, o.Traces.Recent(n))
-		})
+		}))
 	}
 	if o.Top != nil {
-		mux.HandleFunc("/api/top", func(w http.ResponseWriter, _ *http.Request) {
+		route("top", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 			if o.Poll != nil {
 				o.Poll()
 			}
 			writeJSON(w, o.Top())
-		})
+		}))
 	}
 	if o.Chaos != nil {
-		mux.Handle("/api/chaos", o.Chaos)
+		route("chaos", o.Chaos)
 	}
 	if o.Rescale != nil {
-		mux.Handle("/api/rescale", o.Rescale)
+		route("rescale", o.Rescale)
 	}
 	if o.ControlPlane != nil {
-		mux.Handle("/api/controlplane", o.ControlPlane)
+		route("controlplane", o.ControlPlane)
+	}
+	if o.Qos != nil {
+		route("qos", o.Qos)
 	}
 	if o.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -129,3 +165,47 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
 }
+
+// envelopeWrap adapts a legacy handler to the /api/v1 envelope contract by
+// recording its response: success payloads become {"data": ...}, error
+// statuses become {"error": {"code": ..., "message": ...}} with the status
+// preserved, so one handler implementation serves both surfaces.
+func envelopeWrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &responseRecorder{header: make(http.Header), code: http.StatusOK}
+		h.ServeHTTP(rec, r)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(rec.code)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if rec.code >= 400 {
+			_ = enc.Encode(Envelope{Error: &APIError{
+				Code:    rec.code,
+				Message: strings.TrimSpace(rec.buf.String()),
+			}})
+			return
+		}
+		body := bytes.TrimSpace(rec.buf.Bytes())
+		if len(body) == 0 {
+			body = []byte("null")
+		}
+		if !json.Valid(body) {
+			// Legacy plain-text success bodies become JSON strings.
+			body, _ = json.Marshal(string(body))
+		}
+		_ = enc.Encode(Envelope{Data: body})
+	})
+}
+
+// responseRecorder captures a handler's response for envelope rewriting.
+type responseRecorder struct {
+	header http.Header
+	code   int
+	buf    bytes.Buffer
+}
+
+func (r *responseRecorder) Header() http.Header { return r.header }
+
+func (r *responseRecorder) WriteHeader(code int) { r.code = code }
+
+func (r *responseRecorder) Write(p []byte) (int, error) { return r.buf.Write(p) }

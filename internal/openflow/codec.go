@@ -63,6 +63,7 @@ func decodeBody(t MsgType, b []byte) (Message, error) {
 			IdleTimeoutMs: r.u32(),
 			Cookie:        r.u64(),
 			Flags:         r.u16(),
+			Meter:         r.u32(),
 			Match:         r.match(),
 		}
 		fm.Actions = r.actions()
@@ -127,6 +128,13 @@ func decodeBody(t MsgType, b []byte) (Message, error) {
 		m = sr
 	case TypeRoleRequest:
 		m = RoleRequest{Master: r.u8() != 0, Epoch: r.u64()}
+	case TypeMeterMod:
+		m = MeterMod{
+			Command:    MeterCommand(r.u8()),
+			MeterID:    r.u32(),
+			RateBps:    r.u64(),
+			BurstBytes: r.u64(),
+		}
 	default:
 		return nil, ErrBadType
 	}
@@ -166,8 +174,16 @@ func (m FlowMod) appendBody(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, m.IdleTimeoutMs)
 	dst = binary.BigEndian.AppendUint64(dst, m.Cookie)
 	dst = binary.BigEndian.AppendUint16(dst, m.Flags)
+	dst = binary.BigEndian.AppendUint32(dst, m.Meter)
 	dst = appendMatch(dst, m.Match)
 	return appendActions(dst, m.Actions)
+}
+
+func (m MeterMod) appendBody(dst []byte) []byte {
+	dst = append(dst, byte(m.Command))
+	dst = binary.BigEndian.AppendUint32(dst, m.MeterID)
+	dst = binary.BigEndian.AppendUint64(dst, m.RateBps)
+	return binary.BigEndian.AppendUint64(dst, m.BurstBytes)
 }
 
 func (m FlowRemoved) appendBody(dst []byte) []byte {
@@ -279,6 +295,8 @@ func appendActions(dst []byte, acts []Action) []byte {
 			dst = appendBlob(dst, []byte(a.Host))
 		case ActGroup:
 			dst = binary.BigEndian.AppendUint32(dst, a.Group)
+		case ActSetQueue:
+			dst = binary.BigEndian.AppendUint32(dst, a.Queue)
 		}
 	}
 	return dst
@@ -377,6 +395,8 @@ func (r *reader) actions() []Action {
 			a.Host = string(r.blob())
 		case ActGroup:
 			a.Group = r.u32()
+		case ActSetQueue:
+			a.Queue = r.u32()
 		default:
 			if r.err == nil {
 				r.err = ErrBadType

@@ -87,8 +87,14 @@ type FlowMod struct {
 	IdleTimeoutMs uint32
 	Cookie        uint64
 	Flags         uint16
-	Match         Match
-	Actions       []Action
+	// Meter names the token-bucket meter frames matching this rule are
+	// charged against before any action runs; zero leaves the rule
+	// unmetered. A reference to a meter the switch has not (yet) been
+	// programmed with passes traffic unmetered, so rule and meter
+	// installation need no ordering.
+	Meter   uint32
+	Match   Match
+	Actions []Action
 }
 
 // MsgType implements Message.
@@ -152,6 +158,36 @@ type GroupMod struct {
 
 // MsgType implements Message.
 func (GroupMod) MsgType() MsgType { return TypeGroupMod }
+
+// MeterCommand selects the MeterMod operation.
+type MeterCommand uint8
+
+// Meter commands.
+const (
+	MeterAdd MeterCommand = iota + 1
+	MeterModify
+	MeterDelete
+)
+
+// MeterMod installs, retunes or removes token-bucket meters. A meter admits
+// RateBps bytes per second with a bucket depth of BurstBytes; frames arriving
+// on an empty bucket are dropped at the ingress pipeline (rate policing, the
+// data-plane half of the bandwidth-allocation loop). MeterAdd of an existing
+// meter and MeterModify both retune rate and burst in place without
+// disturbing the bucket's fill level, so the controller can continuously
+// reassign rates online without perturbing traffic.
+type MeterMod struct {
+	Command MeterCommand
+	MeterID uint32
+	// RateBps is the sustained admission rate in bytes per second; zero
+	// admits everything (an unconfigured meter never drops).
+	RateBps uint64
+	// BurstBytes is the bucket depth; zero selects a rate-derived default.
+	BurstBytes uint64
+}
+
+// MsgType implements Message.
+func (MeterMod) MsgType() MsgType { return TypeMeterMod }
 
 // PacketOut injects a frame into the switch data path; the paper uses it to
 // deliver control tuples to workers (§3.3.2).

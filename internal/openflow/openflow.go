@@ -51,6 +51,7 @@ const (
 	TypeStatsRequest
 	TypeStatsReply
 	TypeRoleRequest
+	TypeMeterMod
 )
 
 func (t MsgType) String() string {
@@ -85,6 +86,8 @@ func (t MsgType) String() string {
 		return "STATS_REPLY"
 	case TypeRoleRequest:
 		return "ROLE_REQUEST"
+	case TypeMeterMod:
+		return "METER_MOD"
 	default:
 		return fmt.Sprintf("TYPE(%d)", uint8(t))
 	}
@@ -238,6 +241,7 @@ const (
 	ActSetDlDst
 	ActSetTunnelDst
 	ActGroup
+	ActSetQueue
 )
 
 // Action is one forwarding action. Exactly one interpretation applies per
@@ -247,12 +251,14 @@ const (
 //	ActSetDlDst:     Addr rewrites the destination address (LB buckets).
 //	ActSetTunnelDst: Host names the remote host of the TCP tunnel.
 //	ActGroup:        Group selects a group table entry.
+//	ActSetQueue:     Queue selects the egress QoS class for later outputs.
 type Action struct {
 	Type  ActionType
 	Port  uint32
 	Addr  packet.Addr
 	Group uint32
 	Host  string
+	Queue uint32
 }
 
 // Output builds an output action.
@@ -267,6 +273,10 @@ func SetTunnelDst(host string) Action { return Action{Type: ActSetTunnelDst, Hos
 // ToGroup builds a group action.
 func ToGroup(id uint32) Action { return Action{Type: ActGroup, Group: id} }
 
+// SetQueue builds a queue-selection action: frames output after it are
+// enqueued on the egress port's per-class queue q (weighted fair queueing).
+func SetQueue(q uint32) Action { return Action{Type: ActSetQueue, Queue: q} }
+
 func (a Action) String() string {
 	switch a.Type {
 	case ActOutput:
@@ -280,6 +290,8 @@ func (a Action) String() string {
 		return fmt.Sprintf("set_tun_dst=%s", a.Host)
 	case ActGroup:
 		return fmt.Sprintf("group=%d", a.Group)
+	case ActSetQueue:
+		return fmt.Sprintf("set_queue=%d", a.Queue)
 	default:
 		return fmt.Sprintf("action(%d)", a.Type)
 	}

@@ -26,12 +26,12 @@ func sampleMessages() []Message {
 		},
 		FlowMod{
 			Command: FlowAdd, Priority: 100, IdleTimeoutMs: 5000, Cookie: 7,
-			Flags: FlagSendFlowRem,
+			Flags: FlagSendFlowRem, Meter: 12,
 			Match: Match{
 				Fields: FieldInPort | FieldDlSrc | FieldDlDst | FieldEtherType,
 				InPort: 3, DlSrc: w1, DlDst: w2, EtherType: packet.EtherType,
 			},
-			Actions: []Action{Output(4), SetTunnelDst("host-2"), ToGroup(9), SetDlDst(w2)},
+			Actions: []Action{Output(4), SetTunnelDst("host-2"), ToGroup(9), SetDlDst(w2), SetQueue(2)},
 		},
 		FlowRemoved{
 			Match:    Match{Fields: FieldDlDst, DlDst: w2},
@@ -54,6 +54,7 @@ func sampleMessages() []Message {
 		StatsReply{Kind: StatsFlow, Flows: []FlowStats{
 			{Match: Match{Fields: FieldDlSrc, DlSrc: w1}, Priority: 5, Cookie: 1, Packets: 2, Bytes: 3},
 		}},
+		MeterMod{Command: MeterAdd, MeterID: 3, RateBps: 1 << 20, BurstBytes: 1 << 16},
 	}
 }
 
@@ -155,7 +156,7 @@ func TestMatchString(t *testing.T) {
 	if m.String() == "" || m.String() == "any" {
 		t.Fatalf("match string = %q", m.String())
 	}
-	for _, a := range []Action{Output(1), Output(PortController), SetDlDst(packet.Broadcast), SetTunnelDst("h"), ToGroup(2)} {
+	for _, a := range []Action{Output(1), Output(PortController), SetDlDst(packet.Broadcast), SetTunnelDst("h"), ToGroup(2), SetQueue(1)} {
 		if a.String() == "" {
 			t.Fatal("action string empty")
 		}
@@ -242,6 +243,7 @@ func TestPropertyFlowModRoundTrip(t *testing.T) {
 			IdleTimeoutMs: r.Uint32(),
 			Cookie:        r.Uint64(),
 			Flags:         uint16(r.Intn(2)),
+			Meter:         r.Uint32(),
 			Match: Match{
 				Fields:    FieldSet(r.Intn(16)),
 				InPort:    r.Uint32(),
@@ -252,7 +254,7 @@ func TestPropertyFlowModRoundTrip(t *testing.T) {
 		}
 		n := r.Intn(5)
 		for i := 0; i < n; i++ {
-			switch r.Intn(4) {
+			switch r.Intn(5) {
 			case 0:
 				fm.Actions = append(fm.Actions, Output(r.Uint32()))
 			case 1:
@@ -261,6 +263,8 @@ func TestPropertyFlowModRoundTrip(t *testing.T) {
 				fm.Actions = append(fm.Actions, SetTunnelDst("host"))
 			case 3:
 				fm.Actions = append(fm.Actions, ToGroup(r.Uint32()))
+			case 4:
+				fm.Actions = append(fm.Actions, SetQueue(r.Uint32()))
 			}
 		}
 		_, out, err := Decode(Encode(r.Uint32(), fm))
@@ -272,7 +276,7 @@ func TestPropertyFlowModRoundTrip(t *testing.T) {
 }
 
 func TestMsgTypeStrings(t *testing.T) {
-	for mt := TypeHello; mt <= TypeStatsReply; mt++ {
+	for mt := TypeHello; mt <= TypeMeterMod; mt++ {
 		if mt.String() == "" {
 			t.Fatalf("empty string for type %d", mt)
 		}

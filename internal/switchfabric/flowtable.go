@@ -18,6 +18,10 @@ type rule struct {
 	cookie        uint64
 	idleTimeoutMs uint32
 	flags         uint16
+	// meter is the ID of the token-bucket meter frames matching this rule
+	// are charged against (0 = unmetered). Immutable once installed: rate
+	// changes retune the meter object itself, never the rule.
+	meter uint32
 
 	// seq is the global install rank, used to break priority ties: among
 	// equal-priority rules the earliest-installed wins, matching the stable
@@ -211,6 +215,7 @@ func (t *flowTable) add(fm openflow.FlowMod) {
 		cookie:        fm.Cookie,
 		idleTimeoutMs: fm.IdleTimeoutMs,
 		flags:         fm.Flags,
+		meter:         fm.Meter,
 	}
 	acts := fm.Actions
 	nr.actions.Store(&acts)
@@ -260,6 +265,7 @@ func ruleUnchanged(r *rule, fm openflow.FlowMod) bool {
 	return r.cookie == fm.Cookie &&
 		r.idleTimeoutMs == fm.IdleTimeoutMs &&
 		r.flags == fm.Flags &&
+		r.meter == fm.Meter &&
 		actionsEqual(r.loadActions(), fm.Actions)
 }
 

@@ -1,0 +1,100 @@
+package switchfabric
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// meter is one token-bucket rate policer of the switch meter table. Flow
+// rules reference a meter by ID (FlowMod.Meter); every frame matching such a
+// rule is charged against the bucket before its actions run, and frames
+// arriving on an empty bucket are dropped at the pipeline — the data-plane
+// enforcement half of the online bandwidth-allocation loop.
+//
+// All state is atomic so the per-frame path takes no locks and the
+// controller can retune rate and burst in place (MeterModify) without
+// touching the data-path view or the flow-cache generation: a rate
+// reassignment is invisible to the forwarding caches.
+type meter struct {
+	rateBps atomic.Uint64 // admitted bytes per second; 0 admits everything
+	burst   atomic.Uint64 // bucket depth in bytes
+	tokens  atomic.Int64  // current fill, may briefly exceed burst on retune
+	last    atomic.Int64  // coarse-clock stamp of the latest refill
+	drops   atomic.Uint64
+}
+
+// defaultBurst derives a bucket depth from the rate: 125 ms worth of
+// traffic, floored so slow meters still absorb one reasonable batch.
+func defaultBurst(rate uint64) uint64 {
+	b := rate / 8
+	if b < 64<<10 {
+		b = 64 << 10
+	}
+	return b
+}
+
+func newMeter(rate, burst uint64, now int64) *meter {
+	m := &meter{}
+	m.configure(rate, burst)
+	m.tokens.Store(int64(m.burst.Load()))
+	m.last.Store(now)
+	return m
+}
+
+// configure retunes rate and burst in place. The bucket fill is left alone
+// so continuous reassignment never manufactures or destroys credit.
+func (m *meter) configure(rate, burst uint64) {
+	if burst == 0 {
+		burst = defaultBurst(rate)
+	}
+	m.rateBps.Store(rate)
+	m.burst.Store(burst)
+}
+
+// allow charges n bytes against the bucket, refilling from the elapsed
+// coarse-clock time first. It reports false (and counts a drop) when the
+// bucket cannot cover the frame. Lock-free: the refill is serialized by a
+// CAS on the last-refill stamp, spending by a CAS loop on the fill level.
+func (m *meter) allow(n int, now int64) bool {
+	rate := m.rateBps.Load()
+	if rate == 0 {
+		return true
+	}
+	last := m.last.Load()
+	if now > last && m.last.CompareAndSwap(last, now) {
+		elapsed := now - last
+		if elapsed > int64(time.Second) {
+			elapsed = int64(time.Second)
+		}
+		add := int64(float64(elapsed) * float64(rate) / float64(time.Second))
+		burst := int64(m.burst.Load())
+		for {
+			t := m.tokens.Load()
+			nt := t + add
+			if nt > burst {
+				nt = burst
+			}
+			if m.tokens.CompareAndSwap(t, nt) {
+				break
+			}
+		}
+	}
+	for {
+		t := m.tokens.Load()
+		if t < int64(n) {
+			m.drops.Add(1)
+			return false
+		}
+		if m.tokens.CompareAndSwap(t, t-int64(n)) {
+			return true
+		}
+	}
+}
+
+// MeterInfo is one meter-table row of the switch observability snapshot.
+type MeterInfo struct {
+	ID         uint32 `json:"id"`
+	RateBps    uint64 `json:"rateBps"`
+	BurstBytes uint64 `json:"burstBytes"`
+	Drops      uint64 `json:"drops"`
+}

@@ -71,6 +71,12 @@ type Options struct {
 	// DisableMegaflowCache turns off the per-port wildcarded megaflow
 	// cache so microflow misses go straight to the staged flow table.
 	DisableMegaflowCache bool
+	// EgressQueues, when non-empty, replaces every port's single FIFO TX
+	// ring with per-class queues drained by deficit round-robin (weighted
+	// fair queueing). Rules pick a class with the set_queue action;
+	// unclassified traffic uses class 0. Applies to worker and tunnel ports
+	// alike, so tunnels inherit WFQ through the same egress path.
+	EgressQueues []QueueClass
 }
 
 // Option configures a Switch under construction. An Options literal is
@@ -106,6 +112,11 @@ func WithoutMegaflowCache() Option {
 	return optionFunc(func(o *Options) { o.DisableMegaflowCache = true })
 }
 
+// WithEgressQueues enables per-class weighted fair queueing on every port.
+func WithEgressQueues(classes ...QueueClass) Option {
+	return optionFunc(func(o *Options) { o.EgressQueues = classes })
+}
+
 // pumpBatchSize is how many frames a port pump drains per wakeup; trace
 // checks, clock reads and counter flushes amortize over the batch.
 const pumpBatchSize = 64
@@ -120,6 +131,7 @@ type Switch struct {
 	ports    map[uint32]*Port
 	nextPort uint32
 	groups   map[uint32]*group
+	meters   map[uint32]*meter
 
 	// sinks are the attached controller channels. PACKET_IN broadcasts to
 	// every sink (each replicated controller filters by its own shard);
@@ -162,13 +174,16 @@ type Switch struct {
 	megaHits       atomic.Uint64
 	megaMisses     atomic.Uint64
 	upcalls        atomic.Uint64
+	meterDrops     atomic.Uint64
 }
 
 // dataView is the lock-free snapshot the per-frame path reads. Its maps are
-// never mutated after publication.
+// never mutated after publication (meter objects are internally atomic, so
+// rate retunes never require a new view).
 type dataView struct {
 	ports  map[uint32]*Port
 	groups map[uint32]*group
+	meters map[uint32]*meter
 }
 
 // masterEvent is one buffered master-only event (exactly one field set).
@@ -210,15 +225,26 @@ type Counters struct {
 	// Upcalls counts slow-path classifier lookups (both caches missed, or
 	// caches disabled).
 	Upcalls uint64
+	// MeterDrops counts frames dropped by token-bucket meter policing
+	// (also included in Dropped).
+	MeterDrops uint64
 }
 
 type group struct {
 	typ     openflow.GroupType
 	buckets []openflow.Bucket
 	next    atomic.Uint64 // weighted round-robin cursor
-	weights []uint32      // cumulative weights for bucket selection
+	// slots maps every round-robin slot to its bucket index, precomputed on
+	// GroupMod so per-frame selection is one array read. Groups whose total
+	// weight exceeds maxWRRSlots skip the table (it would be large) and
+	// fall back to a binary search over the cumulative weights.
+	slots   []uint16
+	weights []uint32 // cumulative weights for bucket selection
 	total   uint32
 }
+
+// maxWRRSlots bounds the precomputed slot table of a select group.
+const maxWRRSlots = 4096
 
 // Port is one switch port. The device side (worker I/O layer, tunnel pump,
 // controller agent) writes frames in with WriteFrame and reads frames out
@@ -231,6 +257,9 @@ type Port struct {
 
 	rx *ring.Ring // device -> switch
 	tx *ring.Ring // switch -> device
+	// qd, when set, replaces tx with per-class DRR queues (immutable after
+	// port construction).
+	qd *qdisc
 
 	rxPackets atomic.Uint64
 	rxBytes   atomic.Uint64
@@ -263,9 +292,13 @@ func (p *Port) WriteFrameTimeout(frame []byte, wait time.Duration) error {
 }
 
 // ReadBatch reads frames the switch delivered to this port, waiting up to
-// wait for the first frame. It returns ring.ErrClosed after the port is
-// removed and drained.
+// wait for the first frame. With egress queues enabled frames arrive in
+// deficit-round-robin order across classes. It returns ring.ErrClosed after
+// the port is removed and drained.
 func (p *Port) ReadBatch(dst [][]byte, max int, wait time.Duration) ([][]byte, error) {
+	if p.qd != nil {
+		return p.qd.readBatch(dst, max, wait)
+	}
 	return p.tx.DequeueBatch(dst, max, wait)
 }
 
@@ -274,7 +307,30 @@ func (p *Port) Closed() bool { return p.rx.Closed() }
 
 // QueueLen reports frames queued toward the attached device, the
 // switch-side component of a worker's queue-status metric.
-func (p *Port) QueueLen() int { return p.tx.Len() }
+func (p *Port) QueueLen() int {
+	if p.qd != nil {
+		return p.qd.queueLen()
+	}
+	return p.tx.Len()
+}
+
+// QueueStats reports per-class egress queue counters, or nil when the port
+// runs a single FIFO (egress queues disabled).
+func (p *Port) QueueStats() []QueueStats {
+	if p.qd == nil {
+		return nil
+	}
+	return p.qd.queueStats()
+}
+
+// closeRings closes every ring attached to the port.
+func (p *Port) closeRings() {
+	p.rx.Close()
+	p.tx.Close()
+	if p.qd != nil {
+		p.qd.close()
+	}
+}
 
 // New builds a switch named after its host with the given datapath ID,
 // configured by options (see Options for the defaults).
@@ -292,6 +348,7 @@ func New(name string, dpid uint64, options ...Option) *Switch {
 		opts:    opts,
 		ports:   make(map[uint32]*Port),
 		groups:  make(map[uint32]*group),
+		meters:  make(map[uint32]*meter),
 		stopped: make(chan struct{}),
 	}
 	s.flows.gen = &s.gen
@@ -306,12 +363,16 @@ func (s *Switch) rebuildView() {
 	v := &dataView{
 		ports:  make(map[uint32]*Port, len(s.ports)),
 		groups: make(map[uint32]*group, len(s.groups)),
+		meters: make(map[uint32]*meter, len(s.meters)),
 	}
 	for no, p := range s.ports {
 		v.ports[no] = p
 	}
 	for id, g := range s.groups {
 		v.groups[id] = g
+	}
+	for id, m := range s.meters {
+		v.meters[id] = m
 	}
 	s.view.Store(v)
 	s.gen.Add(1)
@@ -477,8 +538,7 @@ func (s *Switch) Stop() {
 	s.stopOnce.Do(func() { close(s.stopped) })
 	s.mu.Lock()
 	for _, p := range s.ports {
-		p.rx.Close()
-		p.tx.Close()
+		p.closeRings()
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -511,6 +571,9 @@ func (s *Switch) addPort(name string, addr packet.Addr, tunnel bool) (*Port, err
 		rx:     ring.New(s.opts.RingCapacity),
 		tx:     ring.New(s.opts.RingCapacity),
 	}
+	if len(s.opts.EgressQueues) > 0 {
+		p.qd = newQdisc(s.opts.EgressQueues, s.opts.RingCapacity)
+	}
 	s.ports[p.no] = p
 	s.rebuildView()
 	s.mu.Unlock()
@@ -541,8 +604,7 @@ func (s *Switch) RemovePort(no uint32) error {
 	if !ok {
 		return fmt.Errorf("switchfabric: no port %d", no)
 	}
-	p.rx.Close()
-	p.tx.Close()
+	p.closeRings()
 	ev := openflow.PortStatus{
 		Reason: openflow.PortDeleted,
 		Port:   openflow.PortInfo{No: p.no, Name: p.name},
@@ -604,6 +666,18 @@ func (s *Switch) ApplyGroupMod(gm openflow.GroupMod) error {
 			g.total += w
 			g.weights = append(g.weights, g.total)
 		}
+		if g.total <= maxWRRSlots {
+			g.slots = make([]uint16, 0, g.total)
+			for i, b := range gm.Buckets {
+				w := uint32(b.Weight)
+				if w == 0 {
+					w = 1
+				}
+				for j := uint32(0); j < w; j++ {
+					g.slots = append(g.slots, uint16(i))
+				}
+			}
+		}
 		s.groups[gm.GroupID] = g
 	case openflow.GroupDelete:
 		if _, ok := s.groups[gm.GroupID]; !ok {
@@ -631,6 +705,57 @@ func groupUnchanged(g *group, gm openflow.GroupMod) bool {
 	return true
 }
 
+// ApplyMeterMod programs the meter table. Adding a meter that already
+// exists, or modifying one, retunes rate and burst in place: the data-path
+// view and the flow-cache generation are untouched, so the bandwidth
+// allocator can reassign rates continuously without perturbing cached
+// forwarding. Only genuinely new or deleted meters rebuild the view.
+func (s *Switch) ApplyMeterMod(mm openflow.MeterMod) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch mm.Command {
+	case openflow.MeterAdd, openflow.MeterModify:
+		if m := s.meters[mm.MeterID]; m != nil {
+			burst := mm.BurstBytes
+			if burst == 0 {
+				burst = defaultBurst(mm.RateBps)
+			}
+			if m.rateBps.Load() != mm.RateBps || m.burst.Load() != burst {
+				m.configure(mm.RateBps, mm.BurstBytes)
+			}
+			return nil
+		}
+		s.meters[mm.MeterID] = newMeter(mm.RateBps, mm.BurstBytes, clock.CoarseUnixNano())
+	case openflow.MeterDelete:
+		if _, ok := s.meters[mm.MeterID]; !ok {
+			return nil
+		}
+		delete(s.meters, mm.MeterID)
+	default:
+		return fmt.Errorf("switchfabric: bad meter command %d", mm.Command)
+	}
+	s.rebuildView()
+	return nil
+}
+
+// MeterStatsSnapshot returns per-meter configuration and drop counters.
+func (s *Switch) MeterStatsSnapshot() []MeterInfo {
+	v := s.view.Load()
+	out := make([]MeterInfo, 0, len(v.meters))
+	for id, m := range v.meters {
+		out = append(out, MeterInfo{
+			ID:         id,
+			RateBps:    m.rateBps.Load(),
+			BurstBytes: m.burst.Load(),
+			Drops:      m.drops.Load(),
+		})
+	}
+	return out
+}
+
+// MeterDrops reports frames dropped by meter policing across all meters.
+func (s *Switch) MeterDrops() uint64 { return s.meterDrops.Load() }
+
 // Inject processes a controller PACKET_OUT: the data frame is run through
 // the explicit action list with in_port as given.
 func (s *Switch) Inject(po openflow.PacketOut) error {
@@ -643,7 +768,7 @@ func (s *Switch) Inject(po openflow.PacketOut) error {
 	consumed := true
 	v := s.view.Load()
 	now := clock.CoarseUnixNano()
-	if n := s.execute(v, po.InPort, po.Data, po.Actions, 0, now, &consumed); n > 0 {
+	if n := s.execute(v, po.InPort, po.Data, po.Actions, 0, 0, now, &consumed); n > 0 {
 		s.forwarded.Add(uint64(n))
 		if n > 1 {
 			s.replicated.Add(uint64(n - 1))
@@ -719,7 +844,8 @@ func (s *Switch) CountersSnapshot() Counters {
 	c.MegaflowHits = s.megaHits.Load()
 	c.MegaflowMisses = s.megaMisses.Load()
 	c.Upcalls = s.upcalls.Load()
-	c.Dropped = s.rxDropsNoMatch.Load() + c.Malformed
+	c.MeterDrops = s.meterDrops.Load()
+	c.Dropped = s.rxDropsNoMatch.Load() + c.Malformed + c.MeterDrops
 	v := s.view.Load()
 	for _, p := range v.ports {
 		rs := p.rx.Stats()
@@ -762,6 +888,7 @@ type batchAcct struct {
 	mfHits, mfMisses      uint64
 	megaHits, megaMisses  uint64
 	upcalls               uint64
+	meterDrops            uint64
 }
 
 // processBatch runs a batch of ingress frames through the pipeline. The
@@ -856,6 +983,16 @@ func (s *Switch) processBatch(in *Port, batch [][]byte, mc *microCache, mg *mega
 			continue
 		}
 		r.touch(len(frame), now)
+		if mid := r.meter; mid != 0 {
+			// Token-bucket policing before any action runs. A rule naming a
+			// meter the switch does not hold passes unmetered, so rule and
+			// meter programming need no ordering.
+			if m := v.meters[mid]; m != nil && !m.allow(len(frame), now) {
+				acct.meterDrops++
+				packet.PutFrameBuf(frame) // dropped before any handoff
+				continue
+			}
+		}
 		if packet.Traced(frame) {
 			traced := packet.AppendTraceHop(frame, packet.TraceHop{
 				Kind: packet.HopMatch, Actor: s.dpid, Detail: uint32(r.priority), At: now,
@@ -864,7 +1001,7 @@ func (s *Switch) processBatch(in *Port, batch [][]byte, mc *microCache, mg *mega
 			frame = traced
 		}
 		consumed := false
-		if n := s.execute(v, in.no, frame, r.loadActions(), 0, now, &consumed); n > 0 {
+		if n := s.execute(v, in.no, frame, r.loadActions(), 0, 0, now, &consumed); n > 0 {
 			acct.forwarded += uint64(n)
 			if n > 1 {
 				acct.replicated += uint64(n - 1)
@@ -905,14 +1042,19 @@ func (s *Switch) processBatch(in *Port, batch [][]byte, mc *microCache, mg *mega
 	if acct.upcalls > 0 {
 		s.upcalls.Add(acct.upcalls)
 	}
+	if acct.meterDrops > 0 {
+		s.meterDrops.Add(acct.meterDrops)
+	}
 }
 
 // execute runs an action list on a frame and returns the number of copies
 // actually delivered (ports plus controller punts). depth guards group
-// recursion. consumed tracks whether the current frame slice has already
-// been handed to an egress ring; once it has, further deliveries copy
+// recursion. queue is the egress class selected so far (set_queue actions
+// update it, and it propagates into group buckets so LB'd traffic keeps its
+// class). consumed tracks whether the current frame slice has already been
+// handed to an egress ring; once it has, further deliveries copy
 // (unique-ownership protocol, see the package comment).
-func (s *Switch) execute(v *dataView, inPort uint32, frame []byte, actions []openflow.Action, depth int, now int64, consumed *bool) int {
+func (s *Switch) execute(v *dataView, inPort uint32, frame []byte, actions []openflow.Action, depth int, queue uint32, now int64, consumed *bool) int {
 	if depth > 2 {
 		return 0
 	}
@@ -934,6 +1076,8 @@ func (s *Switch) execute(v *dataView, inPort uint32, frame []byte, actions []ope
 		switch a.Type {
 		case openflow.ActSetTunnelDst:
 			tunDst = a.Host
+		case openflow.ActSetQueue:
+			queue = a.Queue
 		case openflow.ActSetDlDst:
 			// Copy before rewrite: other outputs may alias this frame. The
 			// copy is a fresh uniquely-owned slice, so it gets its own
@@ -948,19 +1092,19 @@ func (s *Switch) execute(v *dataView, inPort uint32, frame []byte, actions []ope
 			if i != last {
 				cptr = &forceCopy
 			}
-			delivered += s.deliver(v, a.Port, frame, tunDst, now, cptr)
+			delivered += s.deliver(v, a.Port, frame, tunDst, queue, now, cptr)
 		case openflow.ActGroup:
 			cptr := consumed
 			if i != last {
 				cptr = &forceCopy
 			}
-			delivered += s.executeGroup(v, inPort, frame, a.Group, depth+1, now, cptr)
+			delivered += s.executeGroup(v, inPort, frame, a.Group, depth+1, queue, now, cptr)
 		}
 	}
 	return delivered
 }
 
-func (s *Switch) executeGroup(v *dataView, inPort uint32, frame []byte, id uint32, depth int, now int64, consumed *bool) int {
+func (s *Switch) executeGroup(v *dataView, inPort uint32, frame []byte, id uint32, depth int, queue uint32, now int64, consumed *bool) int {
 	g := v.groups[id]
 	if g == nil {
 		return 0
@@ -970,13 +1114,25 @@ func (s *Switch) executeGroup(v *dataView, inPort uint32, frame []byte, id uint3
 		if g.total == 0 {
 			return 0
 		}
-		// Weighted round robin over cumulative weights.
+		// Weighted round robin: the slot table resolves the bucket in one
+		// array read; oversized groups binary-search the cumulative weights.
 		slot := uint32(g.next.Add(1)-1) % g.total
-		for i, cum := range g.weights {
-			if slot < cum {
-				return s.execute(v, inPort, frame, g.buckets[i].Actions, depth, now, consumed)
+		idx := 0
+		if g.slots != nil {
+			idx = int(g.slots[slot])
+		} else {
+			lo, hi := 0, len(g.weights)
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if slot < g.weights[mid] {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
 			}
+			idx = lo
 		}
+		return s.execute(v, inPort, frame, g.buckets[idx].Actions, depth, queue, now, consumed)
 	case openflow.GroupAll:
 		// Same last-reader rule as execute: only the final bucket's actions
 		// may take the original frame.
@@ -988,7 +1144,7 @@ func (s *Switch) executeGroup(v *dataView, inPort uint32, frame []byte, id uint3
 			if i != lastB {
 				cptr = &forceCopy
 			}
-			delivered += s.execute(v, inPort, frame, b.Actions, depth, now, cptr)
+			delivered += s.execute(v, inPort, frame, b.Actions, depth, queue, now, cptr)
 		}
 		return delivered
 	}
@@ -996,8 +1152,9 @@ func (s *Switch) executeGroup(v *dataView, inPort uint32, frame []byte, id uint3
 }
 
 // deliver sends one copy of a frame toward a port (or the controller) and
-// reports how many copies were actually delivered (0 or 1).
-func (s *Switch) deliver(v *dataView, portNo uint32, frame []byte, tunDst string, now int64, consumed *bool) int {
+// reports how many copies were actually delivered (0 or 1). queue selects
+// the egress class on ports running per-class queues.
+func (s *Switch) deliver(v *dataView, portNo uint32, frame []byte, tunDst string, queue uint32, now int64, consumed *bool) int {
 	if portNo == openflow.PortController {
 		sinks := *s.ctlSinks.Load()
 		if len(sinks) == 0 {
@@ -1052,7 +1209,13 @@ func (s *Switch) deliver(v *dataView, portNo uint32, frame []byte, tunDst string
 		owned = true
 	}
 	n := len(out)
-	if p.tx.TryEnqueue(out) {
+	accepted := false
+	if p.qd != nil {
+		accepted = p.qd.enqueue(queue, out)
+	} else {
+		accepted = p.tx.TryEnqueue(out)
+	}
+	if accepted {
 		if owned {
 			*consumed = true
 		}

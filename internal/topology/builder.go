@@ -42,6 +42,15 @@ func (b *Builder) Ackers(n int) *Builder {
 	return b
 }
 
+// QoS assigns the topology's rate class and configured bandwidth
+// (bytes/sec); see the QoS* class constants. rateBps zero lets the
+// bandwidth allocator size the meter from observed demand.
+func (b *Builder) QoS(class string, rateBps uint64) *Builder {
+	b.topo.QoSClass = class
+	b.topo.QoSRateBps = rateBps
+	return b
+}
+
 // Build validates and returns the topology.
 func (b *Builder) Build() (*Logical, error) {
 	t := b.topo.Clone()

@@ -60,6 +60,43 @@ func (p RoutingPolicy) String() string {
 	}
 }
 
+// QoS rate classes. A topology's class selects the egress queue its data
+// traffic rides (weighted fair queueing at every switch port and tunnel) and
+// how the bandwidth allocator treats its meter: guaranteed tenants keep
+// their configured rate under contention, burstable tenants share spare
+// capacity in proportion to demand, and best-effort tenants take what is
+// left. The empty class means best-effort.
+const (
+	QoSGuaranteed = "guaranteed"
+	QoSBurstable  = "burstable"
+	QoSBestEffort = "best-effort"
+)
+
+// QoSClassID maps a rate class to its egress queue ID. Queue 0 is the
+// highest-weight queue; control-plane traffic (rules carry no set_queue
+// action for it) rides queue 0 implicitly so reconfiguration is never
+// starved by tenant floods.
+func QoSClassID(class string) uint32 {
+	switch class {
+	case QoSGuaranteed:
+		return 0
+	case QoSBurstable:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// ValidQoSClass reports whether class names a known rate class; the empty
+// string is valid and means best-effort.
+func ValidQoSClass(class string) bool {
+	switch class {
+	case "", QoSGuaranteed, QoSBurstable, QoSBestEffort:
+		return true
+	}
+	return false
+}
+
 // NodeSpec declares one logical node.
 type NodeSpec struct {
 	// Name is unique within the topology.
@@ -101,6 +138,14 @@ type Logical struct {
 	Ackers int `json:"ackers,omitempty"`
 	// Generation counts reconfigurations applied to this topology.
 	Generation int64 `json:"generation"`
+	// QoSClass is the topology's rate class (QoSGuaranteed, QoSBurstable or
+	// QoSBestEffort); empty means best-effort.
+	QoSClass string `json:"qosClass,omitempty"`
+	// QoSRateBps is the configured bandwidth in bytes/sec: the floor a
+	// guaranteed topology keeps under contention, or the cap a burstable
+	// one starts from. Zero lets the bandwidth allocator size it purely
+	// from observed demand.
+	QoSRateBps uint64 `json:"qosRateBps,omitempty"`
 }
 
 // Node returns the spec of the named node, or nil.
@@ -168,6 +213,9 @@ func (l *Logical) Validate() error {
 	if !hasSource {
 		return fmt.Errorf("topology %s: no source node", l.Name)
 	}
+	if !ValidQoSClass(l.QoSClass) {
+		return fmt.Errorf("topology %s: unknown QoS class %q", l.Name, l.QoSClass)
+	}
 	adj := make(map[string][]string)
 	for _, e := range l.Edges {
 		if !seen[e.From] || !seen[e.To] {
@@ -221,7 +269,10 @@ func (l *Logical) Validate() error {
 
 // Clone deep-copies the topology.
 func (l *Logical) Clone() *Logical {
-	out := &Logical{App: l.App, Name: l.Name, Ackers: l.Ackers, Generation: l.Generation}
+	out := &Logical{
+		App: l.App, Name: l.Name, Ackers: l.Ackers, Generation: l.Generation,
+		QoSClass: l.QoSClass, QoSRateBps: l.QoSRateBps,
+	}
 	out.Nodes = append([]NodeSpec(nil), l.Nodes...)
 	for _, e := range l.Edges {
 		e.HashFields = append([]int(nil), e.HashFields...)

@@ -9,6 +9,9 @@
 #   BENCH_failover.json  — replicated control-plane failover (detection
 #                          latency, rules reconciled, frames dropped —
 #                          target 0).
+#   BENCH_qos.json       — multi-tenant QoS (guaranteed-tenant p99 under a
+#                          best-effort flood, meter policing, and the
+#                          zero-alloc QoS fast path).
 # Extra arguments are passed to `go test`.
 set -eux
 cd "$(dirname "$0")/.."
@@ -21,3 +24,6 @@ test -s "${BENCH_DATAPLANE_JSON:-BENCH_dataplane.json}"
 BENCH_JSON="${BENCH_FAILOVER_JSON:-BENCH_failover.json}" \
 	go test -run '^$' -bench '^BenchmarkFailover$' -benchtime 1x "$@" .
 test -s "${BENCH_FAILOVER_JSON:-BENCH_failover.json}"
+BENCH_JSON="${BENCH_QOS_JSON:-BENCH_qos.json}" \
+	go test -run '^$' -bench '^BenchmarkQoS$' -benchtime 1x "$@" .
+test -s "${BENCH_QOS_JSON:-BENCH_qos.json}"

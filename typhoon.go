@@ -107,6 +107,17 @@ type (
 	RoutingPolicy = topology.RoutingPolicy
 )
 
+// QoS rate classes (multi-tenant QoS; see docs/QOS.md). Assign one with
+// TopologyBuilder.QoS; topologies without a class are best-effort.
+const (
+	// QoSGuaranteed is never policed and drains first under contention.
+	QoSGuaranteed = topology.QoSGuaranteed
+	// QoSBurstable shares spare link capacity by demand.
+	QoSBurstable = topology.QoSBurstable
+	// QoSBestEffort (the default) shares a quarter of spare capacity.
+	QoSBestEffort = topology.QoSBestEffort
+)
+
 // Routing policies (§2).
 const (
 	// Shuffle routes round robin.
@@ -138,6 +149,8 @@ type (
 	Mode = core.Mode
 	// Option configures NewCluster.
 	Option = core.Option
+	// QoSConfig enables and sizes multi-tenant QoS (Config.QoS).
+	QoSConfig = core.QoSConfig
 )
 
 // Deployment modes.
@@ -181,6 +194,9 @@ var (
 	// WithControllers runs n replicated SDN controllers with
 	// coordinator-elected per-switch mastership (default: one standalone).
 	WithControllers = core.WithControllers
+	// WithQoS enables multi-tenant QoS: per-topology meters, weighted
+	// egress queues, and the online bandwidth allocator (docs/QOS.md).
+	WithQoS = core.WithQoS
 	// WithChaos schedules a fault-injection plan (see package chaos).
 	WithChaos = core.WithChaos
 )
