@@ -1,0 +1,74 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"typhoon/internal/apiclient"
+	"typhoon/internal/scenario"
+)
+
+// runScenario drives the declarative scenario harness through
+// /api/v1/scenario:
+//
+//	typhoon-ctl scenario run examples/scenarios/chaos-soak.json
+//	typhoon-ctl scenario run spec.json -duration 2m -out BENCH_e2e.json
+//
+// The spec is validated locally before anything hits the wire, the run
+// executes on the cluster, and the full report (percentile trajectories
+// included) is written to the -out file while a digest goes to stdout.
+// The exit status is non-zero when any conformance invariant failed.
+func runScenario(cl *apiclient.Client, args []string) {
+	if len(args) < 2 || args[0] != "run" {
+		fmt.Fprintln(os.Stderr, "usage: typhoon-ctl [flags] scenario run SPEC.json [-duration D] [-out FILE]")
+		os.Exit(2)
+	}
+	specPath := args[1]
+	out := "BENCH_e2e.json"
+	var duration time.Duration
+	rest := args[2:]
+	for i := 0; i < len(rest); i++ {
+		switch rest[i] {
+		case "-duration":
+			if i+1 >= len(rest) {
+				fatal(fmt.Errorf("-duration needs a value"))
+			}
+			d, err := time.ParseDuration(rest[i+1])
+			if err != nil {
+				fatal(fmt.Errorf("bad duration %q: %w", rest[i+1], err))
+			}
+			duration = d
+			i++
+		case "-out":
+			if i+1 >= len(rest) {
+				fatal(fmt.Errorf("-out needs a value"))
+			}
+			out = rest[i+1]
+			i++
+		default:
+			fatal(fmt.Errorf("unknown scenario flag %q", rest[i]))
+		}
+	}
+	raw, err := os.ReadFile(specPath)
+	if err != nil {
+		fatal(err)
+	}
+	// Validate locally so a typo fails in milliseconds, not after a
+	// round trip to a busy cluster.
+	if _, err := scenario.ParseSpec(raw); err != nil {
+		fatal(err)
+	}
+	report, err := cl.ScenarioRun(raw, duration)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(out, report.JSON(), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Print(report.Summary())
+	fmt.Printf("report written to %s\n", out)
+	if !report.OK {
+		os.Exit(1)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"typhoon/internal/chaos"
 	"typhoon/internal/controller"
 	"typhoon/internal/observe"
+	"typhoon/internal/scenario"
 	"typhoon/internal/switchfabric"
 )
 
@@ -189,6 +190,24 @@ func (c *Client) Rescale(topo, node string, parallelism int, timeout time.Durati
 	var report controller.RescaleReport
 	err := c.do(hc, http.MethodPost, "rescale", q, nil, &report)
 	return report, err
+}
+
+// ScenarioRun executes a declarative scenario spec on the cluster via
+// /api/v1/scenario and returns its report. duration > 0 overrides the
+// spec's play duration. Scenario runs last as long as their spec says, so
+// the round trip carries no client-side timeout; cancel by killing the
+// process (the server aborts the run when the request context drops).
+func (c *Client) ScenarioRun(spec json.RawMessage, duration time.Duration) (*scenario.Report, error) {
+	q := url.Values{}
+	if duration > 0 {
+		q.Set("duration", duration.String())
+	}
+	hc := &http.Client{}
+	var report scenario.Report
+	if err := c.do(hc, http.MethodPost, "scenario", q, spec, &report); err != nil {
+		return nil, err
+	}
+	return &report, nil
 }
 
 // ControlPlane fetches controller registrations and per-switch mastership.

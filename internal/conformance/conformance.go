@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"typhoon/internal/conformance/stream"
 	"typhoon/internal/tuple"
 	"typhoon/internal/worker"
 )
@@ -233,70 +234,40 @@ func (s *RecordingSink) Execute(_ *worker.Context, in tuple.Tuple) error {
 	return nil
 }
 
-// maxViolations bounds the recorded violation list; the count keeps
-// growing past it.
-const maxViolations = 64
-
 // Recorder collects sink deliveries and checks the conformance invariants
 // online. In strict mode a sequence gap is a violation (no-loss runs);
 // in relaxed mode gaps are counted but tolerated (chaos runs drop frames
 // by design under at-most-once delivery) while duplication, reordering,
 // and count mismatches remain violations.
+//
+// The per-key stream invariants ride on stream.Checker (in dedupe mode,
+// so duplicates and reorders are reported distinctly); the Recorder adds
+// the seeded run's ground truth: expected totals per key and tumbling-
+// window population over the tuples' virtual clock.
 type Recorder struct {
-	p      Params
-	strict bool
+	p  Params
+	sc *stream.Checker
 
-	mu         sync.Mutex
-	total      int64
-	gaps       int64
-	last       map[string]int64
-	seen       map[string]map[int64]bool
-	windows    map[string]map[int64]int64
-	nviolation int64
-	violations []string
+	mu      sync.Mutex
+	windows map[string]map[int64]int64
 }
 
 // NewRecorder builds a recorder for one run.
 func NewRecorder(p Params, strict bool) *Recorder {
 	return &Recorder{
 		p:       p,
-		strict:  strict,
-		last:    make(map[string]int64),
-		seen:    make(map[string]map[int64]bool),
+		sc:      stream.New(strict, true),
 		windows: make(map[string]map[int64]int64),
 	}
 }
 
 // Record ingests one sink delivery.
 func (r *Recorder) Record(key string, seq, count int64) {
+	if !r.sc.Observe(key, seq, count) {
+		return // duplicate: never counts toward window population
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.total++
-	if seen := r.seen[key]; seen != nil && seen[seq] {
-		r.violate("duplicate: key %s seq %d delivered twice", key, seq)
-		return
-	}
-	if r.seen[key] == nil {
-		r.seen[key] = make(map[int64]bool)
-	}
-	r.seen[key][seq] = true
-	last := r.last[key]
-	switch {
-	case seq <= last:
-		r.violate("reorder: key %s seq %d after %d", key, seq, last)
-	case seq != last+1:
-		if r.strict {
-			r.violate("gap: key %s jumped %d -> %d", key, last, seq)
-		} else {
-			r.gaps++
-		}
-	}
-	if seq > last {
-		r.last[key] = seq
-	}
-	if count != seq {
-		r.violate("count mismatch: key %s seq %d carried count %d", key, seq, count)
-	}
 	if r.windows[key] == nil {
 		r.windows[key] = make(map[int64]int64)
 	}
@@ -305,57 +276,25 @@ func (r *Recorder) Record(key string, seq, count int64) {
 
 // counterMismatch is the KeyedCounter's in-pipeline invariant report.
 func (r *Recorder) counterMismatch(key string, seq, want int64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.strict {
-		r.violate("counter state: key %s got seq %d, expected %d", key, seq, want)
-	} else if seq < want {
-		// A replayed/duplicated tuple is a violation even under chaos;
-		// only forward gaps (drops) are tolerated.
-		r.violate("counter state: key %s replayed seq %d below %d", key, seq, want)
-	} else {
-		r.gaps++
-	}
-}
-
-// violate appends a violation under the held lock.
-func (r *Recorder) violate(format string, args ...any) {
-	r.nviolation++
-	if len(r.violations) < maxViolations {
-		r.violations = append(r.violations, fmt.Sprintf(format, args...))
-	}
+	r.sc.CounterMismatch(key, seq, want)
 }
 
 // Total reports sink deliveries so far.
-func (r *Recorder) Total() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.total
-}
+func (r *Recorder) Total() int64 { return r.sc.Total() }
 
 // Gaps reports tolerated sequence gaps (relaxed mode only).
-func (r *Recorder) Gaps() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.gaps
-}
+func (r *Recorder) Gaps() int64 { return r.sc.Gaps() }
 
 // Violations returns the recorded violations (capped) and the full count.
-func (r *Recorder) Violations() ([]string, int64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return append([]string(nil), r.violations...), r.nviolation
-}
+func (r *Recorder) Violations() ([]string, int64) { return r.sc.Violations() }
 
 // Complete reports whether every key has reached PerKey.
 func (r *Recorder) Complete() bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if len(r.last) < r.p.Keys {
+	if r.sc.Keys() < r.p.Keys {
 		return false
 	}
 	for i := 0; i < r.p.Keys; i++ {
-		if r.last[r.p.KeyName(i)] < r.p.PerKey {
+		if r.sc.Last(r.p.KeyName(i)) < r.p.PerKey {
 			return false
 		}
 	}
@@ -366,19 +305,15 @@ func (r *Recorder) Complete() bool {
 // PerKey deliveries per key and every tumbling window carrying exactly
 // its expected population. Returns all failures found (nil when clean).
 func (r *Recorder) Check() []string {
+	bad := r.sc.ViolationFindings()
+	if total := r.sc.Total(); total != r.p.Total() {
+		bad = append(bad, fmt.Sprintf("delivered %d tuples, want %d", total, r.p.Total()))
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var bad []string
-	bad = append(bad, r.violations...)
-	if extra := r.nviolation - int64(len(r.violations)); extra > 0 {
-		bad = append(bad, fmt.Sprintf("... and %d more violations", extra))
-	}
-	if r.total != r.p.Total() {
-		bad = append(bad, fmt.Sprintf("delivered %d tuples, want %d", r.total, r.p.Total()))
-	}
 	for i := 0; i < r.p.Keys; i++ {
 		key := r.p.KeyName(i)
-		if n := int64(len(r.seen[key])); n != r.p.PerKey {
+		if n := r.sc.SeqCount(key); n != r.p.PerKey {
 			bad = append(bad, fmt.Sprintf("key %s: %d distinct seqs, want %d", key, n, r.p.PerKey))
 		}
 		lastWin := (r.p.PerKey - 1) / r.p.Window

@@ -1,0 +1,205 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Checker is the reusable per-key stream invariant checker the
+// Recorder and the scenario harness share. It audits a tagged stream of
+// (key, seq, count) deliveries online against the protocol guarantees:
+//
+//   - no duplication: a sequence never arrives twice (seq == last);
+//   - per-key FIFO: sequences never go backwards (seq < last);
+//   - no loss: sequences are contiguous — in strict mode a forward gap is
+//     a violation, in relaxed mode (chaos runs under at-most-once
+//     delivery) gaps are counted but tolerated;
+//   - state integrity: the carried running count equals the sequence
+//     number, so migrated or restored state matches what the pipeline
+//     actually processed.
+//
+// With dedupe off the checker tracks only each key's high-water mark —
+// O(keys) memory, which is what lets soak runs audit hours of traffic.
+// With dedupe on it additionally remembers every delivered sequence so a
+// duplicate is distinguishable from a reorder (the Recorder's mode).
+type Checker struct {
+	mu         sync.Mutex
+	strict     bool
+	dedupe     bool
+	total      int64
+	gaps       int64
+	last       map[string]int64
+	seen       map[string]map[int64]bool
+	nviolation int64
+	violations []string
+}
+
+// New builds a checker. strict promotes forward gaps to
+// violations; dedupe tracks every sequence to tell duplicates from
+// reorders at O(total) memory.
+func New(strict, dedupe bool) *Checker {
+	c := &Checker{
+		strict: strict,
+		dedupe: dedupe,
+		last:   make(map[string]int64),
+	}
+	if dedupe {
+		c.seen = make(map[string]map[int64]bool)
+	}
+	return c
+}
+
+// Observe ingests one delivery. It reports whether the delivery advanced
+// the key's stream (false for duplicates, which callers should not count
+// into completeness accounting).
+func (c *Checker) Observe(key string, seq, count int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total++
+	if c.dedupe {
+		if seen := c.seen[key]; seen != nil && seen[seq] {
+			c.violatef("duplicate: key %s seq %d delivered twice", key, seq)
+			return false
+		}
+		if c.seen[key] == nil {
+			c.seen[key] = make(map[int64]bool)
+		}
+		c.seen[key][seq] = true
+	}
+	last := c.last[key]
+	switch {
+	case seq == last && !c.dedupe:
+		c.violatef("duplicate: key %s seq %d delivered twice", key, seq)
+		return false
+	case seq <= last:
+		c.violatef("reorder: key %s seq %d after %d", key, seq, last)
+	case seq != last+1:
+		if c.strict {
+			c.violatef("gap: key %s jumped %d -> %d", key, last, seq)
+		} else {
+			c.gaps++
+		}
+	}
+	if seq > last {
+		c.last[key] = seq
+	}
+	if count != seq {
+		c.violatef("count mismatch: key %s seq %d carried count %d", key, seq, count)
+	}
+	return true
+}
+
+// CounterMismatch is the in-pipeline stateful stage's invariant report:
+// the stage expected sequence want for key but saw seq. Replays (seq
+// below the expected count) are violations even in relaxed mode; forward
+// jumps are tolerated gaps there, since drops upstream of the stage are
+// the relaxed mode's whole point.
+func (c *Checker) CounterMismatch(key string, seq, want int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.strict {
+		c.violatef("counter state: key %s got seq %d, expected %d", key, seq, want)
+	} else if seq < want {
+		c.violatef("counter state: key %s replayed seq %d below %d", key, seq, want)
+	} else {
+		c.gaps++
+	}
+}
+
+// maxViolations bounds the recorded violation list; the count keeps
+// growing past it.
+const maxViolations = 64
+
+// violatef appends a violation under the held lock.
+func (c *Checker) violatef(format string, args ...any) {
+	c.nviolation++
+	if len(c.violations) < maxViolations {
+		c.violations = append(c.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// Total reports deliveries observed so far.
+func (c *Checker) Total() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Gaps reports tolerated sequence gaps (relaxed mode only).
+func (c *Checker) Gaps() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gaps
+}
+
+// Last reports a key's delivered high-water mark.
+func (c *Checker) Last(key string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last[key]
+}
+
+// Keys reports how many distinct keys have been delivered.
+func (c *Checker) Keys() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.last)
+}
+
+// SeqCount reports a key's distinct delivered sequences (dedupe mode; in
+// high-water-mark mode it reports the high-water mark, which equals the
+// distinct count exactly when no gap or reorder violation was recorded).
+func (c *Checker) SeqCount(key string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dedupe {
+		return int64(len(c.seen[key]))
+	}
+	return c.last[key]
+}
+
+// Violations returns the recorded violations (capped) and the full count.
+func (c *Checker) Violations() ([]string, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.violations...), c.nviolation
+}
+
+// ViolationFindings renders the capped list plus an overflow marker.
+func (c *Checker) ViolationFindings() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := append([]string(nil), c.violations...)
+	if extra := c.nviolation - int64(len(c.violations)); extra > 0 {
+		out = append(out, fmt.Sprintf("... and %d more violations", extra))
+	}
+	return out
+}
+
+// CheckComplete is the strict end-of-run no-loss audit against the
+// emitted ground truth: every key must have been delivered exactly its
+// emitted count. Combined with a clean violation record (FIFO + no-dup +
+// contiguity), equality of the high-water mark proves exactly-once
+// delivery. Returns all failures found (nil when clean), including any
+// online violations.
+func (c *Checker) CheckComplete(emitted map[string]int64) []string {
+	bad := c.ViolationFindings()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var want int64
+	for key, n := range emitted {
+		want += n
+		if got := c.last[key]; got != n {
+			bad = append(bad, fmt.Sprintf("key %s: delivered through seq %d, emitted %d", key, got, n))
+		}
+	}
+	for key := range c.last {
+		if _, ok := emitted[key]; !ok {
+			bad = append(bad, fmt.Sprintf("key %s: delivered but never emitted", key))
+		}
+	}
+	if c.total != want {
+		bad = append(bad, fmt.Sprintf("delivered %d tuples, emitted %d", c.total, want))
+	}
+	return bad
+}

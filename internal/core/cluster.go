@@ -12,6 +12,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"typhoon/internal/agent"
@@ -131,6 +132,10 @@ type Cluster struct {
 
 	rescalePause *observe.Histogram
 	rescaleKeys  *observe.Counter
+
+	// scenarioMu serializes scenario runs (they own the shared-env run
+	// slot and the scn-* topology names).
+	scenarioMu sync.Mutex
 }
 
 // NewCluster builds and starts a cluster from the given options. A plain

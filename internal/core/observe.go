@@ -150,6 +150,7 @@ func (c *Cluster) ObserveHandler() http.Handler {
 		Rescale:      rescaleHandler,
 		ControlPlane: controlPlaneHandler,
 		Qos:          qosHandler,
+		Scenario:     http.HandlerFunc(c.serveScenario),
 		EnablePprof:  true,
 	})
 }

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+
+	"typhoon/internal/chaos"
+	"typhoon/internal/scenario"
+	"typhoon/internal/topology"
+	"typhoon/internal/worker"
+)
+
+// scenarioTarget adapts the cluster onto the scenario runner's narrow
+// surface (same pattern as chaosTarget: scenario must not import core).
+type scenarioTarget struct{ c *Cluster }
+
+func (t scenarioTarget) Env() *worker.SharedEnv { return t.c.Env }
+
+func (t scenarioTarget) Submit(ctx context.Context, l *topology.Logical) error {
+	return t.c.SubmitCtx(ctx, l)
+}
+
+func (t scenarioTarget) Kill(topo string) error { return t.c.Manager.Kill(topo) }
+
+func (t scenarioTarget) Rescale(ctx context.Context, topo, node string, parallelism int) error {
+	_, err := t.c.Rescale(ctx, topo, node, parallelism)
+	return err
+}
+
+func (t scenarioTarget) InjectChaos(s chaos.Spec) error { return t.c.Chaos.Apply(s) }
+
+func (t scenarioTarget) WorkersOf(topo, node string) []*worker.Worker {
+	return t.c.WorkersOf(topo, node)
+}
+
+func (t scenarioTarget) Hosts() []string {
+	return append([]string(nil), t.c.cfg.Hosts...)
+}
+
+// RunScenario executes one declarative scenario on this cluster. Runs are
+// serialized — the harness owns the shared-environment run slot and the
+// scn-* topology names, so a second concurrent run would corrupt the
+// first's accounting.
+func (c *Cluster) RunScenario(ctx context.Context, spec scenario.Spec, opts scenario.Options) (*scenario.Report, error) {
+	c.scenarioMu.Lock()
+	defer c.scenarioMu.Unlock()
+	return scenario.Run(ctx, scenarioTarget{c}, spec, opts)
+}
+
+// serveScenario runs a scenario over HTTP: POST with the spec JSON as the
+// body; an optional duration query parameter overrides the spec's play
+// duration. The response is the run's full report. A second request while
+// one is running answers 409 — scenario runs are exclusive.
+func (c *Cluster) serveScenario(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	raw, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	spec, err := scenario.ParseSpec(raw)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var opts scenario.Options
+	if dv := r.URL.Query().Get("duration"); dv != "" {
+		d, perr := time.ParseDuration(dv)
+		if perr != nil || d <= 0 {
+			http.Error(w, "bad duration", http.StatusBadRequest)
+			return
+		}
+		opts.Duration = d
+	}
+	if !c.scenarioMu.TryLock() {
+		http.Error(w, "a scenario is already running", http.StatusConflict)
+		return
+	}
+	defer c.scenarioMu.Unlock()
+	report, err := scenario.Run(r.Context(), scenarioTarget{c}, spec, opts)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(report)
+}

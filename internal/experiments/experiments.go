@@ -138,6 +138,23 @@ func startCluster(mode core.Mode, hosts int, mutate func(*core.Config)) (*env, e
 
 func (e *env) stop() { e.cluster.Stop() }
 
+// await polls cond every 10ms until it holds or timeout passes, reporting
+// whether it held. Condition-based settling replaces fixed sleeps so the
+// suite runs as fast as the cluster actually settles — and doesn't flake
+// when -race makes it settle slower.
+func await(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 // rate measures a counter's steady-state rate: warmup, then delta over the
 // measurement window, in events per second.
 func (e *env) rate(counter string, warmup, window time.Duration) float64 {

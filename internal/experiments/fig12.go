@@ -71,6 +71,7 @@ func runDebugScenario(mode core.Mode, p Params) (Row, uint64, error) {
 	var dbg *controller.LiveDebugger
 	srcWorker := e.cluster.WorkersOf("livedbg", "src")[0]
 	before := e.rate("sink.total", p.Warmup, p.Measure)
+	seen0 := e.stats.Counter("debug.seen").Value()
 
 	// Activate the tap.
 	if mode == core.ModeStorm {
@@ -88,8 +89,12 @@ func runDebugScenario(mode core.Mode, p Params) (Row, uint64, error) {
 	}
 	// Measure the tap window, tracking the intrinsic cost: source-side
 	// serializations per pipeline tuple (2.0 for the baseline's extra
-	// copy, 1.0 for Typhoon's switch-level mirroring).
-	time.Sleep(p.Warmup / 2)
+	// copy, 1.0 for Typhoon's switch-level mirroring). The tap is live
+	// once mirrored tuples reach the debug sink — wait on that evidence
+	// instead of a fixed fraction of the warmup.
+	await(p.Warmup, func() bool {
+		return e.stats.Counter("debug.seen").Value() > seen0
+	})
 	emittedCounter := fmt.Sprintf("emitted/src/%d", srcWorker.ID())
 	ser0 := srcWorker.Transport().Stats().Serializations
 	emit0 := e.stats.Counter(emittedCounter).Value()

@@ -39,19 +39,47 @@ func TestReconfigurationZeroLoss(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	time.Sleep(400 * time.Millisecond)
+	if !await(5*time.Second, func() bool {
+		return e.stats.Counter("forward.total").Value() > 1000
+	}) {
+		t.Fatal("stream never got underway")
+	}
 
 	balance := func(tag string) {
 		t.Helper()
 		quiesce(e, true)
-		time.Sleep(400 * time.Millisecond)
-		emitted := totalEmitted(e, "stable", "src")
-		processed := e.stats.Counter("forward.total").Value()
-		if emitted != processed {
-			t.Fatalf("%s: emitted %d != processed %d (lost %d)",
+		// Settle: the pause control tuple is asynchronous, so require the
+		// emitted count to hold still across several consecutive polls with
+		// processing fully caught up before declaring the stream drained. A
+		// timeout means the counts never converged — i.e. tuples were lost.
+		var last, emitted, processed uint64
+		stable := 0
+		if !await(10*time.Second, func() bool {
+			emitted = totalEmitted(e, "stable", "src")
+			processed = e.stats.Counter("forward.total").Value()
+			if emitted > 0 && emitted == last && processed == emitted {
+				stable++
+			} else {
+				stable = 0
+			}
+			last = emitted
+			return stable >= 5
+		}) {
+			t.Fatalf("%s: never drained clean: emitted %d, processed %d (lost %d)",
 				tag, emitted, processed, int64(emitted)-int64(processed))
 		}
 		quiesce(e, false)
+	}
+	// awaitFlow waits for traffic to actually move through the updated
+	// placement before the next balance check.
+	awaitFlow := func() {
+		t.Helper()
+		before := e.stats.Counter("forward.total").Value()
+		if !await(5*time.Second, func() bool {
+			return e.stats.Counter("forward.total").Value() > before+1000
+		}) {
+			t.Fatal("flow never resumed after reconfiguration")
+		}
 	}
 
 	balance("steady state")
@@ -61,7 +89,7 @@ func TestReconfigurationZeroLoss(t *testing.T) {
 	if err := e.cluster.Manager.WaitReady("stable", 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(300 * time.Millisecond)
+	awaitFlow()
 	balance("after scale-up 1->3")
 
 	if err := e.cluster.Manager.SetParallelism("stable", "split", 1); err != nil {
@@ -70,6 +98,6 @@ func TestReconfigurationZeroLoss(t *testing.T) {
 	if err := e.cluster.Manager.WaitReady("stable", 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(300 * time.Millisecond)
+	awaitFlow()
 	balance("after scale-down 3->1")
 }

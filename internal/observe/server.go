@@ -71,6 +71,9 @@ type ServerOptions struct {
 	// rate classes and meter/queue statistics, POST reassigns a topology's
 	// class and configured rate).
 	Qos http.Handler
+	// Scenario, when non-nil, is mounted at /api/scenario (POST runs a
+	// declarative scenario spec and returns its report).
+	Scenario http.Handler
 	// EnablePprof adds net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 }
@@ -102,6 +105,7 @@ type APIError struct {
 //	/api/v1/rescale          managed stable rescale (POST topo/node/parallelism)
 //	/api/v1/controlplane     controller registrations and switch mastership
 //	/api/v1/qos              rate classes and meter/queue stats (GET), class/rate set (POST)
+//	/api/v1/scenario         declarative scenario run (POST spec, returns report)
 //	/debug/pprof/*           standard Go profiling endpoints
 //
 // The pre-versioning /api/* routes remain as aliases serving their legacy
@@ -148,6 +152,9 @@ func Handler(o ServerOptions) http.Handler {
 	}
 	if o.Qos != nil {
 		route("qos", o.Qos)
+	}
+	if o.Scenario != nil {
+		route("scenario", o.Scenario)
 	}
 	if o.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

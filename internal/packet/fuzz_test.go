@@ -1,0 +1,67 @@
+package packet
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary frames at the frame decoder and the
+// depacketizer ingress path — the two entry points that parse bytes
+// straight off the wire. Neither may panic, and any frame Decode accepts
+// must round-trip through the matching encoder to an identical frame.
+func FuzzDecode(f *testing.F) {
+	src := WorkerAddr(1, 2)
+	dst := WorkerAddr(3, 4)
+	seeds := [][]byte{
+		EncodeTuples(dst, src, [][]byte{[]byte("hello"), {}, []byte("world")}),
+		EncodeSegment(dst, src, Segment{ID: 7, Index: 0, Count: 2, Data: []byte("frag0")}),
+		EncodeSegment(dst, src, Segment{ID: 7, Index: 1, Count: 2, Data: []byte("frag1")}),
+		WithTrace(
+			EncodeTuples(dst, src, [][]byte{[]byte("t")}),
+			TraceAnnex{ID: 9, Hops: []TraceHop{{Kind: HopEmit, Actor: 1, Detail: 2, At: 3}}},
+		),
+	}
+	for _, raw := range seeds {
+		f.Add(raw)
+		f.Add(raw[:HeaderLen])
+		f.Add(raw[:len(raw)-1])
+	}
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// The depacketizer must survive any input, including feeding the
+		// same frame twice (duplicate segments, scratch-slice reuse).
+		d := NewDepacketizer()
+		if _, err := d.Feed(raw); err == nil {
+			_, _ = d.Feed(raw)
+		}
+
+		fr, err := Decode(raw)
+		if err != nil {
+			return
+		}
+		pDst, pSrc, ok := PeekAddrs(raw)
+		if !ok || pDst != fr.Dst || pSrc != fr.Src {
+			t.Fatalf("PeekAddrs disagrees with Decode: ok=%v dst=%v src=%v frame=%+v", ok, pDst, pSrc, fr)
+		}
+		if Traced(raw) != (fr.Trace != nil) {
+			t.Fatalf("Traced()=%v but decoded Trace=%v", Traced(raw), fr.Trace)
+		}
+		var re []byte
+		if fr.Segment != nil {
+			re = EncodeSegment(fr.Dst, fr.Src, *fr.Segment)
+		} else {
+			re = EncodeTuples(fr.Dst, fr.Src, fr.Tuples)
+		}
+		if fr.Trace != nil {
+			re = WithTrace(re, *fr.Trace)
+		}
+		fr2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode of accepted frame failed: %v (frame %+v)", err, fr)
+		}
+		if !reflect.DeepEqual(fr, fr2) {
+			t.Fatalf("frame changed across round trip:\n first  %+v\n second %+v", fr, fr2)
+		}
+	})
+}

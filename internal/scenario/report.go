@@ -1,0 +1,93 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"typhoon/internal/workload"
+)
+
+// Report is one run's rendered outcome — the BENCH_e2e.json payload. The
+// latency sections are trajectories sampled over the run, not a single
+// end-of-run summary, so regressions that only bite mid-chaos or mid-
+// rescale stay visible.
+type Report struct {
+	Name           string            `json:"name"`
+	Seed           int64             `json:"seed"`
+	Relaxed        bool              `json:"relaxed"`
+	Duration       workload.Duration `json:"duration"`
+	SampleInterval workload.Duration `json:"sampleInterval"`
+
+	// OK is true when every conformance invariant held and the drain
+	// completed.
+	OK bool `json:"ok"`
+	// Failures lists invariant violations and drain problems.
+	Failures []string `json:"failures,omitempty"`
+	// Schedule logs the chaos injections and rescales actually applied.
+	Schedule []string `json:"schedule,omitempty"`
+	// ScheduleErrors logs scheduled actions that could not be applied
+	// (e.g. no live worker to target mid-restart). Not failures: a
+	// soak's job is to keep running.
+	ScheduleErrors []string `json:"scheduleErrors,omitempty"`
+
+	Tenants []TenantReport `json:"tenants"`
+}
+
+// TenantReport is one tenant's audit and latency record.
+type TenantReport struct {
+	Tenant string `json:"tenant"`
+	// Emitted/Delivered are tuple totals; Gaps counts tolerated drops
+	// (relaxed runs only).
+	Emitted   int64 `json:"emitted"`
+	Delivered int64 `json:"delivered"`
+	Gaps      int64 `json:"gaps"`
+	// Violations counts conformance violations; Samples holds the first
+	// few rendered.
+	Violations int64    `json:"violations"`
+	Samples    []string `json:"violationSamples,omitempty"`
+	// OpenLoop is intended-start latency (coordinated-omission-free);
+	// ClosedLoop is send-stamped latency, recorded side by side to show
+	// the gap a completion-paced harness would hide.
+	OpenLoop   LatencyReport `json:"openLoop"`
+	ClosedLoop LatencyReport `json:"closedLoop"`
+}
+
+// JSON renders the report for BENCH_e2e.json.
+func (r *Report) JSON() []byte {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return []byte(fmt.Sprintf("{\"ok\":false,\"failures\":[%q]}", err.Error()))
+	}
+	return append(blob, '\n')
+}
+
+// Summary renders a terminal-friendly digest.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	status := "PASS"
+	if !r.OK {
+		status = "FAIL"
+	}
+	fmt.Fprintf(&b, "scenario %s: %s (seed %d, %v", r.Name, status, r.Seed, r.Duration.D())
+	if r.Relaxed {
+		b.WriteString(", relaxed")
+	}
+	b.WriteString(")\n")
+	for _, t := range r.Tenants {
+		fmt.Fprintf(&b, "  %-16s emitted %7d delivered %7d gaps %5d violations %3d  open-loop p50 %.2fms p99 %.2fms p999 %.2fms\n",
+			t.Tenant, t.Emitted, t.Delivered, t.Gaps, t.Violations,
+			t.OpenLoop.P50ms, t.OpenLoop.P99ms, t.OpenLoop.P999ms)
+	}
+	if len(r.Schedule) > 0 {
+		fmt.Fprintf(&b, "  schedule: %d actions applied", len(r.Schedule))
+		if len(r.ScheduleErrors) > 0 {
+			fmt.Fprintf(&b, ", %d skipped", len(r.ScheduleErrors))
+		}
+		b.WriteString("\n")
+	}
+	for _, f := range r.Failures {
+		fmt.Fprintf(&b, "  FAIL: %s\n", f)
+	}
+	return b.String()
+}

@@ -1,0 +1,319 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"typhoon/internal/chaos"
+	"typhoon/internal/topology"
+	"typhoon/internal/worker"
+	"typhoon/internal/workload"
+)
+
+// Target is the narrow cluster surface the runner drives. core.Cluster
+// adapts onto it; the indirection keeps core → scenario a one-way import.
+type Target interface {
+	// Env is the shared environment handed to computation logic.
+	Env() *worker.SharedEnv
+	// Submit deploys a topology and waits for data-plane readiness.
+	Submit(ctx context.Context, l *topology.Logical) error
+	// Kill removes a topology.
+	Kill(topo string) error
+	// Rescale runs the §3.5 managed stable rescale.
+	Rescale(ctx context.Context, topo, node string, parallelism int) error
+	// InjectChaos applies one fault.
+	InjectChaos(s chaos.Spec) error
+	// WorkersOf lists a node's running workers (chaos target resolution).
+	WorkersOf(topo, node string) []*worker.Worker
+	// Hosts names the cluster hosts.
+	Hosts() []string
+}
+
+// Options tune one run without editing its spec.
+type Options struct {
+	// Duration overrides the spec's play duration when positive.
+	Duration time.Duration
+	// Log receives progress lines; nil discards them.
+	Log func(format string, args ...any)
+}
+
+// appBase spaces scenario app IDs away from user topologies.
+const appBase = 0x5C00
+
+// startLead is how far in the future the trace clock zero is armed, so
+// every source observes the armed epoch before its first event is due.
+const startLead = 250 * time.Millisecond
+
+// timelineEntry is one scheduled action (chaos or rescale) on the run
+// clock.
+type timelineEntry struct {
+	at      time.Duration
+	chaos   *ChaosEvent
+	rescale *RescaleStep
+}
+
+// Run executes one scenario against a live cluster: submit the tenant
+// pipelines, arm the shared trace clock, play the chaos and rescale
+// schedule, drain, audit the conformance invariants, and render the
+// report. The spec must already be normalized (ParseSpec or
+// WithDefaults+Validate).
+func Run(ctx context.Context, t Target, spec Spec, opts Options) (*Report, error) {
+	if opts.Duration > 0 {
+		spec.Duration = workload.Duration(opts.Duration)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	run, err := newRunState(spec)
+	if err != nil {
+		return nil, err
+	}
+	t.Env().Set(EnvRun, run)
+
+	report := &Report{
+		Name:           spec.Name,
+		Seed:           spec.Seed,
+		Relaxed:        spec.Relaxed,
+		Duration:       spec.Duration,
+		SampleInterval: spec.SampleInterval,
+	}
+	submitted := make([]string, 0, len(spec.Tenants))
+	defer func() {
+		for _, topo := range submitted {
+			if kerr := t.Kill(topo); kerr != nil {
+				logf("kill %s: %v", topo, kerr)
+			}
+		}
+	}()
+	for i, ts := range spec.Tenants {
+		l, berr := buildTenantTopology(ts, appBase+i)
+		if berr != nil {
+			return nil, berr
+		}
+		if serr := t.Submit(ctx, l); serr != nil {
+			return nil, fmt.Errorf("scenario: submit %s: %w", l.Name, serr)
+		}
+		submitted = append(submitted, l.Name)
+		logf("submitted %s (stage parallelism %d)", l.Name, ts.Parallelism)
+	}
+
+	epoch := time.Now().Add(startLead)
+	run.Arm(epoch)
+	logf("trace clock armed; playing %v", spec.Duration.D())
+
+	if err := playSchedule(ctx, t, spec, run, epoch, report, logf); err != nil {
+		return nil, err
+	}
+	if err := drain(ctx, t, spec, run, logf); err != nil {
+		report.Failures = append(report.Failures, err.Error())
+	}
+	finishReport(spec, run, report)
+	report.OK = len(report.Failures) == 0
+	return report, nil
+}
+
+// buildTenantTopology assembles one tenant pipeline: open-loop source →
+// keyed stateful stage (hash-routed) → latency sink.
+func buildTenantTopology(ts TenantSpec, app int) (*topology.Logical, error) {
+	b := topology.NewBuilder(ts.Topology(), uint16(app))
+	if ts.Class != "" {
+		b.QoS(ts.Class, ts.RateBps)
+	}
+	src := NodeSource + "@" + ts.Name
+	stage := NodeStage + "@" + ts.Name
+	sink := NodeSink + "@" + ts.Name
+	b.Source(src, LogicOpenLoopSource, 1)
+	b.Node(stage, LogicKeyedStage, ts.Parallelism).Stateful().FieldsFrom(src, 0)
+	b.Node(sink, LogicLatencySink, 1).GlobalFrom(stage)
+	return b.Build()
+}
+
+// playSchedule fires the chaos plan and rescale schedule on the run clock
+// until the play window closes. Injection failures are recorded, not
+// fatal — a soak's job is to keep running.
+func playSchedule(ctx context.Context, t Target, spec Spec, run *runState, epoch time.Time, report *Report, logf func(string, ...any)) error {
+	playFor := spec.Duration.D()
+	var timeline []timelineEntry
+	for i := range spec.Chaos {
+		e := &spec.Chaos[i]
+		at := e.After.D()
+		for {
+			if at >= playFor {
+				break
+			}
+			timeline = append(timeline, timelineEntry{at: at, chaos: e})
+			if e.Repeat <= 0 {
+				break
+			}
+			at += e.Repeat.D()
+		}
+	}
+	for i := range spec.Rescales {
+		r := &spec.Rescales[i]
+		if r.After.D() < playFor {
+			timeline = append(timeline, timelineEntry{at: r.After.D(), rescale: r})
+		}
+	}
+	sort.SliceStable(timeline, func(i, j int) bool { return timeline[i].at < timeline[j].at })
+
+	// The chaos target-selection stream is part of the seed's contract:
+	// same spec + seed → same worker picks (modulo live placement).
+	rng := rand.New(rand.NewSource(spec.Seed ^ 0x7c3a))
+	for _, entry := range timeline {
+		if err := sleepUntil(ctx, epoch.Add(entry.at)); err != nil {
+			return err
+		}
+		switch {
+		case entry.chaos != nil:
+			fireChaos(t, *entry.chaos, rng, report, logf)
+		case entry.rescale != nil:
+			r := entry.rescale
+			topo := "scn-" + r.Tenant
+			rctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+			err := t.Rescale(rctx, topo, NodeStage+"@"+r.Tenant, r.Parallelism)
+			cancel()
+			line := fmt.Sprintf("t=%v rescale %s -> %d", entry.at, topo, r.Parallelism)
+			if err != nil {
+				report.ScheduleErrors = append(report.ScheduleErrors, line+": "+err.Error())
+				logf("%s: %v", line, err)
+			} else {
+				report.Schedule = append(report.Schedule, line)
+				logf("%s", line)
+			}
+		}
+	}
+	return sleepUntil(ctx, epoch.Add(playFor))
+}
+
+// fireChaos resolves and applies one chaos event.
+func fireChaos(t Target, e ChaosEvent, rng *rand.Rand, report *Report, logf func(string, ...any)) {
+	s := e.spec()
+	if e.workerTargeted() {
+		workers := t.WorkersOf(s.Topo, e.Node+"@"+e.Tenant)
+		if len(workers) == 0 {
+			report.ScheduleErrors = append(report.ScheduleErrors,
+				fmt.Sprintf("%s %s/%s: no running worker to target", e.Kind, e.Tenant, e.Node))
+			return
+		}
+		s.Worker = workers[rng.Intn(len(workers))].ID()
+	}
+	if err := t.InjectChaos(s); err != nil {
+		report.ScheduleErrors = append(report.ScheduleErrors, s.String()+": "+err.Error())
+		logf("chaos %s: %v", s, err)
+		return
+	}
+	report.Schedule = append(report.Schedule, s.String())
+	logf("chaos %s", s)
+}
+
+// sleepUntil waits for a wall-clock instant or context cancellation.
+func sleepUntil(ctx context.Context, at time.Time) error {
+	d := time.Until(at)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// drain settles the pipelines after the play window. Strict runs wait for
+// every emitted tuple to arrive (then the no-loss audit has meaning);
+// relaxed runs first heal all links, then wait for delivery totals to go
+// quiet — loss is tolerated, so "everything arrived" may never hold.
+func drain(ctx context.Context, t Target, spec Spec, run *runState, logf func(string, ...any)) error {
+	if spec.Relaxed {
+		if err := t.InjectChaos(chaos.Spec{Kind: chaos.KindHeal}); err != nil {
+			logf("heal-all before drain: %v", err)
+		}
+	}
+	deadline := time.Now().Add(spec.DrainTimeout.D())
+	logf("draining (timeout %v)", spec.DrainTimeout.D())
+	quiet := 0
+	lastTotals := make(map[string]int64, len(spec.Tenants))
+	for {
+		allDone := true
+		for _, ts := range spec.Tenants {
+			ten := run.tenant(ts.Name)
+			if !ten.SourceDone() {
+				allDone = false
+				break
+			}
+			if spec.Relaxed {
+				continue
+			}
+			_, emitted := ten.Emitted()
+			if ten.Checker().Total() != emitted {
+				allDone = false
+				break
+			}
+		}
+		if allDone && !spec.Relaxed {
+			return nil
+		}
+		if allDone && spec.Relaxed {
+			moved := false
+			for _, ts := range spec.Tenants {
+				total := run.tenant(ts.Name).Checker().Total()
+				if total != lastTotals[ts.Name] {
+					moved = true
+				}
+				lastTotals[ts.Name] = total
+			}
+			if moved {
+				quiet = 0
+			} else if quiet++; quiet >= 4 {
+				return nil // ~1s with no arrivals: drained
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("drain timed out after %v", spec.DrainTimeout.D())
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+}
+
+// finishReport audits every tenant and assembles the report.
+func finishReport(spec Spec, run *runState, report *Report) {
+	for _, ts := range spec.Tenants {
+		ten := run.tenant(ts.Name)
+		emitted, total := ten.Emitted()
+		violations, nviol := ten.Checker().Violations()
+		tr := TenantReport{
+			Tenant:     ts.Name,
+			Emitted:    total,
+			Delivered:  ten.Checker().Total(),
+			Gaps:       ten.Checker().Gaps(),
+			Violations: nviol,
+			Samples:    violations,
+			OpenLoop:   ten.OpenLoop().Report(),
+			ClosedLoop: ten.ClosedLoop().Report(),
+		}
+		var bad []string
+		if spec.Relaxed {
+			bad = ten.Checker().ViolationFindings()
+		} else {
+			bad = ten.Checker().CheckComplete(emitted)
+		}
+		for _, b := range bad {
+			report.Failures = append(report.Failures, ts.Name+": "+b)
+		}
+		report.Tenants = append(report.Tenants, tr)
+	}
+}

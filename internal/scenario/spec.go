@@ -1,0 +1,305 @@
+// Package scenario is the declarative scenario harness (ROADMAP item 2):
+// one JSON spec composes workload traces (Zipf skew, diurnal ramps,
+// bursts, replay), a multi-tenant topology mix with QoS classes, a chaos
+// plan, and a rescale schedule into a single reproducible run. The load
+// generator is open-loop — send times come from the trace clock, never
+// from completions — and every delivery carries its intended start time,
+// so the exported latency trajectories are free of coordinated omission.
+// Each run is gated on the conformance invariants (per-key no-loss/no-dup/
+// FIFO, state integrity) and renders a BENCH_e2e.json report of p50/p99/
+// p999 trajectories sampled over the run.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"typhoon/internal/chaos"
+	"typhoon/internal/topology"
+	"typhoon/internal/workload"
+)
+
+// Defaults applied by WithDefaults.
+const (
+	DefaultSampleInterval = time.Second
+	DefaultDrainTimeout   = 30 * time.Second
+	DefaultParallelism    = 2
+)
+
+// Node names inside every tenant pipeline. The tenant name rides after an
+// "@" separator (components learn their tenant from their node name, the
+// only identity the worker context exposes).
+const (
+	NodeSource = "src"
+	NodeStage  = "count"
+	NodeSink   = "sink"
+)
+
+// ClusterSpec hints how to build a cluster for standalone runs (the soak
+// test and in-process harnesses). The HTTP path ignores it — there the
+// scenario runs on the already-running cluster.
+type ClusterSpec struct {
+	// Hosts is the emulated host count (named h1..hN).
+	Hosts int `json:"hosts,omitempty"`
+	// QoS enables the multi-tenant QoS data plane.
+	QoS bool `json:"qos,omitempty"`
+}
+
+// TenantSpec is one tenant: an isolated source→stage→sink pipeline driven
+// by its own trace, optionally rate-classed under QoS.
+type TenantSpec struct {
+	// Name identifies the tenant; it becomes topology "scn-<name>" and
+	// must not contain "@" or "/".
+	Name string `json:"name"`
+	// Class/RateBps set the topology's QoS class (guaranteed, burstable,
+	// best-effort) and configured rate; empty leaves QoS unset.
+	Class   string `json:"class,omitempty"`
+	RateBps uint64 `json:"rateBps,omitempty"`
+	// Parallelism is the stateful stage's instance count (default 2).
+	Parallelism int `json:"parallelism,omitempty"`
+	// Trace drives the tenant's open-loop load. A zero trace seed is
+	// filled deterministically from the run seed and tenant index.
+	Trace workload.TraceSpec `json:"trace"`
+}
+
+// Topology is the tenant's topology name.
+func (t TenantSpec) Topology() string { return "scn-" + t.Name }
+
+// ChaosEvent schedules one fault relative to the run start. Worker-
+// targeted kinds (crash, hang, slow, port-down) name a Tenant and Node;
+// the concrete worker is resolved at fire time from the live placement.
+type ChaosEvent struct {
+	// After offsets the first firing from the run start.
+	After workload.Duration `json:"after"`
+	// Repeat re-fires the event every interval until the run ends
+	// (zero fires once).
+	Repeat workload.Duration `json:"repeat,omitempty"`
+	// Kind is the chaos fault kind (chaos.Kind catalogue).
+	Kind string `json:"kind"`
+
+	// Tenant/Node select a worker for worker-targeted kinds; Node is one
+	// of src, count, sink (default count).
+	Tenant string `json:"tenant,omitempty"`
+	Node   string `json:"node,omitempty"`
+
+	// Host/Peer select a host or link for fabric-targeted kinds.
+	Host string `json:"host,omitempty"`
+	Peer string `json:"peer,omitempty"`
+
+	// Duration bounds the fault window (partition, hang, outage).
+	Duration workload.Duration `json:"duration,omitempty"`
+	// Netem knobs.
+	DropRate float64           `json:"dropRate,omitempty"`
+	Latency  workload.Duration `json:"latency,omitempty"`
+	Jitter   workload.Duration `json:"jitter,omitempty"`
+	// Delay is the per-operation delay (slow, packet-out-delay).
+	Delay workload.Duration `json:"delay,omitempty"`
+	// Controller selects a replicated controller instance (controller-kill).
+	Controller string `json:"controller,omitempty"`
+}
+
+// workerTargeted reports whether the kind selects a Tenant/Node worker.
+func (e ChaosEvent) workerTargeted() bool {
+	switch chaos.Kind(e.Kind) {
+	case chaos.KindPortDown, chaos.KindWorkerCrash, chaos.KindWorkerHang, chaos.KindWorkerSlow:
+		return true
+	}
+	return false
+}
+
+// lossy reports whether the kind can drop tuples, which strict (no-loss)
+// runs must reject. Hangs, slowdowns, and control-plane impairments stall
+// or reroute but never lose frames on the paper's protocol.
+func (e ChaosEvent) lossy() bool {
+	switch chaos.Kind(e.Kind) {
+	case chaos.KindPartition, chaos.KindPortDown, chaos.KindWipeFlows, chaos.KindWorkerCrash:
+		return true
+	case chaos.KindNetem:
+		return e.DropRate > 0
+	}
+	return false
+}
+
+// spec renders the event as a chaos.Spec; worker-targeted kinds still
+// carry a zero Worker ID (the runner fills it from the live placement).
+func (e ChaosEvent) spec() chaos.Spec {
+	s := chaos.Spec{
+		Kind:       chaos.Kind(e.Kind),
+		Host:       e.Host,
+		Peer:       e.Peer,
+		Duration:   e.Duration.D(),
+		DropRate:   e.DropRate,
+		Latency:    e.Latency.D(),
+		Jitter:     e.Jitter.D(),
+		Delay:      e.Delay.D(),
+		Controller: e.Controller,
+	}
+	if e.workerTargeted() {
+		s.Topo = "scn-" + e.Tenant
+	}
+	return s
+}
+
+// RescaleStep schedules one managed stable rescale (§3.5).
+type RescaleStep struct {
+	// After offsets the rescale from the run start.
+	After workload.Duration `json:"after"`
+	// Tenant names the pipeline to rescale.
+	Tenant string `json:"tenant"`
+	// Node is the logical node (default the stateful stage).
+	Node string `json:"node,omitempty"`
+	// Parallelism is the target instance count.
+	Parallelism int `json:"parallelism"`
+}
+
+// Spec is one complete scenario.
+type Spec struct {
+	// Name labels the run and its report.
+	Name string `json:"name"`
+	// Seed makes the run reproducible: it derives tenant trace seeds and
+	// the chaos target-selection stream.
+	Seed int64 `json:"seed"`
+	// Duration is how long the traces play (the run adds a drain phase).
+	Duration workload.Duration `json:"duration"`
+	// SampleInterval is the latency-trajectory bucket width (default 1s).
+	SampleInterval workload.Duration `json:"sampleInterval,omitempty"`
+	// Relaxed tolerates tuple loss (chaos soaks under at-most-once
+	// delivery); duplication, reordering, and state corruption remain
+	// violations. Strict runs additionally require zero loss and reject
+	// loss-inducing chaos kinds at validation.
+	Relaxed bool `json:"relaxed,omitempty"`
+	// DrainTimeout bounds the post-play drain (default 30s).
+	DrainTimeout workload.Duration `json:"drainTimeout,omitempty"`
+	// Cluster hints standalone harnesses; ignored over HTTP.
+	Cluster *ClusterSpec `json:"cluster,omitempty"`
+
+	Tenants  []TenantSpec  `json:"tenants"`
+	Chaos    []ChaosEvent  `json:"chaos,omitempty"`
+	Rescales []RescaleStep `json:"rescales,omitempty"`
+}
+
+// ParseSpec decodes and normalizes a scenario spec, rejecting unknown
+// fields so typos in hand-written files fail loudly.
+func ParseSpec(raw []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: bad spec: %w", err)
+	}
+	s = s.WithDefaults()
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// WithDefaults fills unset knobs, including deterministic per-tenant
+// trace seeds derived from the run seed.
+func (s Spec) WithDefaults() Spec {
+	if s.Name == "" {
+		s.Name = "scenario"
+	}
+	if s.SampleInterval <= 0 {
+		s.SampleInterval = workload.Duration(DefaultSampleInterval)
+	}
+	if s.DrainTimeout <= 0 {
+		s.DrainTimeout = workload.Duration(DefaultDrainTimeout)
+	}
+	tenants := append([]TenantSpec(nil), s.Tenants...)
+	for i := range tenants {
+		if tenants[i].Parallelism <= 0 {
+			tenants[i].Parallelism = DefaultParallelism
+		}
+		if tenants[i].Trace.Seed == 0 {
+			tenants[i].Trace.Seed = s.Seed + int64(i+1)*7919
+		}
+	}
+	s.Tenants = tenants
+	chaosEvents := append([]ChaosEvent(nil), s.Chaos...)
+	for i := range chaosEvents {
+		if chaosEvents[i].workerTargeted() && chaosEvents[i].Node == "" {
+			chaosEvents[i].Node = NodeStage
+		}
+	}
+	s.Chaos = chaosEvents
+	rescales := append([]RescaleStep(nil), s.Rescales...)
+	for i := range rescales {
+		if rescales[i].Node == "" {
+			rescales[i].Node = NodeStage
+		}
+	}
+	s.Rescales = rescales
+	return s
+}
+
+// Validate checks the normalized spec is runnable.
+func (s Spec) Validate() error {
+	if s.Duration <= 0 {
+		return fmt.Errorf("scenario: duration must be positive")
+	}
+	if len(s.Tenants) == 0 {
+		return fmt.Errorf("scenario: at least one tenant required")
+	}
+	names := make(map[string]bool, len(s.Tenants))
+	for i, t := range s.Tenants {
+		if t.Name == "" || strings.ContainsAny(t.Name, "@/ ") {
+			return fmt.Errorf("scenario: tenant %d needs a name without '@', '/' or spaces", i)
+		}
+		if names[t.Name] {
+			return fmt.Errorf("scenario: duplicate tenant %q", t.Name)
+		}
+		names[t.Name] = true
+		if t.Class != "" && !topology.ValidQoSClass(t.Class) {
+			return fmt.Errorf("scenario: tenant %s: unknown QoS class %q", t.Name, t.Class)
+		}
+		if err := t.Trace.Validate(); err != nil {
+			return fmt.Errorf("scenario: tenant %s: %w", t.Name, err)
+		}
+	}
+	validNode := func(n string) bool {
+		return n == NodeSource || n == NodeStage || n == NodeSink
+	}
+	for i, e := range s.Chaos {
+		if e.After < 0 || e.Repeat < 0 {
+			return fmt.Errorf("scenario: chaos %d has a negative schedule field", i)
+		}
+		if e.workerTargeted() {
+			if !names[e.Tenant] {
+				return fmt.Errorf("scenario: chaos %d (%s) targets unknown tenant %q", i, e.Kind, e.Tenant)
+			}
+			if !validNode(e.Node) {
+				return fmt.Errorf("scenario: chaos %d (%s): node must be %s, %s, or %s", i, e.Kind, NodeSource, NodeStage, NodeSink)
+			}
+		}
+		if !s.Relaxed && e.lossy() {
+			return fmt.Errorf("scenario: chaos %d (%s) can drop tuples; strict runs reject it (set relaxed)", i, e.Kind)
+		}
+		// Validate the rendered chaos.Spec with a placeholder worker ID;
+		// the real ID is resolved from the live placement at fire time.
+		cs := e.spec()
+		if e.workerTargeted() {
+			cs.Worker = 1
+		}
+		if err := cs.Validate(); err != nil {
+			return fmt.Errorf("scenario: chaos %d: %w", i, err)
+		}
+	}
+	for i, r := range s.Rescales {
+		if r.After < 0 {
+			return fmt.Errorf("scenario: rescale %d has a negative offset", i)
+		}
+		if !names[r.Tenant] {
+			return fmt.Errorf("scenario: rescale %d targets unknown tenant %q", i, r.Tenant)
+		}
+		if r.Node != NodeStage {
+			return fmt.Errorf("scenario: rescale %d: only the stateful %q node rescales", i, NodeStage)
+		}
+		if r.Parallelism < 1 {
+			return fmt.Errorf("scenario: rescale %d needs parallelism >= 1", i)
+		}
+	}
+	return nil
+}

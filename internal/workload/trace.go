@@ -1,0 +1,279 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Duration is a time.Duration that round-trips through JSON as a human
+// duration string ("1.5s", "200ms"). Bare numbers are accepted on input and
+// mean nanoseconds, matching time.Duration's native encoding, so specs that
+// predate the string form keep parsing.
+type Duration time.Duration
+
+// D converts to the standard library type.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(raw []byte) error {
+	var s string
+	if err := json.Unmarshal(raw, &s); err == nil {
+		parsed, perr := time.ParseDuration(s)
+		if perr != nil {
+			return fmt.Errorf("workload: bad duration %q: %w", s, perr)
+		}
+		*d = Duration(parsed)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(raw, &n); err != nil {
+		return fmt.Errorf("workload: duration must be a string like \"500ms\" or nanoseconds")
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// TraceStage is one segment of a trace's rate envelope. Rate is the event
+// rate at stage start (events/second); a non-zero EndRate ramps linearly to
+// that rate across the stage (diurnal ramps). A stage with Rate 0 and
+// EndRate 0 is a silent gap. Bursts are short stages at a high flat rate.
+type TraceStage struct {
+	Duration Duration `json:"duration"`
+	Rate     float64  `json:"rate"`
+	EndRate  float64  `json:"endRate,omitempty"`
+}
+
+// ReplayEvent is one recorded event of a replay trace.
+type ReplayEvent struct {
+	// At is the event's offset from trace start.
+	At Duration `json:"at"`
+	// Key is the routing key; empty keys are rejected.
+	Key string `json:"key"`
+}
+
+// TraceSpec declares a deterministic workload trace: a seeded key
+// distribution (Zipf-skewed or uniform) sampled under a staged rate
+// envelope, or the replay of a recorded event list. The emitted event
+// sequence is a pure function of the spec — same spec, same trace.
+type TraceSpec struct {
+	// Seed drives key sampling. The scenario harness fills a zero seed
+	// from the run seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Keys is the key-space size (generated traces).
+	Keys int `json:"keys,omitempty"`
+	// Skew selects the key distribution: 0 is uniform, s > 1 is Zipf with
+	// exponent s (rank-r key frequency proportional to r^-s).
+	Skew float64 `json:"skew,omitempty"`
+	// KeyPrefix namespaces the generated key names (default "k").
+	KeyPrefix string `json:"keyPrefix,omitempty"`
+	// Stages is the rate envelope, played in order.
+	Stages []TraceStage `json:"stages,omitempty"`
+	// Loop repeats the envelope (or replay) forever; the consumer bounds
+	// the trace externally (the scenario run duration).
+	Loop bool `json:"loop,omitempty"`
+	// Replay plays a recorded event list instead of sampling; Keys, Skew
+	// and Stages are ignored.
+	Replay []ReplayEvent `json:"replay,omitempty"`
+}
+
+// Validate checks the spec is generatable.
+func (s TraceSpec) Validate() error {
+	if len(s.Replay) > 0 {
+		for i, ev := range s.Replay {
+			if ev.Key == "" {
+				return fmt.Errorf("workload: replay event %d has an empty key", i)
+			}
+			if ev.At < 0 {
+				return fmt.Errorf("workload: replay event %d has a negative offset", i)
+			}
+		}
+		return nil
+	}
+	if s.Keys < 1 {
+		return fmt.Errorf("workload: trace needs keys >= 1 (got %d)", s.Keys)
+	}
+	if s.Skew != 0 && s.Skew <= 1 {
+		return fmt.Errorf("workload: zipf skew must be > 1 (got %v); 0 selects uniform", s.Skew)
+	}
+	if len(s.Stages) == 0 {
+		return fmt.Errorf("workload: trace has no stages")
+	}
+	for i, st := range s.Stages {
+		if st.Duration <= 0 {
+			return fmt.Errorf("workload: stage %d needs a positive duration", i)
+		}
+		if st.Rate < 0 || st.EndRate < 0 {
+			return fmt.Errorf("workload: stage %d has a negative rate", i)
+		}
+		if st.Rate == 0 && st.EndRate != 0 {
+			return fmt.Errorf("workload: stage %d ramps from rate 0; start from a positive rate", i)
+		}
+	}
+	return nil
+}
+
+// Length is the duration of one envelope (or replay) cycle.
+func (s TraceSpec) Length() time.Duration {
+	if len(s.Replay) > 0 {
+		var max time.Duration
+		for _, ev := range s.Replay {
+			if ev.At.D() > max {
+				max = ev.At.D()
+			}
+		}
+		// The cycle must strictly advance so a looped replay never
+		// schedules two events at the same instant of different cycles.
+		return max + time.Millisecond
+	}
+	var total time.Duration
+	for _, st := range s.Stages {
+		total += st.Duration.D()
+	}
+	return total
+}
+
+// TraceEvent is one scheduled send: the key, its per-key sequence number
+// (1-based, assigned in schedule order), and the intended send time as an
+// offset from trace start. Open-loop load generation emits each event at
+// its At offset regardless of completions.
+type TraceEvent struct {
+	At  time.Duration
+	Key string
+	Seq int64
+}
+
+// Trace is a deterministic event generator. Not safe for concurrent use;
+// one goroutine (the open-loop source) owns it.
+type Trace struct {
+	spec   TraceSpec
+	rng    *rand.Rand
+	zipf   *rand.Zipf
+	keys   []string
+	next   map[string]int64
+	replay []ReplayEvent
+
+	cycleLen time.Duration
+	cycleOff time.Duration
+	cursor   time.Duration // within the current cycle
+	stage    int
+	inStage  time.Duration
+	rIdx     int
+	total    int64
+}
+
+// NewTrace validates the spec and builds its generator.
+func NewTrace(spec TraceSpec) (*Trace, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Trace{
+		spec:     spec,
+		rng:      rand.New(rand.NewSource(spec.Seed)),
+		next:     make(map[string]int64),
+		cycleLen: spec.Length(),
+	}
+	if len(spec.Replay) > 0 {
+		t.replay = append([]ReplayEvent(nil), spec.Replay...)
+		sort.SliceStable(t.replay, func(i, j int) bool {
+			return t.replay[i].At < t.replay[j].At
+		})
+		return t, nil
+	}
+	prefix := spec.KeyPrefix
+	if prefix == "" {
+		prefix = "k"
+	}
+	t.keys = make([]string, spec.Keys)
+	for i := range t.keys {
+		t.keys[i] = fmt.Sprintf("%s%04d", prefix, i)
+	}
+	if spec.Skew != 0 {
+		// Shuffle rank->key so the hottest keys land on seed-dependent
+		// partitions instead of always hashing the same way.
+		t.rng.Shuffle(len(t.keys), func(i, j int) {
+			t.keys[i], t.keys[j] = t.keys[j], t.keys[i]
+		})
+		if spec.Keys > 1 {
+			t.zipf = rand.NewZipf(t.rng, spec.Skew, 1, uint64(spec.Keys-1))
+		}
+	}
+	return t, nil
+}
+
+// Next returns the following event, or ok=false when the trace is
+// exhausted (a looping trace never exhausts; bound it externally).
+func (t *Trace) Next() (TraceEvent, bool) {
+	for {
+		if ev, ok := t.nextInCycle(); ok {
+			key := ev.Key
+			t.next[key]++
+			ev.Seq = t.next[key]
+			ev.At += t.cycleOff
+			t.total++
+			return ev, true
+		}
+		if !t.spec.Loop {
+			return TraceEvent{}, false
+		}
+		t.cycleOff += t.cycleLen
+		t.cursor, t.stage, t.inStage, t.rIdx = 0, 0, 0, 0
+	}
+}
+
+// nextInCycle advances within one envelope (or replay) cycle.
+func (t *Trace) nextInCycle() (TraceEvent, bool) {
+	if t.replay != nil {
+		if t.rIdx >= len(t.replay) {
+			return TraceEvent{}, false
+		}
+		ev := t.replay[t.rIdx]
+		t.rIdx++
+		return TraceEvent{At: ev.At.D(), Key: ev.Key}, true
+	}
+	for t.stage < len(t.spec.Stages) {
+		st := t.spec.Stages[t.stage]
+		d := st.Duration.D()
+		if st.Rate == 0 && st.EndRate == 0 {
+			t.cursor += d - t.inStage
+			t.stage++
+			t.inStage = 0
+			continue
+		}
+		rate := st.Rate
+		if st.EndRate > 0 {
+			rate += (st.EndRate - st.Rate) * float64(t.inStage) / float64(d)
+		}
+		step := time.Duration(float64(time.Second) / rate)
+		if step <= 0 {
+			step = time.Nanosecond
+		}
+		if t.inStage+step >= d {
+			t.cursor += d - t.inStage
+			t.stage++
+			t.inStage = 0
+			continue
+		}
+		t.inStage += step
+		t.cursor += step
+		return TraceEvent{At: t.cursor, Key: t.pickKey()}, true
+	}
+	return TraceEvent{}, false
+}
+
+func (t *Trace) pickKey() string {
+	if t.zipf != nil {
+		return t.keys[t.zipf.Uint64()]
+	}
+	return t.keys[t.rng.Intn(len(t.keys))]
+}
+
+// Total reports events generated so far.
+func (t *Trace) Total() int64 { return t.total }

@@ -7,3 +7,7 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test -race ./...
+# Short fuzz smoke over the wire-format decoders (-fuzz takes one package
+# at a time). Failures land reproducer files under testdata/fuzz/.
+go test -fuzz '^FuzzDecode$' -fuzztime 5s -run '^FuzzDecode$' ./internal/openflow/
+go test -fuzz '^FuzzDecode$' -fuzztime 5s -run '^FuzzDecode$' ./internal/packet/

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Nightly chaos soak: the chaos-soak scenario (partitions, crashes, netem
+# loss, flow-table wipes, a mid-run rescale across two tenants) run long
+# under the race detector, with the per-interval latency trajectories
+# exported as BENCH_e2e.json. SOAK_DURATION stretches the scenario's play
+# time (default 2m for CI; the in-repo test default is 8s).
+set -eux
+cd "$(dirname "$0")/.."
+SOAK_DURATION="${SOAK_DURATION:-2m}" \
+	BENCH_E2E_JSON="${BENCH_E2E_JSON:-BENCH_e2e.json}" \
+	go test -race -run '^TestScenarioChaosSoak$' -count=1 -timeout 30m \
+	./internal/scenario/ "$@"
+test -s "${BENCH_E2E_JSON:-BENCH_e2e.json}"
