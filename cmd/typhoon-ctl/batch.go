@@ -1,0 +1,104 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"text/tabwriter"
+	"time"
+
+	"typhoon/internal/apiclient"
+)
+
+// runBatch inspects and retunes the data plane's batching knobs through the
+// API's /api/v1/batch route:
+//
+//	typhoon-ctl batch get
+//	typhoon-ctl batch set 256 2ms
+//
+// "get" renders the defaults new workers inherit (batch size and flush
+// deadline) plus each host's realized occupancy — tuples per emitted frame.
+// "set" takes a batch size, a flush deadline (Go duration), or both; "-"
+// leaves a knob unchanged, and a negative deadline disables the bounded
+// staging wait entirely.
+func runBatch(cl *apiclient.Client, args []string) {
+	if len(args) == 0 {
+		batchUsage()
+	}
+	switch args[0] {
+	case "get", "status":
+		runBatchGet(cl)
+	case "set":
+		if len(args) < 2 || len(args) > 3 {
+			batchUsage()
+		}
+		var size int
+		if args[1] != "-" {
+			parsed, err := strconv.Atoi(args[1])
+			if err != nil || parsed <= 0 {
+				fatal(fmt.Errorf("bad batch size %q (positive integer or -)", args[1]))
+			}
+			size = parsed
+		}
+		var deadline time.Duration
+		if len(args) == 3 && args[2] != "-" {
+			parsed, err := time.ParseDuration(args[2])
+			if err != nil || parsed == 0 {
+				fatal(fmt.Errorf("bad flush deadline %q (Go duration; negative disables): %v", args[2], err))
+			}
+			deadline = parsed
+		}
+		if size == 0 && deadline == 0 {
+			batchUsage()
+		}
+		if err := cl.BatchSet(size, deadline); err != nil {
+			fatal(err)
+		}
+		switch {
+		case size > 0 && deadline != 0:
+			fmt.Printf("batch size is now %d, flush deadline %s\n", size, deadlineString(deadline))
+		case size > 0:
+			fmt.Printf("batch size is now %d\n", size)
+		default:
+			fmt.Printf("flush deadline is now %s\n", deadlineString(deadline))
+		}
+	default:
+		batchUsage()
+	}
+}
+
+func runBatchGet(cl *apiclient.Client) {
+	st, err := cl.Batch()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("default batch size: %d\n", st.DefaultSize)
+	fmt.Printf("flush deadline:     %s\n", deadlineString(time.Duration(st.FlushDeadlineNs)))
+	if len(st.Hosts) == 0 {
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "\nHOST\tWORKERS\tTUPLES SENT\tFRAMES SENT\tTUPLES/FRAME")
+	for _, h := range st.Hosts {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1f\n",
+			h.Host, h.Workers, h.TuplesSent, h.FramesSent, h.BatchOccupancy)
+	}
+	w.Flush()
+}
+
+func deadlineString(d time.Duration) string {
+	if d < 0 {
+		return "disabled"
+	}
+	return d.String()
+}
+
+func batchUsage() {
+	fmt.Fprintln(os.Stderr, `usage: typhoon-ctl [flags] batch VERB ...
+verbs:
+  get                  batching defaults and realized per-host occupancy
+  set SIZE [DEADLINE]  retune batch size and/or flush deadline cluster-wide
+                       (SIZE "-" leaves the size unchanged; DEADLINE is a Go
+                        duration like 2ms, negative disables the deadline)`)
+	os.Exit(2)
+}

@@ -76,6 +76,9 @@ func main() {
 	case "qos":
 		runQoS(api, args[1:])
 		return
+	case "batch":
+		runBatch(api, args[1:])
+		return
 	case "scenario":
 		runScenario(api, args[1:])
 		return
@@ -155,7 +158,7 @@ func need(args []string, n int) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: typhoon-ctl [flags] {list | describe T | scale T NODE N | swap T NODE LOGIC | kill T | metrics | top | trace | chaos ... | rescale T NODE N [TIMEOUT] | controlplane status | qos {status | set T CLASS [RATE]} | scenario run SPEC.json [-duration D] [-out FILE]}")
+	fmt.Fprintln(os.Stderr, "usage: typhoon-ctl [flags] {list | describe T | scale T NODE N | swap T NODE LOGIC | kill T | metrics | top | trace | chaos ... | rescale T NODE N [TIMEOUT] | controlplane status | qos {status | set T CLASS [RATE]} | batch {get | set SIZE [DEADLINE]} | scenario run SPEC.json [-duration D] [-out FILE]}")
 	os.Exit(2)
 }
 

@@ -88,8 +88,13 @@ func runTrace(cl *apiclient.Client, n int) {
 			if base == 0 {
 				base = h.At
 			}
-			fmt.Printf("  +%8.3fms  %-10s actor=%d detail=%d\n",
-				float64(h.At-base)/1e6, packet.HopKind(h.Kind).String(), h.Actor, h.Detail)
+			label := "detail"
+			switch packet.HopKind(h.Kind) {
+			case packet.HopEmit, packet.HopDequeue:
+				label = "tuples" // batch frames: Detail carries the tuple count
+			}
+			fmt.Printf("  +%8.3fms  %-10s actor=%d %s=%d\n",
+				float64(h.At-base)/1e6, packet.HopKind(h.Kind).String(), h.Actor, label, h.Detail)
 		}
 	}
 }

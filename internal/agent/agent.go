@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"typhoon/internal/coordinator"
@@ -59,6 +60,12 @@ type Options struct {
 	RestartDelay time.Duration
 	// DefaultBatchSize is the initial I/O batch size for workers.
 	DefaultBatchSize int
+	// DefaultFlushDeadline is the initial bounded staging wait for worker
+	// transports; zero selects the transport default, negative disables.
+	DefaultFlushDeadline time.Duration
+	// WorkerFlushInterval is the worker loop's periodic transport flush
+	// cadence; zero selects the worker default.
+	WorkerFlushInterval time.Duration
 	// StatsInterval is the workers' statistics push period (Fig 4's
 	// worker statistics reporter); zero selects 500 ms in SDN mode.
 	StatsInterval time.Duration
@@ -98,6 +105,13 @@ type running struct {
 type Agent struct {
 	opts Options
 
+	// batchSize and flushDeadline are the live batching defaults applied to
+	// newly launched workers; /api/v1/batch retunes them alongside the
+	// control-tuple broadcast to running workers, so restarts and rescales
+	// inherit the tuned values.
+	batchSize     atomic.Int64
+	flushDeadline atomic.Int64
+
 	mu      sync.Mutex
 	workers map[string]map[topology.WorkerID]*running // topo -> id -> worker
 	// crashStreaks counts consecutive quick crashes per topo/worker for
@@ -132,12 +146,56 @@ func New(opts Options) (*Agent, error) {
 	if opts.StatsInterval <= 0 && opts.Mode == ModeSDN {
 		opts.StatsInterval = 500 * time.Millisecond
 	}
-	return &Agent{
+	a := &Agent{
 		opts:         opts,
 		crashStreaks: make(map[string]int),
 		workers:      make(map[string]map[topology.WorkerID]*running),
 		stopCh:       make(chan struct{}),
-	}, nil
+	}
+	a.batchSize.Store(int64(opts.DefaultBatchSize))
+	a.flushDeadline.Store(int64(opts.DefaultFlushDeadline))
+	return a, nil
+}
+
+// BatchDefaults reports the live batching defaults applied to newly
+// launched workers (size, staging deadline).
+func (a *Agent) BatchDefaults() (int, time.Duration) {
+	return int(a.batchSize.Load()), time.Duration(a.flushDeadline.Load())
+}
+
+// SetBatchDefaults retunes the defaults for future worker launches. size <=
+// 0 and deadline == 0 leave the respective knob unchanged; a negative
+// deadline disables the bounded staging wait.
+func (a *Agent) SetBatchDefaults(size int, deadline time.Duration) {
+	if size > 0 {
+		a.batchSize.Store(int64(size))
+	}
+	if deadline != 0 {
+		a.flushDeadline.Store(int64(deadline))
+	}
+}
+
+// EachWorker calls fn for every live (non-crashed) worker on this host. The
+// callback runs outside the agent lock, against a snapshot.
+func (a *Agent) EachWorker(fn func(topo string, id topology.WorkerID, w *worker.Worker)) {
+	type ent struct {
+		topo string
+		id   topology.WorkerID
+		w    *worker.Worker
+	}
+	a.mu.Lock()
+	var snap []ent
+	for topo, m := range a.workers {
+		for id, r := range m {
+			if !r.crashed {
+				snap = append(snap, ent{topo, id, r.w})
+			}
+		}
+	}
+	a.mu.Unlock()
+	for _, e := range snap {
+		fn(e.topo, e.id, e.w)
+	}
 }
 
 // Host returns the agent's host name.
@@ -396,6 +454,7 @@ func (a *Agent) launch(l *topology.Logical, p *topology.Physical, as topology.As
 	if node == nil {
 		return fmt.Errorf("agent: assignment references unknown node %q", as.Node)
 	}
+	batchSize, flushDeadline := a.BatchDefaults()
 	cfg := worker.Config{
 		App:           l.App,
 		ID:            as.Worker,
@@ -406,7 +465,8 @@ func (a *Agent) launch(l *topology.Logical, p *topology.Physical, as topology.As
 		Stateful:      node.Stateful,
 		Routes:        topology.RoutesFor(l, p, as.Node),
 		Acking:        l.Ackers > 0,
-		BatchSize:     a.opts.DefaultBatchSize,
+		BatchSize:     batchSize,
+		FlushInterval: a.opts.WorkerFlushInterval,
 		AckTimeout:    a.opts.AckTimeout,
 		StatsInterval: a.opts.StatsInterval,
 		Env:           a.opts.Env,
@@ -427,9 +487,10 @@ func (a *Agent) launch(l *topology.Logical, p *topology.Physical, as topology.As
 		}
 		port = pt
 		tr = worker.NewSDNTransport(l.App, as.Worker, pt, worker.SDNTransportConfig{
-			BatchSize: a.opts.DefaultBatchSize,
-			Sampler:   a.opts.FrameSampler,
-			TraceSink: a.opts.TraceSink,
+			BatchSize:     batchSize,
+			FlushDeadline: flushDeadline,
+			Sampler:       a.opts.FrameSampler,
+			TraceSink:     a.opts.TraceSink,
 		})
 		if err := a.publishPort(l.Name, as.Worker, pt.No()); err != nil {
 			a.opts.Switch.RemovePort(pt.No())

@@ -236,6 +236,46 @@ type QoSStatus struct {
 	Queues     []switchfabric.QueueClass `json:"queueClasses,omitempty"`
 }
 
+// BatchHostRow is one host's aggregated transport batching statistics. It
+// mirrors the wire format of core's batch status report.
+type BatchHostRow struct {
+	Host           string  `json:"host"`
+	Workers        int     `json:"workers"`
+	TuplesSent     uint64  `json:"tuplesSent"`
+	FramesSent     uint64  `json:"framesSent"`
+	TuplesReceived uint64  `json:"tuplesReceived"`
+	BatchOccupancy float64 `json:"batchOccupancy"`
+}
+
+// BatchStatus is the /api/v1/batch GET payload: the batching defaults new
+// workers inherit plus realized per-host occupancy.
+type BatchStatus struct {
+	DefaultSize     int            `json:"defaultSize"`
+	FlushDeadlineNs int64          `json:"flushDeadlineNs"`
+	Hosts           []BatchHostRow `json:"hosts,omitempty"`
+}
+
+// Batch fetches the cluster's batching status.
+func (c *Client) Batch() (BatchStatus, error) {
+	var st BatchStatus
+	err := c.get("batch", nil, &st)
+	return st, err
+}
+
+// BatchSet retunes the data-plane batching knobs cluster-wide. size <= 0
+// and deadline == 0 leave the respective knob unchanged; a negative
+// deadline disables the bounded staging wait.
+func (c *Client) BatchSet(size int, deadline time.Duration) error {
+	q := url.Values{}
+	if size > 0 {
+		q.Set("size", strconv.Itoa(size))
+	}
+	if deadline != 0 {
+		q.Set("deadline", deadline.String())
+	}
+	return c.post("batch", q, nil, nil)
+}
+
 // QoS fetches the cluster's QoS status.
 func (c *Client) QoS() (QoSStatus, error) {
 	var st QoSStatus

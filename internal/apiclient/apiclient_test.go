@@ -132,6 +132,53 @@ func TestQoSStatusMirrorsCore(t *testing.T) {
 	}
 }
 
+// TestBatchStatusMirrorsCore pins the client's batch types to the server's
+// wire format: a core.BatchStatusReport must round-trip losslessly into
+// apiclient.BatchStatus.
+func TestBatchStatusMirrorsCore(t *testing.T) {
+	report := core.BatchStatusReport{
+		DefaultSize:     256,
+		FlushDeadlineNs: int64(2 * time.Millisecond),
+		Hosts: []core.BatchHostRow{{
+			Host: "h1", Workers: 3,
+			TuplesSent: 1000, FramesSent: 11, TuplesReceived: 990,
+			BatchOccupancy: 90.9,
+		}},
+	}
+	blob, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got apiclient.BatchStatus
+	if err := json.Unmarshal(blob, &got); err != nil {
+		t.Fatal(err)
+	}
+	back, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != string(blob) {
+		t.Fatalf("round trip mismatch:\n core: %s\nclient: %s", blob, back)
+	}
+}
+
+func TestBatchSetQuery(t *testing.T) {
+	var gotQuery string
+	cl := serve(t, observe.ServerOptions{
+		Batch: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			gotQuery = r.URL.RawQuery
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte(`{"status":"ok"}`))
+		}),
+	})
+	if err := cl.BatchSet(256, -time.Millisecond); err != nil {
+		t.Fatalf("BatchSet: %v", err)
+	}
+	if gotQuery != "deadline=-1ms&size=256" {
+		t.Fatalf("query = %q", gotQuery)
+	}
+}
+
 func TestQoSStatusThroughHandler(t *testing.T) {
 	cl := serve(t, observe.ServerOptions{
 		Qos: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,133 @@
+package conformance
+
+import (
+	"testing"
+	"time"
+
+	"typhoon/internal/core"
+)
+
+// newBatchHarness is newHarness with the batching knobs exposed: the sweep
+// runs the same strict pipeline at several batch sizes, and the deadline
+// case needs the worker loop's periodic flush pushed out of the way so only
+// the transport's bounded staging wait can move tuples.
+func newBatchHarness(t *testing.T, p *Params, batch int, deadline, workerFlush time.Duration) (*core.Cluster, *Recorder) {
+	t.Helper()
+	c, err := core.NewCluster(core.Config{
+		Mode:                 core.ModeTyphoon,
+		Hosts:                []string{"h1", "h2"},
+		HeartbeatInterval:    100 * time.Millisecond,
+		HeartbeatTimeout:     2 * time.Second,
+		MonitorInterval:      200 * time.Millisecond,
+		DrainDelay:           100 * time.Millisecond,
+		RestartDelay:         200 * time.Millisecond,
+		DefaultBatchSize:     batch,
+		DefaultFlushDeadline: deadline,
+		WorkerFlushInterval:  workerFlush,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	rec := NewRecorder(*p, true)
+	c.Env.Set(EnvParams, p)
+	c.Env.Set(EnvRecorder, rec)
+	return c, rec
+}
+
+// TestConformanceBatchSweep runs the strict pipeline — per-key FIFO,
+// no-loss, no-dup — at batch size 1 (every tuple its own flush), the
+// cluster default, and 256 (frames pack until the payload budget splits
+// them). The delivery invariants must hold identically at every point of
+// the latency/throughput trade-off.
+func TestConformanceBatchSweep(t *testing.T) {
+	for _, bs := range []struct {
+		name  string
+		batch int
+	}{
+		{"size-1", 1},
+		{"size-default", 50},
+		{"size-256", 256},
+	} {
+		t.Run(bs.name, func(t *testing.T) {
+			p := &Params{
+				Keys: 16, PerKey: 200, Window: 25, Seed: 11,
+				ThrottleEvery: 64, ThrottleDelay: time.Millisecond,
+			}
+			c, rec := newBatchHarness(t, p, bs.batch, 0, 0)
+			if err := c.Submit(buildTopo(t, "conf-batch-"+bs.name, 2), 15*time.Second); err != nil {
+				t.Fatal(err)
+			}
+			waitCond(t, 60*time.Second, "stream completion", rec.Complete)
+			if bad := rec.Check(); len(bad) != 0 {
+				for i, v := range bad {
+					if i == 10 {
+						t.Errorf("... (%d findings total)", len(bad))
+						break
+					}
+					t.Errorf("conformance: %s", v)
+				}
+				t.FailNow()
+			}
+		})
+	}
+}
+
+// TestConformanceFlushDeadlineOnly pins the bounded staging wait end to
+// end: the batch threshold is unreachable (100k) and the worker loop's
+// periodic flush is pushed to a minute, so the ONLY mechanism that can move
+// a staged tuple is the transport's flush deadline firing from the worker's
+// Recv polling. A slow open-loop source then completes the strict stream —
+// and does so promptly, bounding the per-tuple latency the deadline exists
+// to cap.
+func TestConformanceFlushDeadlineOnly(t *testing.T) {
+	p := &Params{
+		Keys: 8, PerKey: 50, Window: 10, Seed: 23,
+		ThrottleEvery: 8, ThrottleDelay: 2 * time.Millisecond,
+	}
+	c, rec := newBatchHarness(t, p, 100_000, 2*time.Millisecond, time.Minute)
+	if err := c.Submit(buildTopo(t, "conf-deadline", 2), 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	waitCond(t, 30*time.Second, "deadline-driven stream completion", rec.Complete)
+	elapsed := time.Since(start)
+	if bad := rec.Check(); len(bad) != 0 {
+		t.Fatalf("%d conformance findings (first: %v)", len(bad), bad[0])
+	}
+	// The source emits ~400 tuples at ~2ms per 8: roughly 100ms of open-loop
+	// offered load. Without the deadline nothing would flush for a minute;
+	// completing well under that proves the bound is what moved the tuples.
+	if elapsed > 20*time.Second {
+		t.Fatalf("deadline-only stream took %v; staging deadline is not firing", elapsed)
+	}
+	t.Logf("deadline-only completion in %v", elapsed)
+}
+
+// TestConformanceBatchRetuneMidStream retunes batch size and flush deadline
+// through the cluster's SetBatch — the /api/v1/batch path — while the
+// strict stream is in flight: the BATCH_SIZE control tuples must reach
+// every running worker without disturbing FIFO/no-loss/no-dup delivery.
+func TestConformanceBatchRetuneMidStream(t *testing.T) {
+	p := &Params{
+		Keys: 16, PerKey: 300, Window: 25, Seed: 31,
+		ThrottleEvery: 32, ThrottleDelay: 2 * time.Millisecond,
+	}
+	c, rec := newBatchHarness(t, p, 50, 0, 0)
+	if err := c.Submit(buildTopo(t, "conf-retune", 2), 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, 30*time.Second, "stream underway", func() bool {
+		return rec.Total() > p.Total()/8
+	})
+	if err := c.SetBatch(256, 2*time.Millisecond); err != nil {
+		t.Fatalf("SetBatch: %v", err)
+	}
+	if rec.Complete() {
+		t.Fatal("stream finished before the retune; slow the source")
+	}
+	waitCond(t, 60*time.Second, "stream completion after retune", rec.Complete)
+	if bad := rec.Check(); len(bad) != 0 {
+		t.Fatalf("%d conformance findings after retune (first: %v)", len(bad), bad[0])
+	}
+}

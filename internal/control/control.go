@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"time"
 
 	"typhoon/internal/topology"
 	"typhoon/internal/tuple"
@@ -100,9 +101,12 @@ type InputRate struct {
 	TuplesPerSec float64 `json:"tuplesPerSec"`
 }
 
-// BatchSize is the payload of KindBatchSize.
+// BatchSize is the payload of KindBatchSize. Zero values mean "unchanged":
+// Size <= 0 leaves the batch threshold alone, FlushDeadline == 0 leaves the
+// staging deadline alone (negative disables it).
 type BatchSize struct {
-	Size int `json:"size"`
+	Size          int           `json:"size"`
+	FlushDeadline time.Duration `json:"flushDeadlineNs,omitempty"`
 }
 
 // MetricReq is the payload of KindMetricReq.

@@ -58,6 +58,13 @@ type Config struct {
 	HeartbeatInterval time.Duration
 	// DefaultBatchSize is the worker I/O batch size (Typhoon knob).
 	DefaultBatchSize int
+	// DefaultFlushDeadline bounds how long staged tuples wait for the
+	// batch threshold; zero selects worker.DefaultFlushDeadline, negative
+	// disables the bound.
+	DefaultFlushDeadline time.Duration
+	// WorkerFlushInterval is the worker loop's periodic transport flush
+	// cadence; zero selects the worker default.
+	WorkerFlushInterval time.Duration
 	// AckTimeout is the source replay timeout under guaranteed
 	// processing.
 	AckTimeout time.Duration
@@ -239,15 +246,17 @@ func NewCluster(options ...Option) (*Cluster, error) {
 	for i, name := range cfg.Hosts {
 		h := &Host{Name: name}
 		agentOpts := agent.Options{
-			Host:              name,
-			KV:                c.Store,
-			Env:               c.Env,
-			HeartbeatInterval: cfg.HeartbeatInterval,
-			DrainDelay:        cfg.DrainDelay,
-			RestartDelay:      cfg.RestartDelay,
-			DefaultBatchSize:  cfg.DefaultBatchSize,
-			AckTimeout:        cfg.AckTimeout,
-			OnWorkerCrash:     cfg.OnWorkerCrash,
+			Host:                 name,
+			KV:                   c.Store,
+			Env:                  c.Env,
+			HeartbeatInterval:    cfg.HeartbeatInterval,
+			DrainDelay:           cfg.DrainDelay,
+			RestartDelay:         cfg.RestartDelay,
+			DefaultBatchSize:     cfg.DefaultBatchSize,
+			DefaultFlushDeadline: cfg.DefaultFlushDeadline,
+			WorkerFlushInterval:  cfg.WorkerFlushInterval,
+			AckTimeout:           cfg.AckTimeout,
+			OnWorkerCrash:        cfg.OnWorkerCrash,
 		}
 		if cfg.Mode == ModeTyphoon {
 			swOpts := switchfabric.Options{
@@ -303,6 +312,7 @@ func NewCluster(options ...Option) (*Cluster, error) {
 			return nil, err
 		}
 		h.Agent = ag
+		c.Obs.registerAgentTransports(ag)
 		c.Obs.Registry.GaugeFunc("typhoon_agent_workers",
 			"Live workers managed by the host's agent.",
 			observe.Labels{"host": name},

@@ -7,9 +7,12 @@ import (
 	"strconv"
 	"time"
 
+	"typhoon/internal/agent"
 	"typhoon/internal/controller"
 	"typhoon/internal/observe"
 	"typhoon/internal/switchfabric"
+	"typhoon/internal/topology"
+	"typhoon/internal/worker"
 )
 
 // Observability bundles the cluster-wide observability layer: the metric
@@ -87,6 +90,36 @@ func (o *Observability) registerSwitch(sw *switchfabric.Switch) {
 	})
 }
 
+// registerAgentTransports adds a collector aggregating one host's worker
+// transport counters — the realized batch occupancy (tuples per frame) is
+// the knob /api/batch tunes.
+func (o *Observability) registerAgentTransports(a *agent.Agent) {
+	host := observe.Labels{"host": a.Host()}
+	o.Registry.AddCollector(func(emit func(observe.Sample)) {
+		var sent, frames, received uint64
+		a.EachWorker(func(_ string, _ topology.WorkerID, w *worker.Worker) {
+			s := w.Transport().Stats()
+			sent += s.TuplesSent
+			frames += s.FramesSent
+			received += s.TuplesReceived
+		})
+		counter := func(name, help string, v uint64) {
+			emit(observe.Sample{Name: name, Kind: observe.KindCounter, Help: help,
+				Labels: host, Value: float64(v)})
+		}
+		counter("typhoon_transport_tuples_sent_total", "Tuples sent by the host's worker transports.", sent)
+		counter("typhoon_transport_frames_sent_total", "Frames pushed into the switch by the host's worker transports.", frames)
+		counter("typhoon_transport_tuples_received_total", "Tuples received by the host's worker transports.", received)
+		occupancy := 0.0
+		if frames > 0 {
+			occupancy = float64(sent) / float64(frames)
+		}
+		emit(observe.Sample{Name: "typhoon_transport_batch_occupancy", Kind: observe.KindGauge,
+			Help:   "Realized tuples per emitted frame (batching effectiveness).",
+			Labels: host, Value: occupancy})
+	})
+}
+
 // TopSnapshot assembles the live cluster table: per-switch frame counters
 // and the controller's cached per-worker statistics.
 func (c *Cluster) TopSnapshot() observe.TopSnapshot {
@@ -150,6 +183,7 @@ func (c *Cluster) ObserveHandler() http.Handler {
 		Rescale:      rescaleHandler,
 		ControlPlane: controlPlaneHandler,
 		Qos:          qosHandler,
+		Batch:        http.HandlerFunc(c.serveBatch),
 		Scenario:     http.HandlerFunc(c.serveScenario),
 		EnablePprof:  true,
 	})

@@ -71,6 +71,10 @@ type ServerOptions struct {
 	// rate classes and meter/queue statistics, POST reassigns a topology's
 	// class and configured rate).
 	Qos http.Handler
+	// Batch, when non-nil, is mounted at /api/batch (GET reports batching
+	// defaults and realized per-host occupancy, POST retunes batch size
+	// and flush deadline cluster-wide).
+	Batch http.Handler
 	// Scenario, when non-nil, is mounted at /api/scenario (POST runs a
 	// declarative scenario spec and returns its report).
 	Scenario http.Handler
@@ -105,6 +109,7 @@ type APIError struct {
 //	/api/v1/rescale          managed stable rescale (POST topo/node/parallelism)
 //	/api/v1/controlplane     controller registrations and switch mastership
 //	/api/v1/qos              rate classes and meter/queue stats (GET), class/rate set (POST)
+//	/api/v1/batch            batching defaults and occupancy (GET), size/deadline set (POST)
 //	/api/v1/scenario         declarative scenario run (POST spec, returns report)
 //	/debug/pprof/*           standard Go profiling endpoints
 //
@@ -152,6 +157,9 @@ func Handler(o ServerOptions) http.Handler {
 	}
 	if o.Qos != nil {
 		route("qos", o.Qos)
+	}
+	if o.Batch != nil {
+		route("batch", o.Batch)
 	}
 	if o.Scenario != nil {
 		route("scenario", o.Scenario)

@@ -101,6 +101,46 @@ func appendHeader(buf []byte, dst, src Addr, flags byte) []byte {
 	return buf
 }
 
+// TupleCount reports how many tuples a raw frame carries without decoding
+// any of them: a multiplexed frame is walked by its length prefixes, a
+// segment frame counts as 1 (one fragment of one tuple), and a trace annex
+// is skipped. Malformed frames report 0. The trace path uses it to record
+// one hop per batch frame annotated with the batch's population.
+func TupleCount(raw []byte) int {
+	if len(raw) < HeaderLen {
+		return 0
+	}
+	flags := raw[14]
+	body := raw[HeaderLen:]
+	if flags&flagTraced != 0 {
+		if len(body) < 2 {
+			return 0
+		}
+		n := int(binary.LittleEndian.Uint16(body))
+		if n > len(body)-2 {
+			return 0
+		}
+		body = body[2+n:]
+	}
+	if flags&flagKindMask == flagSegment {
+		return 1
+	}
+	count := 0
+	for len(body) > 0 {
+		if len(body) < 4 {
+			return 0
+		}
+		n := int(binary.LittleEndian.Uint32(body))
+		body = body[4:]
+		if n > len(body) {
+			return 0
+		}
+		body = body[n:]
+		count++
+	}
+	return count
+}
+
 // PeekAddrs extracts the destination and source addresses without a full
 // decode; the switch data path matches on these fields only.
 func PeekAddrs(raw []byte) (dst, src Addr, ok bool) {

@@ -33,6 +33,12 @@ type Packetizer struct {
 	// flushGen counts FlushAll calls, the idle-eviction clock.
 	flushGen uint64
 
+	// lastDst/lastStage memoize the most recent destination's stage. Real
+	// senders emit runs of tuples toward the same downstream task (a batch
+	// routed by key or round-robin), so the common Add skips the map lookup.
+	lastDst   Addr
+	lastStage *stage
+
 	// ready is the reusable container returned by Add and FlushAll.
 	ready [][]byte
 }
@@ -87,10 +93,14 @@ func (p *Packetizer) Add(dst Addr, encoded []byte) [][]byte {
 		p.flushDst(dst)
 		return p.segment(dst, encoded)
 	}
-	st := p.staged[dst]
-	if st == nil {
-		st = &stage{}
-		p.staged[dst] = st
+	st := p.lastStage
+	if st == nil || p.lastDst != dst {
+		st = p.staged[dst]
+		if st == nil {
+			st = &stage{}
+			p.staged[dst] = st
+		}
+		p.lastDst, p.lastStage = dst, st
 	}
 	st.lastUsed = p.flushGen
 	if st.payloadLen()+need > p.maxPayload {
@@ -124,6 +134,9 @@ func (p *Packetizer) FlushAll() [][]byte {
 				// Unreachable today (buf implies count > 0), but eviction
 				// must never strand a pooled buffer.
 				PutFrameBuf(st.buf)
+			}
+			if st == p.lastStage {
+				p.lastStage = nil
 			}
 			delete(p.staged, dst)
 		}

@@ -20,7 +20,8 @@ type HopKind uint8
 // Hop kinds, in the order they typically appear in a trace.
 const (
 	// HopEmit is recorded by the sending worker's I/O layer when the frame
-	// leaves the packetizer. Actor is the worker ID, Detail the app ID.
+	// leaves the packetizer — once per batch frame, not per tuple. Actor is
+	// the worker ID, Detail the frame's tuple count (TupleCount).
 	HopEmit HopKind = iota + 1
 	// HopSwitchIn is recorded at switch ingress. Actor is the datapath ID,
 	// Detail the ingress port number.
@@ -41,8 +42,8 @@ const (
 	// controller (PACKET_IN). Actor is the datapath ID.
 	HopController
 	// HopDequeue is recorded by the receiving worker's I/O layer when the
-	// frame is read back out of its switch port. Actor is the worker ID,
-	// Detail the app ID.
+	// frame is read back out of its switch port — once per batch frame.
+	// Actor is the worker ID, Detail the frame's tuple count.
 	HopDequeue
 )
 
@@ -75,7 +76,8 @@ type TraceHop struct {
 	// Actor is the element that recorded the hop: a worker ID for
 	// emit/dequeue hops, a datapath ID for switch hops.
 	Actor uint64 `json:"actor"`
-	// Detail is stage-specific: port number, rule priority, or app ID.
+	// Detail is stage-specific: port number, rule priority, or the batch
+	// frame's tuple count for emit/dequeue hops.
 	Detail uint32 `json:"detail"`
 	// At is the hop's wall-clock time in Unix nanoseconds.
 	At int64 `json:"at"`

@@ -1,0 +1,92 @@
+package packet
+
+import "testing"
+
+func TestTupleCountMultiplexed(t *testing.T) {
+	dst, src := WorkerAddr(1, 2), WorkerAddr(1, 1)
+	for _, n := range []int{0, 1, 3, 100} {
+		encoded := make([][]byte, n)
+		for i := range encoded {
+			encoded[i] = []byte{1, 2, 3, byte(i)}
+		}
+		raw := EncodeTuples(dst, src, encoded)
+		if got := TupleCount(raw); got != n {
+			t.Fatalf("TupleCount = %d, want %d", got, n)
+		}
+	}
+}
+
+func TestTupleCountZeroTupleFrameDecodes(t *testing.T) {
+	// A header-only tuples frame is legal on the wire: zero tuples, no
+	// error, nothing delivered.
+	raw := EncodeTuples(WorkerAddr(1, 2), WorkerAddr(1, 1), nil)
+	if got := TupleCount(raw); got != 0 {
+		t.Fatalf("TupleCount = %d, want 0", got)
+	}
+	d := NewDepacketizer()
+	ins, err := d.Feed(raw)
+	if err != nil || len(ins) != 0 {
+		t.Fatalf("Feed of zero-tuple frame: %d tuples, err %v", len(ins), err)
+	}
+}
+
+func TestTupleCountTraced(t *testing.T) {
+	raw := EncodeTuples(WorkerAddr(1, 2), WorkerAddr(1, 1), [][]byte{{9}, {8}})
+	traced := WithTrace(raw, TraceAnnex{ID: 42, Hops: []TraceHop{{Kind: HopEmit, Actor: 1, Detail: 2}}})
+	if got := TupleCount(traced); got != 2 {
+		t.Fatalf("TupleCount of traced frame = %d, want 2", got)
+	}
+}
+
+func TestTupleCountSegment(t *testing.T) {
+	raw := EncodeSegment(WorkerAddr(1, 2), WorkerAddr(1, 1), Segment{ID: 1, Index: 0, Count: 3, Data: []byte{1, 2}})
+	if got := TupleCount(raw); got != 1 {
+		t.Fatalf("TupleCount of segment frame = %d, want 1", got)
+	}
+}
+
+func TestTupleCountMalformed(t *testing.T) {
+	good := EncodeTuples(WorkerAddr(1, 2), WorkerAddr(1, 1), [][]byte{{1, 2, 3, 4, 5}})
+	for _, raw := range [][]byte{
+		nil,
+		good[:HeaderLen-1], // shorter than a header
+		good[:len(good)-2], // cut mid-tuple
+		good[:HeaderLen+2], // cut mid-length-prefix
+	} {
+		if got := TupleCount(raw); got != 0 {
+			t.Fatalf("TupleCount of malformed frame = %d, want 0", got)
+		}
+	}
+}
+
+// TestPacketizerStageCacheEviction pins the memoized-stage invalidation:
+// after idle eviction removes the cached destination, the next Add must not
+// resurrect the stale stage pointer.
+func TestPacketizerStageCacheEviction(t *testing.T) {
+	src, dst := WorkerAddr(1, 1), WorkerAddr(1, 2)
+	p := NewPacketizer(src, 0)
+	p.Add(dst, []byte{1, 2, 3})
+	for _, fr := range p.FlushAll() {
+		PutFrameBuf(fr)
+	}
+	for i := 0; i < stageIdleFlushes+2; i++ {
+		for _, fr := range p.FlushAll() {
+			PutFrameBuf(fr)
+		}
+	}
+	if p.Stages() != 0 {
+		t.Fatalf("idle stage not evicted: %d stages", p.Stages())
+	}
+	p.Add(dst, []byte{4, 5, 6})
+	if p.Pending() != 1 {
+		t.Fatalf("pending = %d after post-eviction Add, want 1", p.Pending())
+	}
+	frames := p.FlushAll()
+	if len(frames) != 1 {
+		t.Fatalf("flushed %d frames, want 1", len(frames))
+	}
+	if got := TupleCount(frames[0]); got != 1 {
+		t.Fatalf("flushed frame carries %d tuples, want 1", got)
+	}
+	PutFrameBuf(frames[0])
+}

@@ -300,6 +300,9 @@ func (t *TCPTransport) readLoop(c net.Conn) {
 	}()
 	br := bufio.NewReaderSize(c, 64<<10)
 	var hdr [4]byte
+	// One arena per connection: decoded tuples take ownership of their
+	// regions, so the reader itself stays near allocation-free.
+	var arena tuple.Arena
 	for {
 		select {
 		case <-t.closed:
@@ -318,7 +321,7 @@ func (t *TCPTransport) readLoop(c net.Conn) {
 			return
 		}
 		// Deserialization happens here, once per received copy.
-		tp, _, err := tuple.Decode(body[8:])
+		tp, _, err := tuple.DecodeInto(body[8:], &arena)
 		if err != nil {
 			t.dropped.Add(1)
 			continue

@@ -342,3 +342,96 @@ func TestEgressQueueDefaultClassAndClamp(t *testing.T) {
 		t.Fatalf("out-of-range class not clamped to last: %+v", qs)
 	}
 }
+
+// TestDRROversizedBatchFrames pins the deficit accounting for multi-tuple
+// batch frames that exceed a class quantum: an 8 KiB frame is four times the
+// 2 KiB quantum unit, so a weight-1 class owes several rounds of credit per
+// frame. The discipline must still honor the byte-weighted share and must
+// never starve a class behind another class's oversized batch frames.
+func TestDRROversizedBatchFrames(t *testing.T) {
+	// classFrame tags byte 0 with the class so drained frames can be
+	// attributed; the rest stands in for packed tuple records.
+	classFrame := func(class byte, size int) []byte {
+		fr := make([]byte, size)
+		fr[0] = class
+		return fr
+	}
+
+	t.Run("uniform-oversized", func(t *testing.T) {
+		q := newQdisc([]QueueClass{{Name: "heavy", Weight: 4}, {Name: "light", Weight: 1}}, 256)
+		const perClass = 60
+		for i := 0; i < perClass; i++ {
+			if !q.enqueue(0, classFrame(0, 8<<10)) || !q.enqueue(1, classFrame(1, 8<<10)) {
+				t.Fatal("enqueue refused with ring capacity to spare")
+			}
+		}
+		// Drain 50 frames in small reads: with equal 8 KiB frames the 4:1
+		// byte weights become a 4:1 frame split. Both frame sizes exceed the
+		// light class's 2 KiB quantum, so it goes several rounds in debt per
+		// frame — but must keep earning credit rather than starve.
+		var heavyN, lightN int
+		for heavyN+lightN < 50 {
+			frames, err := q.readBatch(nil, 7, time.Second)
+			if err != nil || len(frames) == 0 {
+				t.Fatalf("drain stalled at %d+%d (err=%v)", heavyN, lightN, err)
+			}
+			for _, fr := range frames {
+				if fr[0] == 0 {
+					heavyN++
+				} else {
+					lightN++
+				}
+			}
+		}
+		if lightN == 0 {
+			t.Fatal("light class starved behind oversized batch frames")
+		}
+		if heavyN < 2*lightN {
+			t.Fatalf("weights not honored: heavy=%d light=%d, want ~4:1", heavyN, lightN)
+		}
+	})
+
+	t.Run("byte-accounted-mixed-sizes", func(t *testing.T) {
+		// Heavy sends 8 KiB batch frames, light sends 512 B singles. Byte
+		// fairness at 4:1 weights means the FRAME split inverts to ~1:4 —
+		// one oversized batch frame buys the other class sixteen small
+		// frames of catch-up credit, of which it can spend four per round.
+		q := newQdisc([]QueueClass{{Name: "heavy", Weight: 4}, {Name: "light", Weight: 1}}, 1024)
+		for i := 0; i < 40; i++ {
+			if !q.enqueue(0, classFrame(0, 8<<10)) {
+				t.Fatal("heavy enqueue refused")
+			}
+		}
+		for i := 0; i < 640; i++ {
+			if !q.enqueue(1, classFrame(1, 512)) {
+				t.Fatal("light enqueue refused")
+			}
+		}
+		var heavyN, lightN, heavyBytes, lightBytes int
+		for heavyN+lightN < 100 {
+			frames, err := q.readBatch(nil, 13, time.Second)
+			if err != nil || len(frames) == 0 {
+				t.Fatalf("drain stalled at %d+%d (err=%v)", heavyN, lightN, err)
+			}
+			for _, fr := range frames {
+				if fr[0] == 0 {
+					heavyN++
+					heavyBytes += len(fr)
+				} else {
+					lightN++
+					lightBytes += len(fr)
+				}
+			}
+		}
+		if heavyN == 0 || lightN == 0 {
+			t.Fatalf("a class starved: heavy=%d light=%d", heavyN, lightN)
+		}
+		// Byte split should track weights (4:1), not frame counts.
+		if heavyBytes < 2*lightBytes {
+			t.Fatalf("byte accounting lost: heavy=%dB light=%dB, want ~4:1", heavyBytes, lightBytes)
+		}
+		if lightN < heavyN {
+			t.Fatalf("small frames should outnumber oversized ones: heavy=%d light=%d", heavyN, lightN)
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package tuple
+
+import "unsafe"
+
+// Arena is a bump allocator backing the zero-alloc decode path
+// (DecodeInto/DecodeBatch). Decoding a tuple needs two kinds of memory —
+// a []Value slice for its fields and byte storage for string/bytes
+// payloads — and the stock Decode pays one heap allocation for each.
+// The arena hands both out of large pre-allocated blocks instead, so a
+// receive loop decoding millions of tuples amortizes its allocations
+// down to one block every few thousand tuples.
+//
+// Ownership of every handed-out region transfers to the decoded tuple:
+// the arena never recycles or rewrites memory it has given away, it only
+// drops its reference and lets the GC reclaim the block when the tuples
+// referencing it die. That makes arena-decoded tuples indistinguishable
+// from Decode's — safe to retain forever, use as map keys, or hand to
+// other goroutines — which matters because downstream components do all
+// three (a keyed bolt's state map keeps field strings alive
+// indefinitely). The cost is proportional only to live tuples, exactly
+// like individual allocations, minus the per-tuple overhead.
+//
+// An Arena is not safe for concurrent use; each receive loop owns one.
+// The zero value is ready to use.
+type Arena struct {
+	bytes []byte
+	vals  []Value
+}
+
+// Block sizing: chunks big enough to amortize allocation over thousands
+// of small tuples, small enough that a dying batch doesn't pin megabytes.
+const (
+	arenaByteChunk = 16 << 10
+	arenaValueSlab = 1 << 10
+)
+
+// grabBytes returns a fresh, zeroed, exactly-n-byte slice carved from the
+// arena. The caller owns it; the arena will never touch those bytes again.
+func (a *Arena) grabBytes(n int) []byte {
+	if n > len(a.bytes) {
+		c := arenaByteChunk
+		if n > c {
+			c = n
+		}
+		a.bytes = make([]byte, c)
+	}
+	b := a.bytes[:n:n]
+	a.bytes = a.bytes[n:]
+	return b
+}
+
+// grabValues returns an empty Value slice with capacity n carved from the
+// arena. The full-slice expression caps it so an append past n can never
+// step on a later grab.
+func (a *Arena) grabValues(n int) []Value {
+	if n > len(a.vals) {
+		c := arenaValueSlab
+		if n > c {
+			c = n
+		}
+		a.vals = make([]Value, c)
+	}
+	v := a.vals[:0:n]
+	a.vals = a.vals[n:]
+	return v
+}
+
+// internBytes copies src into arena storage and returns the copy.
+func (a *Arena) internBytes(src []byte) []byte {
+	b := a.grabBytes(len(src))
+	copy(b, src)
+	return b
+}
+
+// internString copies src into arena storage and returns it as a string
+// without a second allocation. This is the strings.Builder technique: the
+// backing bytes are written exactly once (by the copy here) and the arena
+// has relinquished them, so the string is as immutable as any other.
+func (a *Arena) internString(src []byte) string {
+	if len(src) == 0 {
+		return ""
+	}
+	b := a.internBytes(src)
+	return unsafe.String(&b[0], len(b))
+}

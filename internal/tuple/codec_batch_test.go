@@ -1,0 +1,273 @@
+package tuple
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// encodeRun builds the multi-tuple frame payload layout: a run of
+// uint32-length-prefixed encoded tuples.
+func encodeRun(tuples ...Tuple) []byte {
+	var run []byte
+	for _, t := range tuples {
+		enc := Encode(t)
+		run = binary.LittleEndian.AppendUint32(run, uint32(len(enc)))
+		run = append(run, enc...)
+	}
+	return run
+}
+
+func sampleTuples() []Tuple {
+	return []Tuple{
+		New(String("the quick brown fox"), Int(42), Float(3.14)),
+		OnStream(7, Bool(true), Nil(), Bytes([]byte{0xde, 0xad, 0xbe, 0xef})),
+		{Stream: 3, ID: 99, Root: 7, Values: []Value{String(""), Int(-1)}},
+		New(), // zero-field tuple
+		New(String(strings.Repeat("x", 5000))),
+	}
+}
+
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	var a Arena
+	for i, in := range sampleTuples() {
+		enc := Encode(in)
+		want, wn, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("tuple %d: Decode: %v", i, err)
+		}
+		got, gn, err := DecodeInto(enc, &a)
+		if err != nil {
+			t.Fatalf("tuple %d: DecodeInto: %v", i, err)
+		}
+		if gn != wn {
+			t.Fatalf("tuple %d: consumed %d bytes, Decode consumed %d", i, gn, wn)
+		}
+		if !got.Equal(want) || !got.Equal(in) {
+			t.Fatalf("tuple %d: DecodeInto = %v, want %v", i, got, in)
+		}
+	}
+}
+
+func TestDecodeBatchRoundTrip(t *testing.T) {
+	var a Arena
+	in := sampleTuples()
+	out, err := DecodeBatch(encodeRun(in...), nil, &a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d tuples, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if !out[i].Equal(in[i]) {
+			t.Fatalf("tuple %d: got %v, want %v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestDecodeBatchZeroTuples(t *testing.T) {
+	var a Arena
+	out, err := DecodeBatch(nil, nil, &a)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty run: got %d tuples, err %v; want 0, nil", len(out), err)
+	}
+}
+
+func TestDecodeBatchReusesDst(t *testing.T) {
+	var a Arena
+	dst := make([]Tuple, 0, 16)
+	out, err := DecodeBatch(encodeRun(New(Int(1)), New(Int(2))), dst, &a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &dst[:1][0] {
+		t.Fatal("DecodeBatch did not append into the caller's slice")
+	}
+}
+
+// TestDecodeBatchTruncated covers a batch cut off mid-tuple at every
+// possible byte boundary: each prefix must fail cleanly (never panic, never
+// fabricate values) while tuples wholly before the cut still decode.
+func TestDecodeBatchTruncated(t *testing.T) {
+	full := encodeRun(New(String("alpha"), Int(1)), New(String("beta"), Int(2)))
+	for cut := 0; cut < len(full); cut++ {
+		var a Arena
+		out, err := DecodeBatch(full[:cut], nil, &a)
+		if cut == 0 {
+			if err != nil || len(out) != 0 {
+				t.Fatalf("cut=0: got %d tuples, err %v", len(out), err)
+			}
+			continue
+		}
+		if err == nil {
+			// Only legal if the cut landed exactly on a record boundary.
+			first := 4 + int(binary.LittleEndian.Uint32(full))
+			if cut != first {
+				t.Fatalf("cut=%d: expected error, got %d tuples", cut, len(out))
+			}
+			continue
+		}
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadKind) {
+			t.Fatalf("cut=%d: unexpected error %v", cut, err)
+		}
+	}
+}
+
+func TestDecodeBatchLengthMismatch(t *testing.T) {
+	enc := Encode(New(Int(7)))
+	// A record whose prefix claims one extra byte beyond the tuple.
+	run := binary.LittleEndian.AppendUint32(nil, uint32(len(enc)+1))
+	run = append(run, enc...)
+	run = append(run, 0xEE)
+	var a Arena
+	if _, err := DecodeBatch(run, nil, &a); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("got %v, want ErrLengthMismatch", err)
+	}
+}
+
+// TestDecodeIntoBogusValueCount pins the slab-reservation cap: a header
+// claiming 65535 values over a tiny buffer must fail with ErrTruncated
+// without reserving a 64Ki-value slab first.
+func TestDecodeIntoBogusValueCount(t *testing.T) {
+	enc := Encode(New(Int(1)))
+	binary.LittleEndian.PutUint16(enc[18:], 0xFFFF)
+	var a Arena
+	if _, _, err := DecodeInto(enc, &a); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("got %v, want ErrTruncated", err)
+	}
+	if cap(a.vals) > arenaValueSlab {
+		t.Fatalf("arena grew a %d-value slab for a %d-byte buffer", cap(a.vals), len(enc))
+	}
+}
+
+// TestArenaOwnershipTransfer is the retention-safety contract: tuples
+// decoded through a shared arena stay intact forever, even as the arena
+// moves on to new chunks and the decode buffer is rewritten — their strings
+// are usable as long-lived map keys exactly like Decode's.
+func TestArenaOwnershipTransfer(t *testing.T) {
+	var a Arena
+	counts := make(map[string]int)
+	var kept []Tuple
+	buf := make([]byte, 0, 256)
+	for i := 0; i < 10_000; i++ {
+		in := New(String(fmt.Sprintf("key-%04d", i%257)), Int(int64(i)), Bytes([]byte{byte(i)}))
+		buf = AppendEncode(buf[:0], in)
+		got, _, err := DecodeInto(buf, &a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[got.Field(0).AsString()]++
+		if i%100 == 0 {
+			kept = append(kept, got)
+		}
+		// Scribble over the decode buffer: arena copies must not alias it.
+		for j := range buf {
+			buf[j] = 0xAA
+		}
+	}
+	if len(counts) != 257 {
+		t.Fatalf("map holds %d keys, want 257", len(counts))
+	}
+	for i, k := range kept {
+		n := i * 100
+		wantKey := fmt.Sprintf("key-%04d", n%257)
+		if k.Field(0).AsString() != wantKey || k.Field(1).AsInt() != int64(n) {
+			t.Fatalf("retained tuple %d corrupted: %v", i, k)
+		}
+		if !bytes.Equal(k.Field(2).AsBytes(), []byte{byte(n)}) {
+			t.Fatalf("retained tuple %d bytes corrupted: %v", i, k)
+		}
+	}
+}
+
+// TestDecodeIntoAmortizedAllocs pins the tentpole property: decoding
+// through an arena costs ~0 allocations per tuple (one chunk per few
+// thousand tuples), versus 2 for the stock Decode.
+func TestDecodeIntoAmortizedAllocs(t *testing.T) {
+	var a Arena
+	enc := Encode(New(String("the quick brown fox"), Int(42), Float(3.14)))
+	allocs := testing.AllocsPerRun(10_000, func() {
+		if _, _, err := DecodeInto(enc, &a); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0.05 {
+		t.Fatalf("DecodeInto allocates %.3f/op amortized, want ~0", allocs)
+	}
+}
+
+// FuzzDecodeBatch cross-checks the batch decoder against the stock
+// per-tuple decoder and pins the canonical round trip: whatever a run
+// decodes to must re-encode and decode back to equal tuples.
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeRun(sampleTuples()...))
+	f.Add(encodeRun(New(Int(1))))
+	f.Add([]byte{3, 0, 0, 0, 1, 2})       // truncated record
+	f.Add([]byte{0, 0, 0, 0})             // zero-length record
+	f.Add(append(encodeRun(New()), 9, 9)) // trailing garbage
+	f.Fuzz(func(t *testing.T, run []byte) {
+		var a Arena
+		got, err := DecodeBatch(run, nil, &a)
+
+		// Reference walk: the same framing loop over the stock decoder.
+		var want []Tuple
+		var wantErr error
+		rest := run
+		for len(rest) > 0 {
+			if len(rest) < 4 {
+				wantErr = ErrTruncated
+				break
+			}
+			n := int(binary.LittleEndian.Uint32(rest))
+			rest = rest[4:]
+			if n > len(rest) {
+				wantErr = ErrTruncated
+				break
+			}
+			tp, used, derr := Decode(rest[:n])
+			if derr != nil {
+				wantErr = derr
+				break
+			}
+			if used != n {
+				wantErr = ErrLengthMismatch
+				break
+			}
+			want = append(want, tp)
+			rest = rest[n:]
+		}
+		if (err == nil) != (wantErr == nil) {
+			t.Fatalf("DecodeBatch err %v, reference err %v", err, wantErr)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("DecodeBatch yielded %d tuples, reference %d", len(got), len(want))
+		}
+		for i := range want {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("tuple %d: batch %v, reference %v", i, got[i], want[i])
+			}
+		}
+		if err != nil {
+			return
+		}
+		// Canonical round trip over the successful decode.
+		var b Arena
+		again, err := DecodeBatch(encodeRun(got...), nil, &b)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if len(again) != len(got) {
+			t.Fatalf("canonical round trip yielded %d tuples, want %d", len(again), len(got))
+		}
+		for i := range got {
+			if !again[i].Equal(got[i]) {
+				t.Fatalf("tuple %d not canonical: %v vs %v", i, again[i], got[i])
+			}
+		}
+	})
+}

@@ -251,3 +251,7 @@ var ErrTruncated = errors.New("tuple: truncated encoding")
 
 // ErrBadKind is returned when decoding meets an unknown value kind.
 var ErrBadKind = errors.New("tuple: unknown value kind")
+
+// ErrLengthMismatch is returned by DecodeBatch when a record's length
+// prefix disagrees with the size of the tuple encoded inside it.
+var ErrLengthMismatch = errors.New("tuple: batch record length mismatch")

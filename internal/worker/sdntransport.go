@@ -30,14 +30,31 @@ type SDNTransport struct {
 	batch      atomic.Int64
 	sinceFlush int
 
+	// flushDeadline bounds how long staged tuples may wait for the batch
+	// threshold (nanoseconds; 0 disables). stagedAt is the coarse-clock
+	// stamp of the oldest tuple staged since the last flush, touched only
+	// by the worker goroutine; the deadline itself is atomic so control
+	// tuples can retune it live.
+	flushDeadline atomic.Int64
+	stagedAt      int64
+
 	// encScratch and rxBatch are per-transport reusable buffers for the
 	// zero-alloc fast path. Send/Recv run on the worker goroutine only.
 	encScratch []byte
 	rxBatch    [][]byte
 
-	// inQueue holds decoded tuples not yet handed to the worker. Only the
-	// worker goroutine touches the slice; inLen mirrors its length so
+	// arena supplies the receive path's tuple storage (values + string
+	// bytes); ownership of decoded regions transfers to the tuples, so
+	// retained tuples stay valid forever while steady-state decode costs
+	// ~0 allocations per tuple.
+	arena tuple.Arena
+
+	// inBuf is the reusable decode buffer; inQueue is its not-yet-delivered
+	// window. Recv hands out sub-slices of inBuf directly (valid until the
+	// next Recv), so delivery itself allocates nothing. Only the worker
+	// goroutine touches the slices; inLen mirrors the queue length so
 	// InQueueLen can be read from other goroutines (stats, auto-scaler).
+	inBuf   []tuple.Tuple
 	inQueue []tuple.Tuple
 	inLen   atomic.Int64
 
@@ -66,6 +83,11 @@ type SDNTransportConfig struct {
 	// BatchSize is the number of tuples accumulated before frames are
 	// flushed to the switch (the configurable batching knob of Fig 8).
 	BatchSize int
+	// FlushDeadline bounds how long staged tuples may wait for the batch
+	// threshold, so latency stays capped when the offered rate is low.
+	// Zero selects DefaultFlushDeadline; negative disables the deadline
+	// (flushes then happen only on the threshold and explicit Flush).
+	FlushDeadline time.Duration
 	// MaxPayload caps frame payload size.
 	MaxPayload int
 	// Sampler, when set, selects emitted frames to carry a trace annex.
@@ -78,6 +100,11 @@ type SDNTransportConfig struct {
 // DefaultBatchSize matches the batch size used by most of the paper's SDN
 // control-plane experiments (§6.2).
 const DefaultBatchSize = 100
+
+// DefaultFlushDeadline is the default bound on how long a staged tuple may
+// wait for its batch to fill. It matches the worker loop's default flush
+// interval and is comfortably above the coarse clock's 500µs granularity.
+const DefaultFlushDeadline = time.Millisecond
 
 // NewSDNTransport attaches a transport for worker self to a switch port.
 func NewSDNTransport(app uint16, self topology.WorkerID, port *switchfabric.Port, cfg SDNTransportConfig) *SDNTransport {
@@ -94,6 +121,12 @@ func NewSDNTransport(app uint16, self topology.WorkerID, port *switchfabric.Port
 		sink:    cfg.TraceSink,
 	}
 	t.batch.Store(int64(cfg.BatchSize))
+	switch {
+	case cfg.FlushDeadline == 0:
+		t.flushDeadline.Store(int64(DefaultFlushDeadline))
+	case cfg.FlushDeadline > 0:
+		t.flushDeadline.Store(int64(cfg.FlushDeadline))
+	}
 	return t
 }
 
@@ -123,6 +156,11 @@ func (t *SDNTransport) Send(d Destination, in tuple.Tuple) error {
 	if int64(t.sinceFlush) >= t.batch.Load() {
 		return t.Flush()
 	}
+	if t.stagedAt == 0 {
+		t.stagedAt = clock.CoarseUnixNano()
+	} else if dl := t.flushDeadline.Load(); dl > 0 && clock.CoarseUnixNano()-t.stagedAt >= dl {
+		return t.Flush()
+	}
 	return nil
 }
 
@@ -141,8 +179,22 @@ func (t *SDNTransport) SendControl(in tuple.Tuple) error {
 // Flush implements Transport.
 func (t *SDNTransport) Flush() error {
 	t.sinceFlush = 0
+	t.stagedAt = 0
 	t.writeFrames(t.pktz.FlushAll())
 	return nil
+}
+
+// maybeDeadlineFlush flushes staged tuples whose bounded wait has expired.
+// It runs on the worker goroutine (Recv is called every loop iteration), so
+// the deadline fires even when no further Send arrives — the low-rate case
+// the bound exists for.
+func (t *SDNTransport) maybeDeadlineFlush() {
+	if t.stagedAt == 0 {
+		return
+	}
+	if dl := t.flushDeadline.Load(); dl > 0 && clock.CoarseUnixNano()-t.stagedAt >= dl {
+		_ = t.Flush()
+	}
 }
 
 // writeFrameWait bounds the backpressure a full switch ingress ring exerts
@@ -159,7 +211,7 @@ func (t *SDNTransport) writeFrames(frames [][]byte) {
 		if t.sampler != nil {
 			if id, ok := t.sampler.Sample(); ok {
 				traced := packet.WithTrace(f, packet.TraceAnnex{ID: id, Hops: []packet.TraceHop{{
-					Kind: packet.HopEmit, Actor: uint64(t.self), Detail: uint32(t.app),
+					Kind: packet.HopEmit, Actor: uint64(t.self), Detail: uint32(packet.TupleCount(f)),
 					At: clock.CoarseUnixNano(),
 				}}})
 				packet.PutFrameBuf(f) // WithTrace copied; recycle the original
@@ -176,8 +228,13 @@ func (t *SDNTransport) writeFrames(frames [][]byte) {
 }
 
 // Recv implements Transport: frames are read from the switch in batches,
-// depacketized, and deserialized into tuples.
+// depacketized, and deserialized into tuples through the transport's arena
+// (~0 allocations per tuple in steady state). The returned slice is a window
+// into the transport's reusable decode buffer and is only valid until the
+// next Recv call; the tuples themselves own their storage and may be
+// retained indefinitely.
 func (t *SDNTransport) Recv(max int, wait time.Duration) ([]tuple.Tuple, error) {
+	t.maybeDeadlineFlush()
 	if max <= 0 {
 		max = 256
 	}
@@ -187,10 +244,11 @@ func (t *SDNTransport) Recv(max int, wait time.Duration) ([]tuple.Tuple, error) 
 			return nil, errTransportClosed
 		}
 		t.rxBatch = frames
+		t.inBuf = t.inBuf[:0]
 		for _, fr := range frames {
 			if t.sink != nil && packet.Traced(fr) {
 				done := packet.AppendTraceHop(fr, packet.TraceHop{
-					Kind: packet.HopDequeue, Actor: uint64(t.self), Detail: uint32(t.app),
+					Kind: packet.HopDequeue, Actor: uint64(t.self), Detail: uint32(packet.TupleCount(fr)),
 					At: clock.CoarseUnixNano(),
 				})
 				if annex, ok := packet.ExtractTrace(done); ok {
@@ -204,18 +262,19 @@ func (t *SDNTransport) Recv(max int, wait time.Duration) ([]tuple.Tuple, error) 
 				continue
 			}
 			for _, in := range ins {
-				tp, _, err := tuple.Decode(in.Data)
+				tp, _, err := tuple.DecodeInto(in.Data, &t.arena)
 				if err != nil {
 					t.dropped.Add(1)
 					continue
 				}
-				t.inQueue = append(t.inQueue, tp)
+				t.inBuf = append(t.inBuf, tp)
 			}
 			// The unique-ownership protocol makes this transport the sole
-			// owner of every frame it dequeues, and tuple.Decode copied all
-			// values out, so the buffer can re-enter the pool here.
+			// owner of every frame it dequeues, and DecodeInto copied all
+			// values into the arena, so the buffer can re-enter the pool.
 			packet.PutFrameBuf(fr)
 		}
+		t.inQueue = t.inBuf
 		t.inLen.Store(int64(len(t.inQueue)))
 	}
 	n := len(t.inQueue)
@@ -225,8 +284,7 @@ func (t *SDNTransport) Recv(max int, wait time.Duration) ([]tuple.Tuple, error) 
 	if n > max {
 		n = max
 	}
-	out := make([]tuple.Tuple, n)
-	copy(out, t.inQueue[:n])
+	out := t.inQueue[:n]
 	t.inQueue = t.inQueue[n:]
 	t.inLen.Store(int64(len(t.inQueue)))
 	t.tuplesReceived.Add(uint64(n))
@@ -234,7 +292,7 @@ func (t *SDNTransport) Recv(max int, wait time.Duration) ([]tuple.Tuple, error) 
 }
 
 // Reconfigure implements Transport: BATCH_SIZE tuples adjust the egress
-// batch threshold; other kinds are ignored.
+// batch threshold and flush deadline; other kinds are ignored.
 func (t *SDNTransport) Reconfigure(in tuple.Tuple) error {
 	kind, err := control.DecodeKind(in)
 	if err != nil || kind != control.KindBatchSize {
@@ -245,6 +303,9 @@ func (t *SDNTransport) Reconfigure(in tuple.Tuple) error {
 		return err
 	}
 	t.SetBatchSize(b.Size)
+	if b.FlushDeadline != 0 {
+		t.SetFlushDeadline(b.FlushDeadline)
+	}
 	return nil
 }
 
@@ -258,6 +319,23 @@ func (t *SDNTransport) SetBatchSize(n int) {
 
 // BatchSize returns the current batch threshold.
 func (t *SDNTransport) BatchSize() int { return int(t.batch.Load()) }
+
+// SetFlushDeadline adjusts the bounded staging wait. Negative disables the
+// deadline; zero is ignored (the Reconfigure wire format uses zero for
+// "unchanged").
+func (t *SDNTransport) SetFlushDeadline(d time.Duration) {
+	switch {
+	case d > 0:
+		t.flushDeadline.Store(int64(d))
+	case d < 0:
+		t.flushDeadline.Store(0)
+	}
+}
+
+// FlushDeadline returns the current staging deadline (0 when disabled).
+func (t *SDNTransport) FlushDeadline() time.Duration {
+	return time.Duration(t.flushDeadline.Load())
+}
 
 // InQueueLen implements Transport: decoded tuples awaiting dispatch plus
 // frames queued in the switch port.

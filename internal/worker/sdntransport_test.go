@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"typhoon/internal/control"
 	"typhoon/internal/openflow"
 	"typhoon/internal/packet"
 	"typhoon/internal/switchfabric"
@@ -125,6 +126,7 @@ func TestSDNTransportBroadcastSingleSerialization(t *testing.T) {
 func TestSDNTransportBatching(t *testing.T) {
 	_, src, sinks := newSwitchEnv(t, 1)
 	src.SetBatchSize(10)
+	src.SetFlushDeadline(-1) // threshold-only semantics under test
 	if src.BatchSize() != 10 {
 		t.Fatal("batch size not applied")
 	}
@@ -137,6 +139,177 @@ func TestSDNTransportBatching(t *testing.T) {
 	}
 	_ = src.Send(Destination{Workers: []topology.WorkerID{2}}, tuple.New(tuple.Int(9)))
 	recvN(t, sinks[0], 10)
+}
+
+// TestSDNTransportFlushDeadline pins the bounded staging wait: tuples that
+// never reach the batch threshold must still flush once the deadline
+// expires, driven by the Recv calls the worker loop makes every iteration.
+func TestSDNTransportFlushDeadline(t *testing.T) {
+	_, src, sinks := newSwitchEnv(t, 1)
+	src.SetBatchSize(1000) // threshold unreachable in this test
+	src.SetFlushDeadline(5 * time.Millisecond)
+	if got := src.FlushDeadline(); got != 5*time.Millisecond {
+		t.Fatalf("FlushDeadline = %v, want 5ms", got)
+	}
+	for i := 0; i < 3; i++ {
+		if err := src.Send(Destination{Workers: []topology.WorkerID{2}}, tuple.New(tuple.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No explicit Flush: drive the source's loop the way Worker.run does
+	// (Recv every iteration) and wait for the deadline to push the batch out.
+	got := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for got < 3 && time.Now().Before(deadline) {
+		if _, err := src.Recv(16, 0); err != nil {
+			t.Fatal(err)
+		}
+		out, err := sinks[0].Recv(64, 5*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got += len(out)
+	}
+	if got != 3 {
+		t.Fatalf("deadline flush delivered %d of 3 tuples", got)
+	}
+	// Negative disables; zero is the wire-format "unchanged" and is ignored.
+	src.SetFlushDeadline(-1)
+	if src.FlushDeadline() != 0 {
+		t.Fatal("negative deadline should disable")
+	}
+	src.SetFlushDeadline(0)
+	if src.FlushDeadline() != 0 {
+		t.Fatal("zero deadline should be ignored")
+	}
+}
+
+// TestSDNTransportReconfigureFlushDeadline checks the BATCH_SIZE control
+// tuple's deadline field reaches the transport without disturbing the batch
+// threshold when Size is zero.
+func TestSDNTransportReconfigureFlushDeadline(t *testing.T) {
+	_, src, _ := newSwitchEnv(t, 1)
+	src.SetBatchSize(42)
+	in := control.Encode(control.KindBatchSize, control.BatchSize{FlushDeadline: 3 * time.Millisecond})
+	if err := src.Reconfigure(in); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.FlushDeadline(); got != 3*time.Millisecond {
+		t.Fatalf("FlushDeadline = %v, want 3ms", got)
+	}
+	if src.BatchSize() != 42 {
+		t.Fatalf("BatchSize = %d, want 42 (Size 0 means unchanged)", src.BatchSize())
+	}
+}
+
+// TestSDNTransportRecvReusesSlice pins the zero-alloc delivery contract:
+// consecutive Recv calls hand out windows of the transport's reusable decode
+// buffer, while the tuples themselves stay valid after later refills.
+func TestSDNTransportRecvReusesSlice(t *testing.T) {
+	_, src, sinks := newSwitchEnv(t, 1)
+	src.SetBatchSize(100)
+	send := func(base int) {
+		for i := 0; i < 10; i++ {
+			err := src.Send(Destination{Workers: []topology.WorkerID{2}},
+				tuple.New(tuple.String("retained-payload"), tuple.Int(int64(base+i))))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		_ = src.Flush()
+	}
+	send(0)
+	out1, err := sinks[0].Recv(5, time.Second)
+	if err != nil || len(out1) != 5 {
+		t.Fatalf("first Recv: %d tuples, err %v", len(out1), err)
+	}
+	out2, err := sinks[0].Recv(5, time.Second)
+	if err != nil || len(out2) != 5 {
+		t.Fatalf("second Recv: %d tuples, err %v", len(out2), err)
+	}
+	if cap(out1) < 6 || &out1[:6][5] != &out2[0] {
+		t.Fatal("Recv did not hand out windows of one reusable buffer")
+	}
+	// Retain the first batch's strings across a refill: arena ownership
+	// transfer means later decodes must never scribble over them.
+	retained := make([]string, 0, 10)
+	for _, tp := range append(append([]tuple.Tuple{}, out1...), out2...) {
+		retained = append(retained, tp.Field(0).AsString())
+	}
+	send(10)
+	out3 := recvN(t, sinks[0], 10)
+	if out3[0].Field(1).AsInt() != 10 {
+		t.Fatalf("refill starts at %d, want 10", out3[0].Field(1).AsInt())
+	}
+	for i, s := range retained {
+		if s != "retained-payload" {
+			t.Fatalf("retained[%d] corrupted after refill: %q", i, s)
+		}
+	}
+}
+
+// TestSDNTransportMaxSizeTupleStraddle covers a tuple whose encoding exactly
+// fills one frame arriving while smaller tuples are staged: the staged frame
+// must flush first (preserving order) and the max-size tuple must ride alone
+// without being segmented.
+func TestSDNTransportMaxSizeTupleStraddle(t *testing.T) {
+	const maxPayload = 256
+	sw := switchfabric.New("h1", 1, switchfabric.Options{RingCapacity: 4096})
+	sw.Start()
+	t.Cleanup(sw.Stop)
+	srcAddr, dstAddr := packet.WorkerAddr(1, 1), packet.WorkerAddr(1, 2)
+	srcPort, err := sw.AddPort("w1", srcAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstPort, err := sw.AddPort("w2", dstAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewSDNTransport(1, 1, srcPort, SDNTransportConfig{BatchSize: 1000, MaxPayload: maxPayload})
+	sink := NewSDNTransport(1, 2, dstPort, SDNTransportConfig{BatchSize: 1})
+	if err := sw.ApplyFlowMod(openflow.FlowMod{
+		Command: openflow.FlowAdd, Priority: 100,
+		Match: openflow.Match{
+			Fields: openflow.FieldInPort | openflow.FieldDlDst | openflow.FieldEtherType,
+			InPort: srcPort.No(), DlDst: dstAddr, EtherType: packet.EtherType,
+		},
+		Actions: []openflow.Action{openflow.Output(dstPort.No())},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d := Destination{Workers: []topology.WorkerID{2}}
+	// Size the big tuple so its length-prefixed record is exactly maxPayload.
+	overhead := len(tuple.Encode(tuple.New(tuple.Int(0), tuple.Bytes(nil))))
+	pad := make([]byte, maxPayload-4-overhead)
+	big := tuple.New(tuple.Int(3), tuple.Bytes(pad))
+	if n := len(tuple.Encode(big)) + 4; n != maxPayload {
+		t.Fatalf("big tuple record is %d bytes, want exactly %d", n, maxPayload)
+	}
+	for i := 0; i < 3; i++ {
+		_ = src.Send(d, tuple.New(tuple.Int(int64(i)), tuple.Bytes(nil)))
+	}
+	if err := src.Send(d, big); err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i < 6; i++ {
+		_ = src.Send(d, tuple.New(tuple.Int(int64(i)), tuple.Bytes(nil)))
+	}
+	_ = src.Flush()
+	got := recvN(t, sink, 6)
+	for i, tp := range got {
+		if tp.Field(0).AsInt() != int64(i) {
+			t.Fatalf("got[%d] seq %d: straddling flush broke order", i, tp.Field(0).AsInt())
+		}
+	}
+	if len(got[3].Field(1).AsBytes()) != len(pad) {
+		t.Fatal("max-size tuple payload mangled")
+	}
+	// Frame 1: the three staged smalls, flushed to make room. Frame 2: the
+	// max-size tuple alone. Frame 3: the trailing smalls. No segmentation.
+	if f := src.Stats().FramesSent; f != 3 {
+		t.Fatalf("frames sent = %d, want 3 (staged flush + full frame + tail)", f)
+	}
 }
 
 func TestSDNTransportControlPath(t *testing.T) {

@@ -29,8 +29,10 @@ type Transport interface {
 	// transports without a controller path it is a no-op.
 	SendControl(t tuple.Tuple) error
 	// Recv returns the next batch of incoming tuples, waiting up to wait
-	// for the first. It returns an error only when the transport is
-	// closed.
+	// for the first. The returned slice may be a view into a transport-
+	// owned buffer valid only until the next Recv call; the tuples
+	// themselves own their storage and may be retained. It returns an
+	// error only when the transport is closed.
 	Recv(max int, wait time.Duration) ([]tuple.Tuple, error)
 	// Flush pushes any batched tuples to the wire.
 	Flush() error

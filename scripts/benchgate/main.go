@@ -1,0 +1,98 @@
+// Command benchgate is the CI regression gate for the data-plane benchmark
+// artifact: it compares the emit→recv figures in BENCH_dataplane.json
+// against the checked-in floors in floors.json and fails the build when the
+// tuple pipeline regresses past them.
+//
+//	go run ./scripts/benchgate                    # repo root, default paths
+//	go run ./scripts/benchgate BENCH.json floors.json
+//
+// The floors are deliberately well below freshly measured numbers (roughly
+// 0.6x throughput headroom) so scheduler noise on shared CI runners does not
+// flake the gate, while an accidental return to per-tuple framing or
+// per-tuple decode allocation — each worth 2x or more — still fails loudly.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// floors is the checked-in contract for the emit→recv pipeline.
+type floors struct {
+	// EmitRecvTuplesPerSecMin is the end-to-end throughput floor at the
+	// default batch size.
+	EmitRecvTuplesPerSecMin float64 `json:"emitRecvTuplesPerSecMin"`
+	// EmitRecvAllocsPerTupleMax is the allocation ceiling: the arena-decode
+	// pipeline runs near zero, so anything past this means a per-tuple
+	// allocation came back.
+	EmitRecvAllocsPerTupleMax float64 `json:"emitRecvAllocsPerTupleMax"`
+}
+
+// artifact is the slice of BENCH_dataplane.json the gate reads.
+type artifact struct {
+	Report struct {
+		EmitRecvTPS    float64 `json:"emitRecvTuplesPerSec"`
+		EmitRecvAllocs float64 `json:"emitRecvAllocsPerTuple"`
+	} `json:"report"`
+}
+
+func main() {
+	benchPath := "BENCH_dataplane.json"
+	floorsPath := "scripts/benchgate/floors.json"
+	if len(os.Args) > 1 {
+		benchPath = os.Args[1]
+	}
+	if len(os.Args) > 2 {
+		floorsPath = os.Args[2]
+	}
+
+	var f floors
+	if err := readJSON(floorsPath, &f); err != nil {
+		fatal(err)
+	}
+	if f.EmitRecvTuplesPerSecMin <= 0 || f.EmitRecvAllocsPerTupleMax <= 0 {
+		fatal(fmt.Errorf("floors %s: both emitRecvTuplesPerSecMin and emitRecvAllocsPerTupleMax must be positive", floorsPath))
+	}
+	var a artifact
+	if err := readJSON(benchPath, &a); err != nil {
+		fatal(err)
+	}
+
+	failed := false
+	if a.Report.EmitRecvTPS < f.EmitRecvTuplesPerSecMin {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL emitRecvTuplesPerSec %.0f < floor %.0f\n",
+			a.Report.EmitRecvTPS, f.EmitRecvTuplesPerSecMin)
+		failed = true
+	} else {
+		fmt.Printf("benchgate: ok   emitRecvTuplesPerSec %.0f >= floor %.0f\n",
+			a.Report.EmitRecvTPS, f.EmitRecvTuplesPerSecMin)
+	}
+	if a.Report.EmitRecvAllocs > f.EmitRecvAllocsPerTupleMax {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL emitRecvAllocsPerTuple %.4f > ceiling %.4f\n",
+			a.Report.EmitRecvAllocs, f.EmitRecvAllocsPerTupleMax)
+		failed = true
+	} else {
+		fmt.Printf("benchgate: ok   emitRecvAllocsPerTuple %.4f <= ceiling %.4f\n",
+			a.Report.EmitRecvAllocs, f.EmitRecvAllocsPerTupleMax)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func readJSON(path string, v any) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(blob, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}
